@@ -1,0 +1,311 @@
+//! File formats for the benchmark inputs.
+//!
+//! The Phoenix suite reads its inputs from files; this module provides the
+//! same workflow for the reproduction: generate once with the Table I
+//! generators ([`crate::inputs`]), persist, and re-run many times on
+//! identical data. Formats are deliberately simple and versioned by a magic
+//! header so mismatched files fail loudly instead of misparsing:
+//!
+//! * text (Word Count): plain UTF-8 lines;
+//! * pixels (Histogram): `RAMRPIX1` + raw RGB triplets;
+//! * points (Linear Regression): `RAMRLRP1` + little-endian `i32` pairs;
+//! * points (KMeans): `RAMRKMP1` + little-endian `f64` triplets;
+//! * matrix (PCA / MM): `RAMRMAT1` + `u64` dimension + little-endian `i64`
+//!   cells, row-major.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::histogram::Pixel;
+use crate::kmeans::{Point, DIM};
+use crate::linear_regression::LrPoint;
+use crate::matrix_multiply::Matrix;
+
+const PIXEL_MAGIC: &[u8; 8] = b"RAMRPIX1";
+const LR_MAGIC: &[u8; 8] = b"RAMRLRP1";
+const KM_MAGIC: &[u8; 8] = b"RAMRKMP1";
+const MATRIX_MAGIC: &[u8; 8] = b"RAMRMAT1";
+
+fn bad_magic(expected: &[u8; 8]) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("missing {} header; is this the right input format?",
+            String::from_utf8_lossy(expected)),
+    )
+}
+
+fn check_magic<R: Read>(reader: &mut R, expected: &[u8; 8]) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(|_| bad_magic(expected))?;
+    if &magic != expected {
+        return Err(bad_magic(expected));
+    }
+    Ok(())
+}
+
+/// Writes Word Count input as plain text lines.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_text(path: &Path, lines: &[String]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for line in lines {
+        writeln!(w, "{line}")?;
+    }
+    w.flush()
+}
+
+/// Reads Word Count input written by [`write_text`] (or any text file).
+///
+/// # Errors
+///
+/// Propagates I/O errors; non-UTF-8 content is an error.
+pub fn read_text(path: &Path) -> io::Result<Vec<String>> {
+    BufReader::new(std::fs::File::open(path)?).lines().collect()
+}
+
+/// Writes Histogram input as raw RGB triplets.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_pixels(path: &Path, pixels: &[Pixel]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(PIXEL_MAGIC)?;
+    for p in pixels {
+        w.write_all(&[p.r, p.g, p.b])?;
+    }
+    w.flush()
+}
+
+/// Reads Histogram input written by [`write_pixels`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a wrong header or a truncated pixel.
+pub fn read_pixels(path: &Path) -> io::Result<Vec<Pixel>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    check_magic(&mut r, PIXEL_MAGIC)?;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 3 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated pixel record"));
+    }
+    Ok(bytes.chunks_exact(3).map(|c| Pixel { r: c[0], g: c[1], b: c[2] }).collect())
+}
+
+/// Writes Linear Regression points.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_lr_points(path: &Path, points: &[LrPoint]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(LR_MAGIC)?;
+    for p in points {
+        w.write_all(&p.x.to_le_bytes())?;
+        w.write_all(&p.y.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads Linear Regression points written by [`write_lr_points`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a wrong header or a truncated record.
+pub fn read_lr_points(path: &Path) -> io::Result<Vec<LrPoint>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    check_magic(&mut r, LR_MAGIC)?;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() % 8 != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated point record"));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| LrPoint {
+            x: i32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+            y: i32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+        })
+        .collect())
+}
+
+/// Writes KMeans points.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_km_points(path: &Path, points: &[Point]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(KM_MAGIC)?;
+    for p in points {
+        for coord in p {
+            w.write_all(&coord.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads KMeans points written by [`write_km_points`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a wrong header or a truncated record.
+pub fn read_km_points(path: &Path) -> io::Result<Vec<Point>> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    check_magic(&mut r, KM_MAGIC)?;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let stride = 8 * DIM;
+    if bytes.len() % stride != 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated point record"));
+    }
+    Ok(bytes
+        .chunks_exact(stride)
+        .map(|c| {
+            let mut p = [0.0; DIM];
+            for (d, coord) in p.iter_mut().enumerate() {
+                *coord = f64::from_le_bytes(c[d * 8..(d + 1) * 8].try_into().expect("8 bytes"));
+            }
+            p
+        })
+        .collect())
+}
+
+/// Writes a square matrix (PCA input or an MM factor).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the filesystem.
+pub fn write_matrix(path: &Path, matrix: &Matrix) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(MATRIX_MAGIC)?;
+    w.write_all(&(matrix.n() as u64).to_le_bytes())?;
+    for row in 0..matrix.n() {
+        for &cell in matrix.row(row) {
+            w.write_all(&cell.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a matrix written by [`write_matrix`].
+///
+/// # Errors
+///
+/// Fails with `InvalidData` on a wrong header or a size mismatch.
+pub fn read_matrix(path: &Path) -> io::Result<Matrix> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    check_magic(&mut r, MATRIX_MAGIC)?;
+    let mut dim_bytes = [0u8; 8];
+    r.read_exact(&mut dim_bytes)?;
+    let n = u64::from_le_bytes(dim_bytes) as usize;
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() != n * n * 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("matrix body has {} bytes, expected {}", bytes.len(), n * n * 8),
+        ));
+    }
+    let data = bytes
+        .chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok(Matrix::from_rows(n, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{
+        hg_input, km_input, lr_input, pca_matrix, wc_input, InputFlavor, InputSpec, Platform,
+    };
+    use crate::AppKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ramr-io-tests");
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name)
+    }
+
+    fn spec(app: AppKind) -> InputSpec {
+        InputSpec::table1(app, Platform::XeonPhi, InputFlavor::Small)
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let lines = wc_input(&spec(AppKind::WordCount), 100_000);
+        let path = tmp("wc.txt");
+        write_text(&path, &lines).unwrap();
+        assert_eq!(read_text(&path).unwrap(), lines);
+    }
+
+    #[test]
+    fn pixels_round_trip() {
+        let pixels = hg_input(&spec(AppKind::Histogram), 500_000);
+        let path = tmp("hg.pix");
+        write_pixels(&path, &pixels).unwrap();
+        assert_eq!(read_pixels(&path).unwrap(), pixels);
+    }
+
+    #[test]
+    fn lr_points_round_trip() {
+        let points = lr_input(&spec(AppKind::LinearRegression), 500_000);
+        let path = tmp("lr.pts");
+        write_lr_points(&path, &points).unwrap();
+        assert_eq!(read_lr_points(&path).unwrap(), points);
+    }
+
+    #[test]
+    fn km_points_round_trip() {
+        let points = km_input(&spec(AppKind::Kmeans), 1000);
+        let path = tmp("km.pts");
+        write_km_points(&path, &points).unwrap();
+        assert_eq!(read_km_points(&path).unwrap(), points);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let matrix = pca_matrix(&spec(AppKind::Pca), 100_000);
+        let path = tmp("pca.mat");
+        write_matrix(&path, &matrix).unwrap();
+        assert_eq!(read_matrix(&path).unwrap(), matrix);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_across_formats() {
+        let pixels = hg_input(&spec(AppKind::Histogram), 1_000_000);
+        let path = tmp("mismatch.pix");
+        write_pixels(&path, &pixels).unwrap();
+        assert!(read_lr_points(&path).is_err(), "LR reader must reject pixel files");
+        assert!(read_km_points(&path).is_err());
+        assert!(read_matrix(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let path = tmp("trunc.pix");
+        std::fs::write(&path, [PIXEL_MAGIC.as_slice(), &[1, 2]].concat()).unwrap();
+        let err = read_pixels(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let path = tmp("empty.pix");
+        write_pixels(&path, &[]).unwrap();
+        assert!(read_pixels(&path).unwrap().is_empty());
+        let path = tmp("empty.txt");
+        write_text(&path, &[]).unwrap();
+        assert!(read_text(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = read_matrix(&tmp("does-not-exist.mat")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,143 @@
+//! The six evaluation applications of the RAMR paper.
+//!
+//! The paper evaluates against the Phoenix++ benchmark suite, "deriving from
+//! a wide range of computing domains": enterprise (**Word Count**),
+//! scientific (**Matrix Multiply**, adapted to Map/Reduce semantics),
+//! artificial intelligence (**KMeans**, **PCA**, **Linear Regression**) and
+//! image processing (**Histogram**). Every application implements
+//! [`mr_core::MapReduceJob`] and therefore runs unchanged on both the
+//! Phoenix++-style baseline and the RAMR runtime — the basis of the
+//! differential test suite and of every speedup figure.
+//!
+//! [`inputs`] generates deterministic, seeded inputs scaled from the paper's
+//! Table I (see [`inputs::InputSpec`]); each application module documents
+//! its key space and its default container per §IV-D:
+//!
+//! | App | Default container | Stressed container (Figs 8b/9b/10b) |
+//! |-----|-------------------|--------------------------------------|
+//! | WC  | hash              | fixed-size hash                      |
+//! | HG  | array             | fixed-size hash                      |
+//! | LR  | array             | fixed-size hash                      |
+//! | KM  | array             | fixed-size hash                      |
+//! | PCA | array             | hash                                 |
+//! | MM  | array             | hash                                 |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod histogram;
+pub mod inputs;
+pub mod io;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod word_count;
+
+pub use histogram::{Histogram, Pixel};
+pub use kmeans::{KmeansJob, KmeansState, Point, DIM};
+pub use linear_regression::{LinearRegression, LrPoint, LrStat};
+pub use matrix_multiply::{Matrix, MatrixMultiply, MmTask};
+pub use pca::{PcaCovJob, PcaMeanJob};
+pub use word_count::WordCount;
+
+use mr_core::ContainerKind;
+
+/// The six applications, in the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Word Count (WC): count word occurrences in text.
+    WordCount,
+    /// Histogram (HG): 768-bin RGB histogram of an image.
+    Histogram,
+    /// Linear Regression (LR): five running sums over (x, y) points.
+    LinearRegression,
+    /// KMeans (KM): one Lloyd iteration per MR invocation.
+    Kmeans,
+    /// Principal Component Analysis (PCA): covariance of a square matrix.
+    Pca,
+    /// Matrix Multiply (MM): blocked C = A × B with combined partials.
+    MatrixMultiply,
+}
+
+impl AppKind {
+    /// All applications in paper order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::WordCount,
+        AppKind::Histogram,
+        AppKind::LinearRegression,
+        AppKind::Kmeans,
+        AppKind::Pca,
+        AppKind::MatrixMultiply,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            AppKind::WordCount => "WC",
+            AppKind::Histogram => "HG",
+            AppKind::LinearRegression => "LR",
+            AppKind::Kmeans => "KM",
+            AppKind::Pca => "PCA",
+            AppKind::MatrixMultiply => "MM",
+        }
+    }
+
+    /// Default intermediate container (§IV-D): thread-local fixed arrays
+    /// everywhere the key range is known a priori; Word Count uses a hash
+    /// table "more suitable for storing an arbitrary set of keys".
+    pub fn default_container(&self) -> ContainerKind {
+        match self {
+            AppKind::WordCount => ContainerKind::Hash,
+            _ => ContainerKind::Array,
+        }
+    }
+
+    /// The container used to stress the memory intensity of the combine
+    /// phase (Figs 8b/9b): fixed-size hash for HG/KM/LR/WC, regular hash
+    /// for MM/PCA.
+    pub fn stressed_container(&self) -> ContainerKind {
+        match self {
+            AppKind::MatrixMultiply | AppKind::Pca => ContainerKind::Hash,
+            _ => ContainerKind::FixedHash,
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        let abbrevs: Vec<&str> = AppKind::ALL.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(abbrevs, ["WC", "HG", "LR", "KM", "PCA", "MM"]);
+    }
+
+    #[test]
+    fn default_containers_match_paper() {
+        for app in AppKind::ALL {
+            let expected = if app == AppKind::WordCount {
+                ContainerKind::Hash
+            } else {
+                ContainerKind::Array
+            };
+            assert_eq!(app.default_container(), expected, "{app}");
+        }
+    }
+
+    #[test]
+    fn stressed_containers_match_paper() {
+        assert_eq!(AppKind::MatrixMultiply.stressed_container(), ContainerKind::Hash);
+        assert_eq!(AppKind::Pca.stressed_container(), ContainerKind::Hash);
+        for app in [AppKind::WordCount, AppKind::Histogram, AppKind::LinearRegression, AppKind::Kmeans] {
+            assert_eq!(app.stressed_container(), ContainerKind::FixedHash, "{app}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Word Count (WC): the canonical MapReduce workload.
+
+use mr_core::{Emitter, MapReduceJob};
+
+/// Counts word occurrences across lines of text.
+///
+/// Input elements are lines; the map function splits each line on ASCII
+/// whitespace, lower-cases the word and emits `(word, 1)`. The key set is
+/// unbounded, so WC is the one paper application whose *default* container
+/// is already a hash table.
+///
+/// # Example
+///
+/// ```
+/// use mr_core::Emitter;
+/// use mr_core::MapReduceJob;
+/// use mr_apps::WordCount;
+///
+/// let mut pairs = Vec::new();
+/// let mut sink = |k: String, v: u64| pairs.push((k, v));
+/// let mut emitter = Emitter::new(&mut sink);
+/// WordCount.map(&["The cat the hat".to_string()], &mut emitter);
+/// assert_eq!(pairs.iter().filter(|(w, _)| w == "the").count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WordCount;
+
+impl MapReduceJob for WordCount {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+
+    fn map(&self, task: &[String], emit: &mut Emitter<'_, String, u64>) {
+        for line in task {
+            for word in line.split_ascii_whitespace() {
+                emit.emit(word.to_ascii_lowercase(), 1);
+            }
+        }
+    }
+
+    fn combine(&self, acc: &mut u64, incoming: u64) {
+        *acc += incoming;
+    }
+
+    fn name(&self) -> &str {
+        "word-count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(lines: &[&str]) -> Vec<(String, u64)> {
+        let input: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        let mut table = std::collections::BTreeMap::new();
+        let mut sink = |k: String, v: u64| {
+            *table.entry(k).or_insert(0) += v;
+        };
+        let mut emitter = Emitter::new(&mut sink);
+        WordCount.map(&input, &mut emitter);
+        table.into_iter().collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_lowercases() {
+        let counts = count(&["Map  reduce\tMAP", "reduce"]);
+        assert_eq!(counts, [("map".into(), 2), ("reduce".into(), 2)]);
+    }
+
+    #[test]
+    fn empty_lines_emit_nothing() {
+        assert!(count(&["", "   ", "\t\t"]).is_empty());
+    }
+
+    #[test]
+    fn no_key_space_declared() {
+        assert!(WordCount.key_space().is_none(), "WC keys are unbounded");
+    }
+
+    #[test]
+    fn combine_is_addition() {
+        let mut acc = 3;
+        WordCount.combine(&mut acc, 4);
+        assert_eq!(acc, 7);
+    }
+}

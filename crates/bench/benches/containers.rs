@@ -1,0 +1,58 @@
+//! Intermediate-container micro-benchmarks: combine-insert throughput of
+//! the three Phoenix++-style containers under dense and skewed key
+//! distributions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ramr_containers::{ArrayContainer, FixedHashContainer, HashContainer};
+
+const INSERTS: u64 = 100_000;
+const KEYS: u64 = 768; // the Histogram key space
+
+fn keys_dense() -> Vec<u64> {
+    (0..INSERTS).map(|i| i % KEYS).collect()
+}
+
+fn keys_skewed() -> Vec<u64> {
+    // Zipf-flavoured: key k with weight ~ 1/(k+1).
+    (0..INSERTS).map(|i| (i * i * 2654435761) % KEYS % (1 + i % KEYS)).collect()
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("containers/combine-insert");
+    group.throughput(Throughput::Elements(INSERTS));
+    group.sample_size(20);
+    for (dist, keys) in [("dense", keys_dense()), ("skewed", keys_skewed())] {
+        group.bench_with_input(BenchmarkId::new("array", dist), &keys, |b, keys| {
+            b.iter(|| {
+                let mut c: ArrayContainer<u64, u64> = ArrayContainer::with_capacity(KEYS as usize);
+                for &k in keys {
+                    c.combine_insert_at(k as usize, k, 1, |a, v| *a += v).unwrap();
+                }
+                c.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hash", dist), &keys, |b, keys| {
+            b.iter(|| {
+                let mut c: HashContainer<u64, u64> = HashContainer::new();
+                for &k in keys {
+                    c.combine_insert(k, 1, |a, v| *a += v);
+                }
+                c.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fixed-hash", dist), &keys, |b, keys| {
+            b.iter(|| {
+                let mut c: FixedHashContainer<u64, u64> =
+                    FixedHashContainer::with_capacity(KEYS as usize);
+                for &k in keys {
+                    c.combine_insert(k, 1, |a, v| *a += v).unwrap();
+                }
+                c.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

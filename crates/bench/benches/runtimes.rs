@@ -1,0 +1,58 @@
+//! End-to-end runtime benchmarks: Phoenix++-style versus RAMR on real
+//! (scaled) workloads. Absolute numbers depend on this machine's core
+//! count; the modeled figures in `src/bin/` carry the paper comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mr_apps::inputs::{hg_input, wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, Histogram, WordCount};
+use mr_core::RuntimeConfig;
+use phoenix_mr::PhoenixRuntime;
+use ramr::RamrRuntime;
+
+fn config(app: AppKind) -> RuntimeConfig {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    RuntimeConfig::builder()
+        .num_workers(threads.max(2))
+        .num_combiners((threads / 2).max(1))
+        .task_size(256)
+        .queue_capacity(5000)
+        .batch_size(1000)
+        .container(app.default_container())
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_word_count(c: &mut Criterion) {
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
+    let lines = wc_input(&spec, 20_000);
+    let mut group = c.benchmark_group("runtimes/word-count");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("phoenix", lines.len()), &lines, |b, lines| {
+        let rt = PhoenixRuntime::new(config(AppKind::WordCount)).unwrap();
+        b.iter(|| rt.run(&WordCount, lines).unwrap().len())
+    });
+    group.bench_with_input(BenchmarkId::new("ramr", lines.len()), &lines, |b, lines| {
+        let rt = RamrRuntime::new(config(AppKind::WordCount)).unwrap();
+        b.iter(|| rt.run(&WordCount, lines).unwrap().len())
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let spec = InputSpec::table1(AppKind::Histogram, Platform::XeonPhi, InputFlavor::Small);
+    let pixels = hg_input(&spec, 2_000);
+    let mut group = c.benchmark_group("runtimes/histogram");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("phoenix", pixels.len()), &pixels, |b, px| {
+        let rt = PhoenixRuntime::new(config(AppKind::Histogram)).unwrap();
+        b.iter(|| rt.run(&Histogram, px).unwrap().len())
+    });
+    group.bench_with_input(BenchmarkId::new("ramr", pixels.len()), &pixels, |b, px| {
+        let rt = RamrRuntime::new(config(AppKind::Histogram)).unwrap();
+        b.iter(|| rt.run(&Histogram, px).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_word_count, bench_histogram);
+criterion_main!(benches);

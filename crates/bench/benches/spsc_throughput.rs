@@ -1,0 +1,63 @@
+//! SPSC queue micro-benchmarks: the paper benchmarked "several SPSC buffers
+//! in terms of concurrent read-write throughput" before settling on its
+//! design; this bench characterizes ours, including the effect of batched
+//! reads (paper SIII-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ramr_spsc::{BackoffPolicy, SpscQueue};
+
+const ITEMS: u64 = 100_000;
+
+fn single_thread_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc/single-thread");
+    group.throughput(Throughput::Elements(ITEMS));
+    group.sample_size(20);
+    group.bench_function("push-pop", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = SpscQueue::with_capacity(1024).split();
+            let mut sum = 0u64;
+            for chunk in 0..(ITEMS / 512) {
+                for i in 0..512 {
+                    tx.try_push(chunk * 512 + i).unwrap();
+                }
+                rx.pop_batch(512, |v| sum += v);
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
+fn two_thread_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc/two-thread");
+    group.throughput(Throughput::Elements(ITEMS));
+    group.sample_size(10);
+    for batch in [1usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let (mut tx, mut rx) = SpscQueue::with_capacity(5000).split();
+                let producer = std::thread::spawn(move || {
+                    let policy = BackoffPolicy::default();
+                    for i in 0..ITEMS {
+                        tx.push_with_backoff(i, &policy);
+                    }
+                });
+                let mut sum = 0u64;
+                let mut seen = 0u64;
+                while seen < ITEMS {
+                    let n = rx.pop_batch(batch, |v| sum += v);
+                    seen += n as u64;
+                    if n == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+                producer.join().unwrap();
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_thread_round_trip, two_thread_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runs every figure/table binary's logic in sequence — the one-shot
+//! regeneration of the paper's full evaluation. Each section is also
+//! available as its own binary for focused runs.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 11] = [
+    "table1_inputs",
+    "fig1_breakdown",
+    "fig3_pinning_map",
+    "fig4_synthetic",
+    "fig5_pinning",
+    "fig6_batched",
+    "fig7_batch_size",
+    "fig8_haswell",
+    "fig9_phi",
+    "fig10_suitability",
+    "ablations",
+];
+
+fn main() {
+    // Invoke the sibling binaries from the same target directory so the
+    // output is identical to running them individually.
+    let current = std::env::current_exe().expect("current executable path");
+    let dir = current.parent().expect("binary directory");
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        println!("\n{:=^78}", format!(" [{}/{}] {name} ", i + 1, EXPERIMENTS.len()));
+        let status = Command::new(dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{name} exited with {s}"),
+            Err(e) => eprintln!(
+                "could not run {name}: {e}; build it first with `cargo build -p mr-bench --bins`"
+            ),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Fig 1: run-time breakdown of the Phoenix++ suite — the map-combine phase
+//! dominates execution (paper: 82.4% on average).
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_bench::{sim_config, sim_job};
+use mrsim::{simulate, RuntimeKind};
+
+fn main() {
+    println!("FIG 1: phase breakdown of the baseline runtime (Haswell, large inputs)");
+    println!("Paper: map-combine dominates with 82.4% on average.\n");
+    mr_bench::print_header(&["app", "map-comb%", "reduce%", "merge%", "partition%"]);
+    let mut mc_sum = 0.0;
+    for app in AppKind::ALL {
+        let job = sim_job(app, Platform::Haswell, InputFlavor::Large, false);
+        let r = simulate(&job, &sim_config(app, Platform::Haswell, RuntimeKind::Phoenix));
+        let total = r.total_ns();
+        let mc = 100.0 * r.map_combine_ns / total;
+        mc_sum += mc;
+        mr_bench::print_row(
+            app.abbrev(),
+            &[
+                mc,
+                100.0 * r.reduce_ns / total,
+                100.0 * r.merge_ns / total,
+                100.0 * r.partition_ns / total,
+            ],
+        );
+    }
+    println!("\naverage map-combine share: {:.1}% (paper: 82.4%)", mc_sum / 6.0);
+}

@@ -1,0 +1,55 @@
+//! Fig 4: combine workload impact on the optimal mapper/combiner ratio.
+//!
+//! CPU-intensive map at fixed intensity; memory-intensive combine swept.
+//! The paper observes the best ratio moving 3 -> 2 -> 1 as the combine
+//! grows heavier, with RAMR below Phoenix++ throughout.
+
+use mr_synth::SynthSpec;
+use mrsim::{simulate, SimConfig, SimJob};
+use ramr_topology::MachineModel;
+
+const INPUT_ELEMENTS: u64 = 20_000_000;
+
+fn job(combine_intensity: u32) -> SimJob {
+    SimJob {
+        profile: SynthSpec::fig4(combine_intensity).profile(),
+        input_elements: INPUT_ELEMENTS,
+        unique_keys: mr_synth::SYNTH_KEY_SPACE as u64,
+    }
+}
+
+fn ramr_at_ratio(j: &SimJob, ratio: usize) -> f64 {
+    let mut cfg = SimConfig::ramr(MachineModel::haswell_server());
+    let total = cfg.total_threads;
+    let combiners = (total / (ratio + 1)).max(1);
+    cfg.combiners = combiners;
+    cfg.mappers = total - combiners;
+    simulate(j, &cfg).total_ns()
+}
+
+fn main() {
+    println!("FIG 4: synthetic suite — CPU map (fixed), memory combine (swept), Haswell");
+    println!("Columns: RAMR at mapper:combiner ratio 3, 2, 1; Phoenix++. Times in ms.\n");
+    mr_bench::print_header(&["comb-iters", "ratio=3", "ratio=2", "ratio=1", "phoenix++", "best"]);
+    for intensity in [1u32, 2, 5, 10, 20, 50, 100, 200, 400] {
+        let j = job(intensity);
+        let r3 = ramr_at_ratio(&j, 3) / 1e6;
+        let r2 = ramr_at_ratio(&j, 2) / 1e6;
+        let r1 = ramr_at_ratio(&j, 1) / 1e6;
+        let phoenix =
+            simulate(&j, &SimConfig::phoenix(MachineModel::haswell_server())).total_ns() / 1e6;
+        let best = if r3 <= r2 && r3 <= r1 {
+            3.0
+        } else if r2 <= r1 {
+            2.0
+        } else {
+            1.0
+        };
+        println!(
+            "{:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            intensity, r3, r2, r1, phoenix, best as u32
+        );
+    }
+    println!("\nPaper: light combine -> ratio 3 best; moderate -> 2; heavy -> 1;");
+    println!("RAMR outperforms Phoenix++ on this CPU-map/memory-combine synthetic.");
+}

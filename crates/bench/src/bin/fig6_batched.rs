@@ -1,0 +1,31 @@
+//! Fig 6: speedup of the batched consume method over element-wise
+//! consumption (paper: up to 3.1x on Haswell, up to 11.4x on the Xeon Phi).
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_bench::{sim_config, sim_job};
+use mrsim::{simulate, RuntimeKind};
+
+fn main() {
+    println!("FIG 6: batched-consume speedup (batch 1000 vs element-wise), large inputs");
+    println!("Paper: up to 3.1x on Haswell (HWL), up to 11.4x on Xeon Phi (PHI).\n");
+    mr_bench::print_header(&["app", "HWL", "PHI"]);
+    let mut max_hwl: f64 = 0.0;
+    let mut max_phi: f64 = 0.0;
+    for app in AppKind::ALL {
+        let mut row = Vec::new();
+        for platform in [Platform::Haswell, Platform::XeonPhi] {
+            let job = sim_job(app, platform, InputFlavor::Large, false);
+            let mut cfg = sim_config(app, platform, RuntimeKind::Ramr);
+            cfg.batch_size = 1;
+            let unbatched = simulate(&job, &cfg).total_ns();
+            cfg.batch_size = 1000;
+            let batched = simulate(&job, &cfg).total_ns();
+            row.push(unbatched / batched);
+        }
+        max_hwl = max_hwl.max(row[0]);
+        max_phi = max_phi.max(row[1]);
+        mr_bench::print_row(app.abbrev(), &row);
+    }
+    println!("\nmax speedups: HWL {max_hwl:.1}x (paper 3.1x), PHI {max_phi:.1}x (paper 11.4x)");
+}

@@ -1,0 +1,34 @@
+//! Figs 8a/8b: RAMR execution-time speedup over Phoenix++ on the Haswell
+//! server, for the three Table I input flavors, with default containers
+//! (8a) and with the stressed hash containers (8b).
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_bench::{geomean, speedup};
+
+fn table(platform: Platform, stressed: bool) {
+    mr_bench::print_header(&["app", "small", "medium", "large", "mean"]);
+    let mut all = Vec::new();
+    for app in AppKind::ALL {
+        let per_flavor: Vec<f64> = InputFlavor::ALL
+            .iter()
+            .map(|&f| speedup(app, platform, f, stressed))
+            .collect();
+        let mean = geomean(&per_flavor);
+        all.push(mean);
+        let mut row = per_flavor;
+        row.push(mean);
+        mr_bench::print_row(app.abbrev(), &row);
+    }
+    println!("{:>10} {:>43} {:>10.2}", "suite", "", geomean(&all));
+}
+
+fn main() {
+    println!("FIG 8a: RAMR speedup over Phoenix++ — Haswell, default containers");
+    println!("Paper: KM 1.95x, MM 1.77x, PCA ~1x, WC 0.82x, HG ~1/3x, LR ~1/3.8x\n");
+    table(Platform::Haswell, false);
+
+    println!("\nFIG 8b: Haswell, stressed containers (fixed-size hash for HG/KM/LR/WC,");
+    println!("regular hash for MM/PCA). Paper: 5/6 faster, avg 1.57x, MM max 2.46x.\n");
+    table(Platform::Haswell, true);
+}

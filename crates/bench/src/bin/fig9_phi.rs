@@ -1,0 +1,32 @@
+//! Figs 9a/9b: RAMR speedup over Phoenix++ on the Xeon Phi co-processor.
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_bench::{geomean, speedup};
+
+fn table(stressed: bool) {
+    mr_bench::print_header(&["app", "small", "medium", "large", "mean"]);
+    let mut all = Vec::new();
+    for app in AppKind::ALL {
+        let per_flavor: Vec<f64> = InputFlavor::ALL
+            .iter()
+            .map(|&f| speedup(app, Platform::XeonPhi, f, stressed))
+            .collect();
+        let mean = geomean(&per_flavor);
+        all.push(mean);
+        let mut row = per_flavor;
+        row.push(mean);
+        mr_bench::print_row(app.abbrev(), &row);
+    }
+    println!("{:>10} {:>43} {:>10.2}", "suite", "", geomean(&all));
+}
+
+fn main() {
+    println!("FIG 9a: RAMR speedup over Phoenix++ — Xeon Phi, default containers");
+    println!("Paper: WC 1.59x, KM 2.8x, MM 1.52x, PCA ~1x, HG 1/2.84x, LR 1/2.87x\n");
+    table(false);
+
+    println!("\nFIG 9b: Xeon Phi, stressed containers.");
+    println!("Paper: 5/6 faster, max 5.34x, average 2.6x.\n");
+    table(true);
+}

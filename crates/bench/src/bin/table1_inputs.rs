@@ -1,0 +1,52 @@
+//! Table I: input sizes used in the experimental evaluation.
+//!
+//! Prints the paper's exact quantities per application/platform/flavor and
+//! the element counts our deterministic generators produce at the default
+//! CI scale divisor.
+
+use mr_apps::inputs::{InputFlavor, InputSpec, PaperQuantity, Platform, DEFAULT_SCALE};
+use mr_apps::AppKind;
+
+fn paper_cell(q: PaperQuantity) -> String {
+    match q {
+        PaperQuantity::Bytes(b) if b >= 1_000_000_000 => format!("{:.1}GB", b as f64 / 1e9),
+        PaperQuantity::Bytes(b) => format!("{}MB", b / 1_000_000),
+        PaperQuantity::Elements(e) if e >= 1_000_000 => format!("{}M", e / 1_000_000),
+        PaperQuantity::Elements(e) => format!("{}K", e / 1_000),
+        PaperQuantity::MatrixDim(d) => format!("{d}x{d}"),
+    }
+}
+
+fn main() {
+    println!("TABLE I: input sizes (paper quantity | generated elements at scale {DEFAULT_SCALE})");
+    println!(
+        "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "", "Small HWL", "Small PHI", "Medium HWL", "Medium PHI", "Large HWL", "Large PHI"
+    );
+    println!("{}", "-".repeat(88));
+    for app in AppKind::ALL {
+        let mut cells = Vec::new();
+        for flavor in InputFlavor::ALL {
+            for platform in [Platform::Haswell, Platform::XeonPhi] {
+                let spec = InputSpec::table1(app, platform, flavor);
+                cells.push(format!(
+                    "{}({})",
+                    paper_cell(spec.paper),
+                    spec.scaled_elements(DEFAULT_SCALE)
+                ));
+            }
+        }
+        println!(
+            "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12}",
+            app.abbrev(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            cells[4],
+            cells[5]
+        );
+    }
+    println!();
+    println!("Generators are deterministic (seeded); scale divides counts, dims by cbrt.");
+}

@@ -1,0 +1,91 @@
+//! Harness-level assertions over the full figure matrix: the relations the
+//! paper's narrative claims between whole figures (not just within one).
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_bench::{geomean, sim_config, sim_job, speedup};
+use mrsim::{simulate, RuntimeKind};
+
+fn suite_mean(platform: Platform, stressed: bool) -> f64 {
+    let speedups: Vec<f64> = AppKind::ALL
+        .iter()
+        .map(|&app| speedup(app, platform, InputFlavor::Large, stressed))
+        .collect();
+    geomean(&speedups)
+}
+
+#[test]
+fn stressed_containers_raise_the_suite_average_on_both_machines() {
+    // Fig 8a -> 8b and Fig 9a -> 9b: hash containers move the suite in
+    // RAMR's favour (paper: Haswell avg reaches 1.57x, Phi 2.6x).
+    for platform in [Platform::Haswell, Platform::XeonPhi] {
+        let default = suite_mean(platform, false);
+        let stressed = suite_mean(platform, true);
+        assert!(
+            stressed > default,
+            "{platform}: stressed {stressed:.2} must exceed default {default:.2}"
+        );
+    }
+}
+
+#[test]
+fn phi_stressed_average_exceeds_haswell_stressed_average() {
+    // Paper: 2.6x (Phi) vs 1.57x (Haswell).
+    let hwl = suite_mean(Platform::Haswell, true);
+    let phi = suite_mean(Platform::XeonPhi, true);
+    assert!(phi > hwl, "phi {phi:.2} vs hwl {hwl:.2}");
+}
+
+#[test]
+fn speedups_are_stable_across_input_flavors() {
+    // Figs 8/9 plot three bars per app that sit close together: the
+    // runtimes' relative standing is input-size insensitive at these scales.
+    for app in AppKind::ALL {
+        let values: Vec<f64> = InputFlavor::ALL
+            .iter()
+            .map(|&f| speedup(app, Platform::Haswell, f, false))
+            .collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max / min < 1.25,
+            "{app}: flavor spread too wide: {values:?}"
+        );
+    }
+}
+
+#[test]
+fn suitability_predicts_speedup_ordering() {
+    // The SIV-E thesis end to end: rank applications by stall-weighted
+    // intensity (the suitability argument) and by measured speedup; the
+    // clearly-suitable must beat the clearly-unsuitable on both metrics.
+    use ramr_perfmodel::{catalog, characterize};
+    use ramr_topology::MachineModel;
+    let machine = MachineModel::haswell_server();
+    let score = |app| {
+        let m = characterize(&catalog::default_profile(app), &machine);
+        m.ipb * m.stall_score() // intensity x stall head-room
+    };
+    let gain = |app| speedup(app, Platform::Haswell, InputFlavor::Large, false);
+    for suitable in [AppKind::Kmeans, AppKind::MatrixMultiply] {
+        for unsuitable in [AppKind::Histogram, AppKind::LinearRegression] {
+            assert!(score(suitable) > score(unsuitable));
+            assert!(gain(suitable) > gain(unsuitable));
+        }
+    }
+}
+
+#[test]
+fn phoenix_configs_price_every_cell() {
+    // Smoke over the whole Table I matrix for the baseline pricing too.
+    for app in AppKind::ALL {
+        for platform in [Platform::Haswell, Platform::XeonPhi] {
+            for flavor in InputFlavor::ALL {
+                let job = sim_job(app, platform, flavor, false);
+                let report = simulate(&job, &sim_config(app, platform, RuntimeKind::Phoenix));
+                assert!(report.total_ns().is_finite() && report.total_ns() > 0.0);
+                assert!(report.map_combine_fraction() > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! A small, dependency-free flag parser for the CLI.
+//!
+//! Accepts `--flag value` and `--flag=value` forms; collects positional
+//! arguments separately; unknown flags are an error so typos do not pass
+//! silently.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, flags by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name), validating flag
+    /// names against `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag when one is unknown or
+    /// missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        allowed: &[&str],
+    ) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let (name, value) = match flag.split_once('=') {
+                    Some((n, v)) => (n.to_string(), v.to_string()),
+                    None => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| format!("flag --{flag} is missing its value"))?;
+                        (flag.to_string(), value)
+                    }
+                };
+                if !allowed.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown flag --{name}; expected one of: {}",
+                        allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                args.flags.insert(name, value);
+            } else {
+                args.positionals.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Raw string value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parses a flag into any `FromStr` type, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the flag when its value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                raw.parse().map_err(|_| format!("cannot parse --{name} value {raw:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str], allowed: &[&str]) -> Result<Args, String> {
+        Args::parse(words.iter().map(|s| s.to_string()), allowed)
+    }
+
+    #[test]
+    fn parses_both_flag_forms() {
+        let a = parse(&["run", "--app", "wc", "--scale=500"], &["app", "scale"]).unwrap();
+        assert_eq!(a.positionals(), ["run"]);
+        assert_eq!(a.get("app"), Some("wc"));
+        assert_eq!(a.get_or("scale", 0u64).unwrap(), 500);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse(&["--bogus", "1"], &["app"]).unwrap_err();
+        assert!(err.contains("--bogus"));
+        assert!(err.contains("--app"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = parse(&["--app"], &["app"]).unwrap_err();
+        assert!(err.contains("missing its value"));
+    }
+
+    #[test]
+    fn defaults_apply_when_flag_absent() {
+        let a = parse(&[], &["workers"]).unwrap();
+        assert_eq!(a.get_or("workers", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn bad_value_is_reported_with_flag_name() {
+        let a = parse(&["--workers", "many"], &["workers"]).unwrap();
+        let err = a.get_or("workers", 1usize).unwrap_err();
+        assert!(err.contains("--workers"));
+        assert!(err.contains("many"));
+    }
+
+    #[test]
+    fn positionals_and_flags_interleave() {
+        let a = parse(&["run", "--app", "km", "extra"], &["app"]).unwrap();
+        assert_eq!(a.positionals(), ["run", "extra"]);
+    }
+}

@@ -1,0 +1,463 @@
+//! The CLI subcommands.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mr_apps::inputs::{
+    hg_input, km_input, lr_input, mm_matrices, pca_matrix, wc_input, InputFlavor, InputSpec,
+    Platform, DEFAULT_SCALE,
+};
+use mr_apps::{
+    AppKind, Histogram, KmeansState, LinearRegression, MatrixMultiply, PcaCovJob, PcaMeanJob,
+    WordCount,
+};
+use mr_core::{ContainerKind, MapReduceJob, PhaseKind, PinningPolicyKind, RuntimeConfig};
+use phoenix_mr::PhoenixRuntime;
+use ramr::RamrRuntime;
+use ramr_topology::{thrid_to_cpu, MachineModel};
+
+use crate::args::Args;
+
+/// Help text for `ramr help`.
+pub const HELP: &str = "\
+ramr — Resource-Aware MapReduce runtime driver (DATE 2020 reproduction)
+
+USAGE:
+  ramr run      --app <wc|hg|lr|km|pca|mm> [--runtime ramr|phoenix|both]
+                [--input FILE] [--input-a FILE --input-b FILE (mm)]
+                [--flavor small|medium|large] [--platform hwl|phi]
+                [--scale N] [--workers N] [--combiners N] [--task N]
+                [--queue N] [--batch N] [--container array|hash|fixed-hash]
+                [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
+  ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
+                [--stressed 0|1] [--batch N] [--queue N] [--task N]
+  ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
+  ramr generate --app <...> --out FILE [--out-b FILE (mm)]
+                [--flavor ...] [--platform ...] [--scale N]
+  ramr topology
+  ramr help
+
+`run` executes on real threads with generated Table I inputs (scaled by
+--scale, default 2000); `simulate` prices the full-size workload on the
+paper's machine models; `tune` measures map/combine throughput and suggests
+pool sizes and batch size.
+";
+
+fn parse_app(args: &Args) -> Result<AppKind, String> {
+    match args.get("app").unwrap_or("wc") {
+        "wc" => Ok(AppKind::WordCount),
+        "hg" => Ok(AppKind::Histogram),
+        "lr" => Ok(AppKind::LinearRegression),
+        "km" => Ok(AppKind::Kmeans),
+        "pca" => Ok(AppKind::Pca),
+        "mm" => Ok(AppKind::MatrixMultiply),
+        other => Err(format!("unknown --app {other:?} (wc|hg|lr|km|pca|mm)")),
+    }
+}
+
+fn parse_flavor(args: &Args) -> Result<InputFlavor, String> {
+    match args.get("flavor").unwrap_or("small") {
+        "small" => Ok(InputFlavor::Small),
+        "medium" => Ok(InputFlavor::Medium),
+        "large" => Ok(InputFlavor::Large),
+        other => Err(format!("unknown --flavor {other:?} (small|medium|large)")),
+    }
+}
+
+fn parse_platform(args: &Args, flag: &str, default: &str) -> Result<Platform, String> {
+    match args.get(flag).unwrap_or(default) {
+        "hwl" => Ok(Platform::Haswell),
+        "phi" => Ok(Platform::XeonPhi),
+        other => Err(format!("unknown --{flag} {other:?} (hwl|phi)")),
+    }
+}
+
+fn parse_container(raw: &str) -> Result<ContainerKind, String> {
+    match raw {
+        "array" => Ok(ContainerKind::Array),
+        "hash" => Ok(ContainerKind::Hash),
+        "fixed-hash" => Ok(ContainerKind::FixedHash),
+        other => Err(format!("unknown container {other:?} (array|hash|fixed-hash)")),
+    }
+}
+
+fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = args.get_or("workers", threads.max(2))?;
+    let combiners = args.get_or("combiners", (workers / 2).max(1))?;
+    let container = match args.get("container") {
+        Some(raw) => parse_container(raw)?,
+        None => app.default_container(),
+    };
+    let pinning = match args.get("pinning").unwrap_or("ramr") {
+        "ramr" => PinningPolicyKind::Ramr,
+        "round-robin" => PinningPolicyKind::RoundRobin,
+        "os-default" => PinningPolicyKind::OsDefault,
+        other => return Err(format!("unknown --pinning {other:?}")),
+    };
+    RuntimeConfig::builder()
+        .num_workers(workers)
+        .num_combiners(combiners)
+        .task_size(args.get_or("task", 1024)?)
+        .queue_capacity(args.get_or("queue", 5000)?)
+        .batch_size(args.get_or("batch", 1000)?)
+        .container(container)
+        .pinning(pinning)
+        .pin_os_threads(args.get_or("pin", 0u8)? != 0)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Which runtimes a `run` invocation exercises.
+enum RuntimeChoice {
+    Ramr,
+    Phoenix,
+    Both,
+}
+
+fn parse_runtime(args: &Args) -> Result<RuntimeChoice, String> {
+    match args.get("runtime").unwrap_or("both") {
+        "ramr" => Ok(RuntimeChoice::Ramr),
+        "phoenix" => Ok(RuntimeChoice::Phoenix),
+        "both" => Ok(RuntimeChoice::Both),
+        other => Err(format!("unknown --runtime {other:?} (ramr|phoenix|both)")),
+    }
+}
+
+/// Executes a job on the selected runtime(s), printing timing and agreement.
+fn execute<J: MapReduceJob>(
+    job: &J,
+    input: &[J::Input],
+    config: &RuntimeConfig,
+    choice: &RuntimeChoice,
+    runs: usize,
+) -> Result<(), String> {
+    let mut outputs = Vec::new();
+    for (name, enabled) in [
+        ("ramr", matches!(choice, RuntimeChoice::Ramr | RuntimeChoice::Both)),
+        ("phoenix", matches!(choice, RuntimeChoice::Phoenix | RuntimeChoice::Both)),
+    ] {
+        if !enabled {
+            continue;
+        }
+        let mut samples = Vec::new();
+        let mut last = None;
+        for _ in 0..runs.max(1) {
+            let started = Instant::now();
+            let output = if name == "ramr" {
+                RamrRuntime::new(config.clone()).map_err(|e| e.to_string())?.run(job, input)
+            } else {
+                PhoenixRuntime::new(config.clone()).map_err(|e| e.to_string())?.run(job, input)
+            }
+            .map_err(|e| e.to_string())?;
+            samples.push(started.elapsed().as_secs_f64() * 1e3);
+            last = Some(output);
+        }
+        let output = last.expect("at least one run");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:>8}: {mean:8.2} ms over {} run(s) | {} keys | map-combine {:.0}% | \
+             emitted {} | queue-full {}",
+            samples.len(),
+            output.len(),
+            100.0 * output.stats.fraction(PhaseKind::MapCombine),
+            output.stats.emitted,
+            output.stats.queue_full_events,
+        );
+        outputs.push((name, output));
+    }
+    if outputs.len() == 2 {
+        let equal = outputs[0].1.len() == outputs[1].1.len();
+        println!(
+            "  agreement: both runtimes produced {} keys ({})",
+            outputs[0].1.len(),
+            if equal { "match" } else { "MISMATCH" }
+        );
+        if !equal {
+            return Err("runtime outputs disagree".into());
+        }
+    }
+    Ok(())
+}
+
+/// `ramr run`: execute an application on real threads.
+pub fn run(args: &Args) -> Result<(), String> {
+    let app = parse_app(args)?;
+    let flavor = parse_flavor(args)?;
+    let platform = parse_platform(args, "platform", "hwl")?;
+    let scale = args.get_or("scale", DEFAULT_SCALE)?;
+    let runs = args.get_or("runs", 1usize)?;
+    let spec = InputSpec::table1(app, platform, flavor);
+    let config = build_config(args, app)?;
+    let choice = parse_runtime(args)?;
+    let source = match args.get("input") {
+        Some(path) => format!("file {path}"),
+        None => format!("paper {:?}, scale {scale}", spec.paper),
+    };
+    println!(
+        "{} | {platform} {flavor} ({source}) | workers {} combiners {} \
+         batch {} queue {} container {}",
+        app.abbrev(),
+        config.num_workers,
+        config.num_combiners,
+        config.batch_size,
+        config.queue_capacity,
+        config.container,
+    );
+    let from_file = args.get("input").map(std::path::PathBuf::from);
+    let io_err = |e: std::io::Error| e.to_string();
+    match app {
+        AppKind::WordCount => {
+            let input = match &from_file {
+                Some(path) => mr_apps::io::read_text(path).map_err(io_err)?,
+                None => wc_input(&spec, scale),
+            };
+            execute(&WordCount, &input, &config, &choice, runs)
+        }
+        AppKind::Histogram => {
+            let input = match &from_file {
+                Some(path) => mr_apps::io::read_pixels(path).map_err(io_err)?,
+                None => hg_input(&spec, scale),
+            };
+            execute(&Histogram, &input, &config, &choice, runs)
+        }
+        AppKind::LinearRegression => {
+            let input = match &from_file {
+                Some(path) => mr_apps::io::read_lr_points(path).map_err(io_err)?,
+                None => lr_input(&spec, scale),
+            };
+            execute(&LinearRegression, &input, &config, &choice, runs)
+        }
+        AppKind::Kmeans => {
+            let input = match &from_file {
+                Some(path) => mr_apps::io::read_km_points(path).map_err(io_err)?,
+                None => km_input(&spec, scale),
+            };
+            let state = KmeansState::seeded(&input, 16);
+            execute(&state.job(), &input, &config, &choice, runs)
+        }
+        AppKind::Pca => {
+            let matrix = Arc::new(match &from_file {
+                Some(path) => mr_apps::io::read_matrix(path).map_err(io_err)?,
+                None => pca_matrix(&spec, scale),
+            });
+            let mean_job = PcaMeanJob::new(Arc::clone(&matrix));
+            let tasks = mean_job.tasks();
+            // The mean pass is tiny; run it inline, then time the cov pass.
+            let means = {
+                let out = RamrRuntime::new(config.clone())
+                    .map_err(|e| e.to_string())?
+                    .run(&mean_job, &tasks)
+                    .map_err(|e| e.to_string())?;
+                Arc::new(mean_job.means(&out.pairs))
+            };
+            let cov_job = PcaCovJob::new(matrix, means);
+            let tasks = cov_job.tasks();
+            execute(&cov_job, &tasks, &config, &choice, runs)
+        }
+        AppKind::MatrixMultiply => {
+            let (a, b) = match (args.get("input-a"), args.get("input-b")) {
+                (Some(pa), Some(pb)) => (
+                    mr_apps::io::read_matrix(std::path::Path::new(pa)).map_err(io_err)?,
+                    mr_apps::io::read_matrix(std::path::Path::new(pb)).map_err(io_err)?,
+                ),
+                (None, None) => mm_matrices(&spec, scale),
+                _ => return Err("mm needs both --input-a and --input-b, or neither".into()),
+            };
+            let job = MatrixMultiply::new(Arc::new(a), Arc::new(b), 16);
+            let tasks = job.tasks();
+            execute(&job, &tasks, &config, &choice, runs)
+        }
+    }
+}
+
+/// `ramr generate`: write an application's Table I input to a file.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let app = parse_app(args)?;
+    let flavor = parse_flavor(args)?;
+    let platform = parse_platform(args, "platform", "hwl")?;
+    let scale = args.get_or("scale", DEFAULT_SCALE)?;
+    let out = std::path::PathBuf::from(
+        args.get("out").ok_or("--out FILE is required for generate")?,
+    );
+    let spec = InputSpec::table1(app, platform, flavor);
+    let io_err = |e: std::io::Error| e.to_string();
+    let written = match app {
+        AppKind::WordCount => {
+            let lines = wc_input(&spec, scale);
+            mr_apps::io::write_text(&out, &lines).map_err(io_err)?;
+            lines.len()
+        }
+        AppKind::Histogram => {
+            let pixels = hg_input(&spec, scale);
+            mr_apps::io::write_pixels(&out, &pixels).map_err(io_err)?;
+            pixels.len()
+        }
+        AppKind::LinearRegression => {
+            let points = lr_input(&spec, scale);
+            mr_apps::io::write_lr_points(&out, &points).map_err(io_err)?;
+            points.len()
+        }
+        AppKind::Kmeans => {
+            let points = km_input(&spec, scale);
+            mr_apps::io::write_km_points(&out, &points).map_err(io_err)?;
+            points.len()
+        }
+        AppKind::Pca => {
+            let matrix = pca_matrix(&spec, scale);
+            mr_apps::io::write_matrix(&out, &matrix).map_err(io_err)?;
+            matrix.n() * matrix.n()
+        }
+        AppKind::MatrixMultiply => {
+            let out_b = std::path::PathBuf::from(
+                args.get("out-b").ok_or("--out-b FILE is required for mm (two factors)")?,
+            );
+            let (a, b) = mm_matrices(&spec, scale);
+            mr_apps::io::write_matrix(&out, &a).map_err(io_err)?;
+            mr_apps::io::write_matrix(&out_b, &b).map_err(io_err)?;
+            2 * a.n() * a.n()
+        }
+    };
+    println!(
+        "{}: wrote {written} elements to {} ({platform} {flavor}, scale {scale})",
+        app.abbrev(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `ramr simulate`: price the full-size workload on a machine model.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    use mrsim::{simulate, RuntimeKind, SimConfig, SimJob};
+    let app = parse_app(args)?;
+    let flavor = parse_flavor(args)?;
+    let platform = parse_platform(args, "machine", "hwl")?;
+    let stressed = args.get_or("stressed", 0u8)? != 0;
+    let machine = match platform {
+        Platform::Haswell => MachineModel::haswell_server(),
+        Platform::XeonPhi => MachineModel::xeon_phi(),
+    };
+    let spec = InputSpec::table1(app, platform, flavor);
+    let profile = if stressed {
+        ramr_perfmodel::catalog::stressed_profile(app)
+    } else {
+        ramr_perfmodel::catalog::default_profile(app)
+    };
+    let job = SimJob {
+        profile,
+        input_elements: spec.scaled_elements(1),
+        unique_keys: 10_000,
+    };
+    let apply = |cfg: &mut SimConfig| -> Result<(), String> {
+        cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
+        cfg.queue_capacity = args.get_or("queue", cfg.queue_capacity)?;
+        cfg.task_size = args.get_or("task", cfg.task_size)?;
+        Ok(())
+    };
+    let mut phoenix_cfg = SimConfig::phoenix(machine.clone());
+    apply(&mut phoenix_cfg)?;
+    let mut ramr_cfg = SimConfig::ramr(machine.clone());
+    apply(&mut ramr_cfg)?;
+    let phoenix = simulate(&job, &phoenix_cfg);
+    let ramr = simulate(&job, &ramr_cfg);
+    let _ = RuntimeKind::Ramr;
+    println!(
+        "{} on {} ({flavor}, {} containers): phoenix++ {:.2} ms | ramr {:.2} ms \
+         ({} mappers + {} combiners) | speedup {:.2}x",
+        app.abbrev(),
+        machine.name,
+        if stressed { "stressed" } else { "default" },
+        phoenix.total_ns() / 1e6,
+        ramr.total_ns() / 1e6,
+        ramr.mappers,
+        ramr.combiners,
+        phoenix.total_ns() / ramr.total_ns(),
+    );
+    Ok(())
+}
+
+/// `ramr tune`: calibrate and suggest a configuration.
+pub fn tune(args: &Args) -> Result<(), String> {
+    let app = parse_app(args)?;
+    let scale = args.get_or("scale", 20_000u64)?;
+    let spec = InputSpec::table1(app, Platform::Haswell, InputFlavor::Small);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let workers = args.get_or("workers", threads.max(2))?;
+    let container = match args.get("container") {
+        Some(raw) => parse_container(raw)?,
+        None => app.default_container(),
+    };
+    let base = RuntimeConfig::builder()
+        .num_workers(workers)
+        .num_combiners(workers.max(2) / 2)
+        .container(container)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    fn report<J: MapReduceJob>(
+        job: &J,
+        sample: &[J::Input],
+        base: RuntimeConfig,
+    ) -> Result<(), String> {
+        let calibration =
+            ramr::tuning::calibrate(job, sample, &base).map_err(|e| e.to_string())?;
+        let tuned = calibration.suggest(base).map_err(|e| e.to_string())?;
+        println!(
+            "map {:.1} ns/elem | combine {:.1} ns/pair | {:.2} pairs/elem | combine share {:.1}%",
+            calibration.map_ns_per_elem,
+            calibration.combine_ns_per_pair,
+            calibration.emits_per_elem,
+            100.0 * calibration.combine_share(),
+        );
+        println!(
+            "suggested: {} mappers + {} combiners (ratio {}), batch {}",
+            tuned.num_workers,
+            tuned.num_combiners,
+            tuned.mapper_combiner_ratio(),
+            tuned.batch_size,
+        );
+        Ok(())
+    }
+
+    println!("calibrating {} on a scaled sample (scale {scale})...", app.abbrev());
+    match app {
+        AppKind::WordCount => report(&WordCount, &wc_input(&spec, scale), base),
+        AppKind::Histogram => report(&Histogram, &hg_input(&spec, scale), base),
+        AppKind::LinearRegression => report(&LinearRegression, &lr_input(&spec, scale), base),
+        AppKind::Kmeans => {
+            let input = km_input(&spec, scale);
+            let state = KmeansState::seeded(&input, 16);
+            report(&state.job(), &input, base)
+        }
+        AppKind::Pca => {
+            let matrix = Arc::new(pca_matrix(&spec, scale));
+            let n = matrix.n();
+            let job = PcaCovJob::new(matrix, Arc::new(vec![0.0; n]));
+            let tasks = job.tasks();
+            report(&job, &tasks, base)
+        }
+        AppKind::MatrixMultiply => {
+            let (a, b) = mm_matrices(&spec, scale);
+            let job = MatrixMultiply::new(Arc::new(a), Arc::new(b), 16);
+            let tasks = job.tasks();
+            report(&job, &tasks, base)
+        }
+    }
+}
+
+/// `ramr topology`: show the detected host and the Fig 3 remap.
+pub fn topology() -> Result<(), String> {
+    let host = MachineModel::detect();
+    println!("detected: {host}");
+    println!(
+        "pinning supported: {}",
+        if ramr_topology::pinning_supported() { "yes (sched_setaffinity)" } else { "no" }
+    );
+    let seq = thrid_to_cpu(host.sockets, host.cores_per_socket, host.smt);
+    let shown = seq.len().min(32);
+    println!("thrid_to_cpu[0..{shown}]: {:?}", &seq[..shown]);
+    for preset in [MachineModel::haswell_server(), MachineModel::xeon_phi()] {
+        println!("preset: {preset}");
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! `ramr` — command-line driver for the RAMR reproduction.
+//!
+//! ```text
+//! ramr run      --app wc --runtime ramr --flavor small --scale 2000 [knobs]
+//! ramr simulate --app km --machine hwl [--stressed true]
+//! ramr tune     --app wc --scale 20000
+//! ramr topology
+//! ramr help
+//! ```
+//!
+//! `run` executes a paper application on real threads with generated
+//! Table I inputs; `simulate` prices it on the paper's machines;
+//! `tune` calibrates map/combine throughput and suggests a configuration;
+//! `topology` shows the detected host and the `thrid_to_cpu` remap.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const RUN_FLAGS: &[&str] = &[
+    "app", "runtime", "flavor", "platform", "scale", "workers", "combiners", "task", "queue",
+    "batch", "container", "pinning", "runs", "pin", "input", "input-a", "input-b",
+];
+const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
+const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];
+const TUNE_FLAGS: &[&str] = &["app", "scale", "workers", "container"];
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = raw.first().cloned().unwrap_or_else(|| "help".to_string());
+    let rest = raw.into_iter().skip(1);
+    let no_positionals = |a: Args| -> Result<Args, String> {
+        match a.positionals() {
+            [] => Ok(a),
+            extra => Err(format!("unexpected arguments: {extra:?}")),
+        }
+    };
+    let outcome = match command.as_str() {
+        "run" => Args::parse(rest, RUN_FLAGS).and_then(no_positionals).and_then(|a| commands::run(&a)),
+        "simulate" => {
+            Args::parse(rest, SIM_FLAGS).and_then(no_positionals).and_then(|a| commands::simulate(&a))
+        }
+        "tune" => Args::parse(rest, TUNE_FLAGS).and_then(no_positionals).and_then(|a| commands::tune(&a)),
+        "generate" => Args::parse(rest, GENERATE_FLAGS)
+            .and_then(no_positionals)
+            .and_then(|a| commands::generate(&a)),
+        "topology" => commands::topology(),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `ramr help`")),
+    };
+    if let Err(message) = outcome {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    }
+}

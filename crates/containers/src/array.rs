@@ -1,0 +1,167 @@
+//! Dense array container over an a-priori known key space.
+
+use mr_core::RuntimeError;
+
+/// The paper's default container: one slot per key index in `0..capacity`.
+///
+/// "The default container for all applications is a thread-local fixed
+/// array structure as the range of keys is known a-priori" (§IV-D). Inserts
+/// are a bounds check and a direct slot update — regular accesses with no
+/// hashing, which is why switching away from this container *raises* the
+/// IPB/MSPI/RSPI metrics in Fig 10b.
+///
+/// The slot stores the key alongside the value so the drain can recover
+/// `(K, V)` pairs without an inverse index function.
+#[derive(Debug, Clone)]
+pub struct ArrayContainer<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> ArrayContainer<K, V> {
+    /// Creates a container with one slot per index in `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(capacity, || None);
+        Self { slots, len: 0 }
+    }
+
+    /// Folds `value` into the slot at `index` (key `key`), applying
+    /// `combine` when the slot is occupied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ContainerOverflow`] when `index` is outside
+    /// the declared key space — the job's `key_index` broke its promise.
+    #[inline]
+    pub fn combine_insert_at(
+        &mut self,
+        index: usize,
+        key: K,
+        value: V,
+        combine: impl FnOnce(&mut V, V),
+    ) -> Result<(), RuntimeError> {
+        let capacity = self.slots.len();
+        match self.slots.get_mut(index) {
+            Some(slot) => {
+                match slot {
+                    Some((_, acc)) => combine(acc, value),
+                    None => {
+                        *slot = Some((key, value));
+                        self.len += 1;
+                    }
+                }
+                Ok(())
+            }
+            None => Err(RuntimeError::ContainerOverflow {
+                capacity,
+                detail: format!("key index {index} outside declared key space"),
+            }),
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots (the declared key space).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns the value stored at `index`, if occupied.
+    pub fn get(&self, index: usize) -> Option<&V> {
+        self.slots.get(index).and_then(|slot| slot.as_ref().map(|(_, v)| v))
+    }
+
+    /// Iterates over the occupied `(key, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|slot| slot.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    ///
+    /// Pairs come out in index order, but callers must not rely on it; the
+    /// merge phase sorts by key anyway.
+    pub fn drain_into(&mut self, out: &mut Vec<(K, V)>) {
+        out.reserve(self.len);
+        for slot in &mut self.slots {
+            if let Some(pair) = slot.take() {
+                out.push(pair);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_combine() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(4);
+        c.combine_insert_at(2, 2, 10, |a, v| *a += v).unwrap();
+        c.combine_insert_at(2, 2, 5, |a, v| *a += v).unwrap();
+        c.combine_insert_at(0, 0, 1, |a, v| *a += v).unwrap();
+        assert_eq!(c.len(), 2);
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out, [(0, 1), (2, 15)]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_index_is_overflow() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(3);
+        let err = c.combine_insert_at(3, 3, 1, |a, v| *a += v).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 3, .. }));
+    }
+
+    #[test]
+    fn drain_empties_and_is_repeatable() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(8);
+        c.combine_insert_at(1, 1, 7, |a, v| *a += v).unwrap();
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        c.drain_into(&mut out);
+        assert!(out.is_empty());
+        // Container is reusable after a drain.
+        c.combine_insert_at(1, 1, 3, |a, v| *a += v).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(0);
+        assert!(c.combine_insert_at(0, 0, 1, |a, v| *a += v).is_err());
+        assert_eq!(c.capacity(), 0);
+    }
+
+    #[test]
+    fn get_and_iter_reflect_contents() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(4);
+        c.combine_insert_at(1, 1, 10, |a, v| *a += v).unwrap();
+        c.combine_insert_at(3, 3, 30, |a, v| *a += v).unwrap();
+        assert_eq!(c.get(1), Some(&10));
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.get(99), None);
+        let pairs: Vec<(u32, u64)> = c.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, [(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn combine_is_not_called_on_first_insert() {
+        let mut c: ArrayContainer<u32, u64> = ArrayContainer::with_capacity(1);
+        c.combine_insert_at(0, 0, 42, |_, _| panic!("first insert must not combine")).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

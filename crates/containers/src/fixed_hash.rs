@@ -1,0 +1,193 @@
+//! Fixed-capacity open-addressing hash container.
+
+use std::hash::Hash;
+
+use mr_core::RuntimeError;
+
+use crate::fnv::fnv1a_hash;
+
+/// A fixed-capacity open-addressing hash table: the "fixed-size hash
+/// container" the paper swaps into HG, KM, LR and WC to stress the combine
+/// phase (Figs 8b/9b).
+///
+/// Compared to [`ArrayContainer`](crate::ArrayContainer) it adds the hash
+/// calculation and a non-regular access pattern; compared to
+/// [`HashContainer`](crate::HashContainer) it never reallocates — matching
+/// the paper's preference for static allocation — at the price of a hard
+/// capacity limit surfaced as [`RuntimeError::ContainerOverflow`].
+#[derive(Debug, Clone)]
+pub struct FixedHashContainer<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+    mask: usize,
+    /// Maximum distinct keys accepted (strictly below slot count so probing
+    /// always terminates).
+    max_keys: usize,
+}
+
+impl<K: Eq + Hash, V> FixedHashContainer<K, V> {
+    /// Creates a container accepting at most `capacity` distinct keys.
+    ///
+    /// The slot array is sized to the next power of two of
+    /// `capacity * 8 / 7` so the load factor stays below 7/8 even when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "fixed hash capacity must be nonzero");
+        let slots_needed = (capacity * 8).div_ceil(7) + 1;
+        let cap = slots_needed.checked_next_power_of_two().expect("capacity overflow");
+        let mut slots = Vec::new();
+        slots.resize_with(cap, || None);
+        Self { slots, len: 0, mask: cap - 1, max_keys: capacity }
+    }
+
+    /// Folds `value` into the entry for `key`, inserting it when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ContainerOverflow`] when inserting a *new*
+    /// key into a container already holding `capacity` keys. Combining into
+    /// an existing key never fails.
+    pub fn combine_insert(
+        &mut self,
+        key: K,
+        value: V,
+        combine: impl FnOnce(&mut V, V),
+    ) -> Result<(), RuntimeError> {
+        let mut idx = (fnv1a_hash(&key) as usize) & self.mask;
+        loop {
+            match &mut self.slots[idx] {
+                Some((k, acc)) if *k == key => {
+                    combine(acc, value);
+                    return Ok(());
+                }
+                Some(_) => idx = (idx + 1) & self.mask,
+                empty @ None => {
+                    if self.len == self.max_keys {
+                        return Err(RuntimeError::ContainerOverflow {
+                            capacity: self.max_keys,
+                            detail: "fixed-size hash container is full".into(),
+                        });
+                    }
+                    *empty = Some((key, value));
+                    self.len += 1;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut idx = (fnv1a_hash(key) as usize) & self.mask;
+        loop {
+            match &self.slots[idx] {
+                Some((k, v)) if k == key => return Some(v),
+                Some(_) => idx = (idx + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of distinct keys this container accepts.
+    pub fn capacity(&self) -> usize {
+        self.max_keys
+    }
+
+    /// Iterates over the stored `(key, value)` pairs in hash order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|slot| slot.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    pub fn drain_into(&mut self, out: &mut Vec<(K, V)>) {
+        out.reserve(self.len);
+        for slot in &mut self.slots {
+            if let Some(pair) = slot.take() {
+                out.push(pair);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(acc: &mut u64, v: u64) {
+        *acc += v;
+    }
+
+    #[test]
+    fn insert_up_to_capacity_then_overflow() {
+        let mut c = FixedHashContainer::with_capacity(8);
+        for i in 0..8u64 {
+            c.combine_insert(i, 1, add).unwrap();
+        }
+        assert_eq!(c.len(), 8);
+        let err = c.combine_insert(99, 1, add).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 8, .. }));
+        // Combining into existing keys still works at capacity.
+        c.combine_insert(3, 5, add).unwrap();
+        assert_eq!(c.get(&3), Some(&6));
+    }
+
+    #[test]
+    fn lookup_probes_past_collisions() {
+        let mut c = FixedHashContainer::with_capacity(64);
+        for i in 0..64u64 {
+            c.combine_insert(i, i * 10, add).unwrap();
+        }
+        for i in 0..64u64 {
+            assert_eq!(c.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(c.get(&1000), None);
+    }
+
+    #[test]
+    fn drain_and_reuse() {
+        let mut c = FixedHashContainer::with_capacity(4);
+        c.combine_insert("x", 1, add).unwrap();
+        c.combine_insert("x", 1, add).unwrap();
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out, [("x", 2)]);
+        assert!(c.is_empty());
+        c.combine_insert("y", 1, add).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn iter_matches_len() {
+        let mut c = FixedHashContainer::with_capacity(16);
+        for i in 0..10u64 {
+            c.combine_insert(i, 1, add).unwrap();
+        }
+        assert_eq!(c.iter().count(), c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = FixedHashContainer::<u64, u64>::with_capacity(0);
+    }
+
+    #[test]
+    fn capacity_reports_key_budget_not_slots() {
+        let c = FixedHashContainer::<u64, u64>::with_capacity(100);
+        assert_eq!(c.capacity(), 100);
+    }
+}

@@ -1,0 +1,236 @@
+//! Growable open-addressing hash container.
+
+use std::hash::Hash;
+
+use crate::fnv::fnv1a_hash;
+
+const INITIAL_CAPACITY: usize = 16;
+/// Grow when the load factor reaches 7/8.
+const LOAD_NUM: usize = 7;
+const LOAD_DEN: usize = 8;
+
+/// A growable open-addressing (linear probing) hash table specialized for
+/// the combine-insert access pattern: insert-or-fold, no deletions, one
+/// final drain.
+///
+/// This is the "regular hash table" of the paper's stressed configuration
+/// (Figs 8b/9b): relative to the array container it adds the hash
+/// calculation, dynamic memory allocation on growth, and a non-regular
+/// access pattern — exactly the extra memory intensity the paper injects.
+/// It is also Word Count's default container, "more suitable for storing an
+/// arbitrary set of keys".
+#[derive(Debug, Clone)]
+pub struct HashContainer<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+    /// Mask for power-of-two capacity.
+    mask: usize,
+}
+
+impl<K: Eq + Hash, V> HashContainer<K, V> {
+    /// Creates an empty container with the default initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty container able to hold at least `capacity` keys
+    /// before the first growth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).checked_next_power_of_two().expect("capacity overflow");
+        let mut slots = Vec::new();
+        slots.resize_with(cap, || None);
+        Self { slots, len: 0, mask: cap - 1 }
+    }
+
+    /// Folds `value` into the entry for `key`, inserting it when absent.
+    pub fn combine_insert(&mut self, key: K, value: V, combine: impl FnOnce(&mut V, V)) {
+        if (self.len + 1) * LOAD_DEN > self.slots.len() * LOAD_NUM {
+            self.grow();
+        }
+        let mut idx = (fnv1a_hash(&key) as usize) & self.mask;
+        loop {
+            match &mut self.slots[idx] {
+                Some((k, acc)) if *k == key => {
+                    combine(acc, value);
+                    return;
+                }
+                Some(_) => idx = (idx + 1) & self.mask,
+                empty @ None => {
+                    *empty = Some((key, value));
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut idx = (fnv1a_hash(key) as usize) & self.mask;
+        loop {
+            match &self.slots[idx] {
+                Some((k, v)) if k == key => return Some(v),
+                Some(_) => idx = (idx + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over the stored `(key, value)` pairs in hash order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|slot| slot.as_ref().map(|(k, v)| (k, v)))
+    }
+
+    /// Moves all pairs into `out`, emptying the container (capacity is
+    /// retained for reuse).
+    pub fn drain_into(&mut self, out: &mut Vec<(K, V)>) {
+        out.reserve(self.len);
+        for slot in &mut self.slots {
+            if let Some(pair) = slot.take() {
+                out.push(pair);
+            }
+        }
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_cap, || None);
+        self.mask = new_cap - 1;
+        for slot in &mut old {
+            if let Some((k, v)) = slot.take() {
+                let mut idx = (fnv1a_hash(&k) as usize) & self.mask;
+                while self.slots[idx].is_some() {
+                    idx = (idx + 1) & self.mask;
+                }
+                self.slots[idx] = Some((k, v));
+            }
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> Default for HashContainer<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn add(acc: &mut u64, v: u64) {
+        *acc += v;
+    }
+
+    #[test]
+    fn insert_combine_lookup() {
+        let mut c = HashContainer::new();
+        c.combine_insert("a", 1, add);
+        c.combine_insert("b", 2, add);
+        c.combine_insert("a", 3, add);
+        assert_eq!(c.get(&"a"), Some(&4));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut c = HashContainer::with_capacity(4);
+        let initial = c.capacity();
+        for i in 0..1000u64 {
+            c.combine_insert(i, i, add);
+        }
+        assert_eq!(c.len(), 1000);
+        assert!(c.capacity() > initial);
+        for i in 0..1000u64 {
+            assert_eq!(c.get(&i), Some(&i), "key {i} lost during growth");
+        }
+    }
+
+    #[test]
+    fn drain_returns_everything_once() {
+        let mut c = HashContainer::new();
+        for i in 0..100u64 {
+            c.combine_insert(i, 1, add);
+            c.combine_insert(i, 1, add);
+        }
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&(_, v)| v == 2));
+        assert!(c.is_empty());
+        // Reusable after drain.
+        c.combine_insert(5, 9, add);
+        assert_eq!(c.get(&5), Some(&9));
+    }
+
+    #[test]
+    fn capacity_is_power_of_two() {
+        for req in [1usize, 2, 3, 7, 100] {
+            let c: HashContainer<u64, u64> = HashContainer::with_capacity(req);
+            assert!(c.capacity().is_power_of_two());
+            assert!(c.capacity() >= req.max(2));
+        }
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut c = HashContainer::new();
+        for word in ["map", "reduce", "map", "combine", "map"] {
+            c.combine_insert(word.to_string(), 1u64, add);
+        }
+        assert_eq!(c.get(&"map".to_string()), Some(&3));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn iter_visits_every_pair_once() {
+        let mut c = HashContainer::new();
+        for i in 0..200u64 {
+            c.combine_insert(i, i * 2, add);
+        }
+        let mut pairs: Vec<(u64, u64)> = c.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 200);
+        assert!(pairs.iter().all(|&(k, v)| v == k * 2));
+    }
+
+    proptest! {
+        /// The container must agree with std's HashMap under arbitrary
+        /// insert sequences (fold = saturating add to also exercise repeated
+        /// combines).
+        #[test]
+        fn agrees_with_std_hashmap(keys in proptest::collection::vec(0u16..512, 0..2000)) {
+            let mut ours = HashContainer::new();
+            let mut reference = std::collections::HashMap::new();
+            for k in keys {
+                ours.combine_insert(k, 1u64, add);
+                *reference.entry(k).or_insert(0u64) += 1;
+            }
+            prop_assert_eq!(ours.len(), reference.len());
+            let mut out = Vec::new();
+            ours.drain_into(&mut out);
+            let drained: std::collections::HashMap<u16, u64> = out.into_iter().collect();
+            prop_assert_eq!(drained, reference);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Enum dispatch over the three containers and the job-aware adapter the
+//! runtimes allocate per worker/combiner.
+
+use mr_core::{ContainerKind, MapReduceJob, RuntimeError};
+
+use crate::{
+    ArrayContainer, FixedHashContainer, HashContainer, DEFAULT_FIXED_HASH_CAPACITY,
+};
+
+/// A container of any [`ContainerKind`], dispatching by enum rather than
+/// trait object so the combine closure stays statically dispatched in the
+/// hot loop.
+#[derive(Debug, Clone)]
+pub enum ContainerImpl<K, V> {
+    /// Dense array over the job's declared key space.
+    Array(ArrayContainer<K, V>),
+    /// Growable open-addressing hash table.
+    Hash(HashContainer<K, V>),
+    /// Fixed-capacity open-addressing hash table.
+    FixedHash(FixedHashContainer<K, V>),
+}
+
+impl<K: mr_core::MrKey, V: mr_core::MrValue> ContainerImpl<K, V> {
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ContainerImpl::Array(c) => c.len(),
+            ContainerImpl::Hash(c) => c.len(),
+            ContainerImpl::FixedHash(c) => c.len(),
+        }
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    pub fn drain_into(&mut self, out: &mut Vec<(K, V)>) {
+        match self {
+            ContainerImpl::Array(c) => c.drain_into(out),
+            ContainerImpl::Hash(c) => c.drain_into(out),
+            ContainerImpl::FixedHash(c) => c.drain_into(out),
+        }
+    }
+}
+
+/// One worker's (or combiner's) thread-local container, bound to the job so
+/// inserts can resolve array indices via [`MapReduceJob::key_index`] and
+/// fold with [`MapReduceJob::combine`].
+///
+/// # Example
+///
+/// ```
+/// use mr_core::{ContainerKind, Emitter, MapReduceJob};
+/// use ramr_containers::JobContainer;
+///
+/// struct Mod3;
+/// impl MapReduceJob for Mod3 {
+///     type Input = u64;
+///     type Key = u64;
+///     type Value = u64;
+///     fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+///         for &x in task {
+///             emit.emit(x % 3, 1);
+///         }
+///     }
+///     fn combine(&self, acc: &mut u64, v: u64) {
+///         *acc += v;
+///     }
+///     fn key_space(&self) -> Option<usize> {
+///         Some(3)
+///     }
+///     fn key_index(&self, k: &u64) -> usize {
+///         *k as usize
+///     }
+/// }
+///
+/// let job = Mod3;
+/// let mut c = JobContainer::for_job(&job, ContainerKind::Array, None)?;
+/// c.insert(2, 1)?;
+/// c.insert(2, 1)?;
+/// let mut out = Vec::new();
+/// c.drain_into(&mut out);
+/// assert_eq!(out, [(2, 2)]);
+/// # Ok::<(), mr_core::RuntimeError>(())
+/// ```
+pub struct JobContainer<'a, J: MapReduceJob> {
+    job: &'a J,
+    inner: ContainerImpl<J::Key, J::Value>,
+}
+
+impl<J: MapReduceJob> std::fmt::Debug for JobContainer<'_, J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobContainer")
+            .field("job", &self.job.name())
+            .field("len", &self.inner.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, J: MapReduceJob> JobContainer<'a, J> {
+    /// Allocates a container of `kind` suited to `job`.
+    ///
+    /// `fixed_capacity` overrides the capacity of array / fixed-hash
+    /// containers; when `None`, the job's [`key_space`] is used, and for
+    /// [`ContainerKind::FixedHash`] without either bound the
+    /// [`DEFAULT_FIXED_HASH_CAPACITY`] applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnsupportedContainer`] when
+    /// [`ContainerKind::Array`] is requested for a job with no declared key
+    /// space and no explicit capacity.
+    ///
+    /// [`key_space`]: MapReduceJob::key_space
+    pub fn for_job(
+        job: &'a J,
+        kind: ContainerKind,
+        fixed_capacity: Option<usize>,
+    ) -> Result<Self, RuntimeError> {
+        let inner = match kind {
+            ContainerKind::Array => {
+                let capacity = fixed_capacity.or_else(|| job.key_space()).ok_or_else(|| {
+                    RuntimeError::UnsupportedContainer(format!(
+                        "job {:?} declares no key space; the array container needs one",
+                        job.name()
+                    ))
+                })?;
+                ContainerImpl::Array(ArrayContainer::with_capacity(capacity))
+            }
+            ContainerKind::Hash => ContainerImpl::Hash(HashContainer::new()),
+            ContainerKind::FixedHash => {
+                let capacity = fixed_capacity
+                    .or_else(|| job.key_space())
+                    .unwrap_or(DEFAULT_FIXED_HASH_CAPACITY);
+                ContainerImpl::FixedHash(FixedHashContainer::with_capacity(capacity))
+            }
+        };
+        Ok(Self { job, inner })
+    }
+
+    /// Folds one intermediate pair into the container using the job's
+    /// combine function.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::ContainerOverflow`] from the fixed-size
+    /// containers.
+    #[inline]
+    pub fn insert(&mut self, key: J::Key, value: J::Value) -> Result<(), RuntimeError> {
+        let job = self.job;
+        match &mut self.inner {
+            ContainerImpl::Array(c) => {
+                let index = job.key_index(&key);
+                c.combine_insert_at(index, key, value, |acc, v| job.combine(acc, v))
+            }
+            ContainerImpl::Hash(c) => {
+                c.combine_insert(key, value, |acc, v| job.combine(acc, v));
+                Ok(())
+            }
+            ContainerImpl::FixedHash(c) => {
+                c.combine_insert(key, value, |acc, v| job.combine(acc, v))
+            }
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    pub fn drain_into(&mut self, out: &mut Vec<(J::Key, J::Value)>) {
+        self.inner.drain_into(out);
+    }
+
+    /// Consumes the adapter, returning the underlying container.
+    pub fn into_inner(self) -> ContainerImpl<J::Key, J::Value> {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::Emitter;
+
+    struct Mod5;
+
+    impl MapReduceJob for Mod5 {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x % 5, 1);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(5)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+
+        fn name(&self) -> &str {
+            "mod5"
+        }
+    }
+
+    struct NoKeySpace;
+
+    impl MapReduceJob for NoKeySpace {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, _: &[u64], _: &mut Emitter<'_, u64, u64>) {}
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+    }
+
+    fn fill_and_drain(c: &mut JobContainer<'_, Mod5>) -> Vec<(u64, u64)> {
+        for x in 0..50u64 {
+            c.insert(x % 5, 1).unwrap();
+        }
+        let mut out = Vec::new();
+        c.drain_into(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn all_kinds_agree_on_the_same_inserts() {
+        let job = Mod5;
+        let expected: Vec<(u64, u64)> = (0..5).map(|k| (k, 10)).collect();
+        for kind in ContainerKind::ALL {
+            let mut c = JobContainer::for_job(&job, kind, None).unwrap();
+            assert!(c.is_empty());
+            assert_eq!(fill_and_drain(&mut c), expected, "container kind {kind}");
+        }
+    }
+
+    #[test]
+    fn array_requires_key_space() {
+        let job = NoKeySpace;
+        let err = JobContainer::for_job(&job, ContainerKind::Array, None).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsupportedContainer(_)));
+        // ... unless an explicit capacity is supplied.
+        assert!(JobContainer::for_job(&job, ContainerKind::Array, Some(16)).is_ok());
+    }
+
+    #[test]
+    fn fixed_hash_defaults_without_key_space() {
+        let job = NoKeySpace;
+        let mut c = JobContainer::for_job(&job, ContainerKind::FixedHash, None).unwrap();
+        c.insert(1, 1).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn explicit_capacity_overrides_key_space() {
+        let job = Mod5;
+        let mut c = JobContainer::for_job(&job, ContainerKind::FixedHash, Some(2)).unwrap();
+        c.insert(0, 1).unwrap();
+        c.insert(1, 1).unwrap();
+        assert!(c.insert(2, 1).is_err(), "capacity 2 must overflow on the third key");
+    }
+
+    #[test]
+    fn into_inner_exposes_the_container() {
+        let job = Mod5;
+        let mut c = JobContainer::for_job(&job, ContainerKind::Hash, None).unwrap();
+        c.insert(3, 7).unwrap();
+        let inner = c.into_inner();
+        assert_eq!(inner.len(), 1);
+        assert!(matches!(inner, ContainerImpl::Hash(_)));
+    }
+}

@@ -1,0 +1,668 @@
+//! The decoupled map/combine runtime (paper §III, Fig 2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mr_core::{
+    task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer,
+    PushBackoff, RuntimeConfig, RuntimeError,
+};
+use phoenix_mr::{phases, TaskQueues};
+use ramr_containers::JobContainer;
+use ramr_spsc::{BackoffPolicy, Consumer, Producer, SpscQueue};
+use ramr_topology::{pin_current_thread, CpuSlot, MachineModel, PlacementPlan};
+
+/// A job's output paired with the run's [`RunReport`].
+pub type ReportedOutput<J> =
+    (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, RunReport);
+
+/// The write half of one mapper's pipeline queue.
+type PairProducer<J> = Producer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+/// The read half of one mapper's pipeline queue.
+type PairConsumer<J> = Consumer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+
+/// How long an idle combiner sleeps when none of its queues can serve a
+/// batch. Short enough that drain latency is negligible, long enough not to
+/// burn the core its mappers may be sharing.
+const COMBINER_IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// The RAMR runtime: two thread pools, SPSC pipelines, batched combine.
+///
+/// Construct with [`RamrRuntime::new`] (places threads on a model of the
+/// host machine) or [`RamrRuntime::with_machine`] to compute placements for
+/// an explicit [`MachineModel`] — useful for inspecting the pinning policy
+/// on machines you do not have.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct RamrRuntime {
+    config: RuntimeConfig,
+    machine: MachineModel,
+}
+
+impl RamrRuntime {
+    /// Creates a runtime placing threads on a model of the host machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for inconsistent knob
+    /// settings (see [`RuntimeConfig::validate`]).
+    pub fn new(config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Self::with_machine(config, MachineModel::host())
+    }
+
+    /// Creates a runtime computing thread placement against `machine`.
+    ///
+    /// Real pinning (when `config.pin_os_threads` is set) only succeeds for
+    /// CPU ids that exist on the actual host; others are skipped with the
+    /// thread left unpinned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for inconsistent knob
+    /// settings.
+    pub fn with_machine(
+        config: RuntimeConfig,
+        machine: MachineModel,
+    ) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(Self { config, machine })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The machine model used for placement.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// The placement plan this runtime would use (mapper/combiner CPU slots
+    /// and queue assignment), for inspection and reporting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::Placement`] failures.
+    pub fn placement(&self) -> Result<PlacementPlan, RuntimeError> {
+        PlacementPlan::compute(
+            &self.machine,
+            self.config.num_workers,
+            self.config.num_combiners,
+            self.config.pinning.into(),
+        )
+    }
+
+    /// Executes `job` over `input`, returning the key-sorted reduced output.
+    ///
+    /// The map-combine phase runs decoupled: `num_workers` mappers feed
+    /// `num_combiners` combiners through SPSC queues, with batched reads of
+    /// `batch_size` elements and the configured backoff on full queues.
+    /// Reduce and merge then run exactly as in the baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container errors and surfaces worker panics as
+    /// [`RuntimeError::WorkerPanic`].
+    pub fn run<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        self.run_with_report(job, input).map(|(output, _)| output)
+    }
+
+    /// Like [`run`], additionally returning a [`RunReport`] with per-thread
+    /// statistics and the placement plan — the observability surface a
+    /// ratio/batch tuning session needs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`].
+    ///
+    /// [`run`]: RamrRuntime::run
+    pub fn run_with_report<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<ReportedOutput<J>, RuntimeError> {
+        let config = &self.config;
+        let mut stats = PhaseStats::default();
+
+        // --- Input partition phase --------------------------------------
+        let timer = PhaseTimer::start(PhaseKind::Partition);
+        let tasks = task_ranges(input.len(), config.task_size);
+        timer.stop(&mut stats);
+        stats.tasks = tasks.len() as u64;
+
+        let plan = self.placement()?;
+
+        // --- Map-combine phase (decoupled, overlapped) -------------------
+        let timer = PhaseTimer::start(PhaseKind::MapCombine);
+        let backoff = to_backoff(config.push_backoff);
+
+        // One SPSC queue per mapper; consumers grouped per combiner.
+        let mut producers: Vec<Option<PairProducer<J>>> =
+            Vec::with_capacity(config.num_workers);
+        let mut consumers_of: Vec<Vec<PairConsumer<J>>> =
+            (0..config.num_combiners).map(|_| Vec::new()).collect();
+        for mapper in 0..config.num_workers {
+            let (tx, rx) = SpscQueue::with_capacity(config.queue_capacity).split();
+            producers.push(Some(tx));
+            consumers_of[plan.combiner_of_mapper(mapper)].push(rx);
+        }
+
+        // Per-locality-group task queues (paper SIII): a mapper prefers the
+        // queue of the socket it is placed on and steals otherwise.
+        let groups = self.machine.sockets.max(1);
+        let queues = TaskQueues::new(tasks, groups);
+        let group_of_mapper = |m: usize| match plan.mapper_slot(m) {
+            ramr_topology::CpuSlot::Pinned(cpu) => {
+                ramr_topology::physical_position_of(
+                    cpu,
+                    self.machine.sockets,
+                    self.machine.cores_per_socket,
+                    self.machine.smt,
+                )
+                .socket
+            }
+            ramr_topology::CpuSlot::Unpinned => m % groups,
+        };
+        let mapper_stats: Vec<(AtomicU64, AtomicU64)> =
+            (0..config.num_workers).map(|_| Default::default()).collect();
+        let combiner_consumed: Vec<AtomicU64> =
+            (0..config.num_combiners).map(|_| Default::default()).collect();
+
+        let combiner_results: Vec<Result<phases::Pairs<J>, RuntimeError>> =
+            std::thread::scope(|scope| {
+                // Combiner pool (the bottom pool of Fig 2).
+                let combiner_handles: Vec<_> = consumers_of
+                    .into_iter()
+                    .enumerate()
+                    .map(|(c, consumers)| {
+                        let slot = plan.combiner_slot(c);
+                        let pin = config.pin_os_threads;
+                        let consumed = &combiner_consumed[c];
+                        scope.spawn(move || {
+                            maybe_pin(pin, slot);
+                            combiner_loop(job, config, consumers, consumed)
+                        })
+                    })
+                    .collect();
+
+                // General-purpose pool executing the map tasks.
+                let mapper_handles: Vec<_> = producers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(m, tx)| {
+                        let tx = tx.take().expect("producer moved once");
+                        let slot = plan.mapper_slot(m);
+                        let home_group = group_of_mapper(m);
+                        let pin = config.pin_os_threads;
+                        let queues = &queues;
+                        let counters = &mapper_stats[m];
+                        let backoff = &backoff;
+                        scope.spawn(move || {
+                            maybe_pin(pin, slot);
+                            let (emitted, full_events) =
+                                mapper_loop(job, input, queues, home_group, tx, backoff);
+                            counters.0.store(emitted, Ordering::Relaxed);
+                            counters.1.store(full_events, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+
+                // Join mappers first: dropping each producer closes its
+                // queue, which is the combiners' end-of-map notification.
+                let mut mapper_panic: Option<RuntimeError> = None;
+                for h in mapper_handles {
+                    if let Err(panic) = h.join() {
+                        mapper_panic
+                            .get_or_insert(RuntimeError::WorkerPanic(phases::panic_message(
+                                &*panic,
+                            )));
+                    }
+                }
+
+                let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> =
+                    combiner_handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|panic| {
+                                Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
+                            })
+                        })
+                        .collect();
+                if let Some(e) = mapper_panic {
+                    results.insert(0, Err(e));
+                }
+                results
+            });
+
+        let mut partials = Vec::with_capacity(combiner_results.len());
+        for result in combiner_results {
+            partials.push(result?);
+        }
+        let emitted_per_mapper: Vec<u64> =
+            mapper_stats.iter().map(|(e, _)| e.load(Ordering::Relaxed)).collect();
+        let full_events_per_mapper: Vec<u64> =
+            mapper_stats.iter().map(|(_, f)| f.load(Ordering::Relaxed)).collect();
+        let consumed_per_combiner: Vec<u64> =
+            combiner_consumed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        stats.emitted = emitted_per_mapper.iter().sum();
+        stats.queue_full_events = full_events_per_mapper.iter().sum();
+        timer.stop(&mut stats);
+
+        // --- Reduce phase (unchanged from the baseline) -------------------
+        let timer = PhaseTimer::start(PhaseKind::Reduce);
+        let buckets = phases::bucket_by_key::<J>(partials, config.num_reducers);
+        let runs = phases::reduce_parallel(job, buckets)?;
+        timer.stop(&mut stats);
+
+        // --- Merge phase ---------------------------------------------------
+        let timer = PhaseTimer::start(PhaseKind::Merge);
+        let merged = phases::merge_sorted_runs(runs);
+        timer.stop(&mut stats);
+
+        stats.output_keys = merged.len() as u64;
+        let report = RunReport {
+            plan,
+            emitted_per_mapper,
+            full_events_per_mapper,
+            consumed_per_combiner,
+        };
+        Ok((JobOutput::from_unsorted(merged, stats), report))
+    }
+}
+
+/// Per-thread statistics of one decoupled invocation.
+///
+/// The quantities a tuning session needs: whether any mapper's queue kept
+/// filling up (raise the combiner pool or the queue capacity), whether one
+/// combiner consumed far more than its peers (skewed queue assignment), and
+/// the placement the run actually used.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The placement plan the run used.
+    pub plan: PlacementPlan,
+    /// Pairs emitted by each mapper.
+    pub emitted_per_mapper: Vec<u64>,
+    /// Failed-push (queue full) events per mapper.
+    pub full_events_per_mapper: Vec<u64>,
+    /// Pairs consumed by each combiner.
+    pub consumed_per_combiner: Vec<u64>,
+}
+
+impl RunReport {
+    /// Ratio of the most- to least-loaded combiner (1.0 = perfectly even).
+    /// Returns `None` when any combiner consumed nothing.
+    pub fn combiner_imbalance(&self) -> Option<f64> {
+        let max = *self.consumed_per_combiner.iter().max()?;
+        let min = *self.consumed_per_combiner.iter().min()?;
+        if min == 0 {
+            None
+        } else {
+            Some(max as f64 / min as f64)
+        }
+    }
+
+    /// Fraction of emitted pairs whose push initially failed — the queue
+    /// back-pressure indicator.
+    pub fn back_pressure(&self) -> f64 {
+        let emitted: u64 = self.emitted_per_mapper.iter().sum();
+        let failed: u64 = self.full_events_per_mapper.iter().sum();
+        if emitted == 0 {
+            0.0
+        } else {
+            failed as f64 / emitted as f64
+        }
+    }
+}
+
+fn to_backoff(backoff: PushBackoff) -> BackoffPolicy {
+    match backoff {
+        PushBackoff::BusyWait => BackoffPolicy::BusyWait,
+        PushBackoff::SpinThenSleep { spins, sleep } => BackoffPolicy::SpinThenSleep { spins, sleep },
+    }
+}
+
+fn maybe_pin(enabled: bool, slot: CpuSlot) {
+    if enabled {
+        if let CpuSlot::Pinned(cpu) = slot {
+            // Best-effort: the plan may target a machine model larger than
+            // the actual host.
+            let _ = pin_current_thread(cpu);
+        }
+    }
+}
+
+/// One mapper's loop: pull tasks from the locality-grouped queues, map,
+/// push every emission into this mapper's SPSC queue. Returns
+/// `(pairs emitted, failed-push events)`.
+fn mapper_loop<J: MapReduceJob>(
+    job: &J,
+    input: &[J::Input],
+    queues: &TaskQueues,
+    home_group: usize,
+    mut tx: PairProducer<J>,
+    backoff: &BackoffPolicy,
+) -> (u64, u64) {
+    let mut emitted = 0u64;
+    let mut full_events = 0u64;
+    while let Some(task) = queues.claim(home_group) {
+        let mut sink = |key: J::Key, value: J::Value| {
+            // Pushes must always succeed: discarding or overwriting
+            // elements would violate correctness (paper §III-A).
+            full_events += tx.push_with_backoff((key, value), backoff);
+        };
+        let mut emitter = Emitter::new(&mut sink);
+        job.map(&input[task.start..task.end], &mut emitter);
+        emitted += emitter.emitted();
+    }
+    // `tx` drops here: the queue closes, notifying the combiner that this
+    // mapper is done.
+    (emitted, full_events)
+}
+
+/// One combiner's loop: round-robin over its assigned queues, consuming
+/// full batches while mappers run, then draining remainders after the map
+/// phase ends.
+fn combiner_loop<J: MapReduceJob>(
+    job: &J,
+    config: &RuntimeConfig,
+    mut consumers: Vec<PairConsumer<J>>,
+    consumed_counter: &AtomicU64,
+) -> Result<phases::Pairs<J>, RuntimeError> {
+    let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
+    let mut first_error: Option<RuntimeError> = None;
+    let mut total_consumed = 0u64;
+    let batch = config.batch_size;
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for rx in &mut consumers {
+            // Read the close flag BEFORE consuming: a queue observed closed
+            // and then drained to empty can never produce again (the
+            // producer's pushes all happen before its drop).
+            let closed = rx.is_closed();
+            let mut insert = |pair: (J::Key, J::Value)| {
+                if first_error.is_none() {
+                    // A panic in the job's combine function must not kill
+                    // this thread: its queues would never drain and the
+                    // blocked mappers would never terminate. Contain it,
+                    // keep consuming (discarding), and report at the end.
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || container.insert(pair.0, pair.1),
+                    ));
+                    match attempt {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => first_error = Some(e),
+                        Err(panic) => {
+                            first_error = Some(RuntimeError::WorkerPanic(
+                                phases::panic_message(&*panic),
+                            ));
+                        }
+                    }
+                }
+            };
+            let consumed = if closed {
+                // End of map phase for this queue: consume any remaining
+                // data, batch by batch, partial batches included.
+                rx.pop_batch(batch, &mut insert)
+            } else {
+                // Mappers still running: prefer full batches (paper §III-A,
+                // "the buffer is divided into blocks of elements that are
+                // processed contiguously").
+                if rx.pop_batch_exact(batch, &mut insert) { batch } else { 0 }
+            };
+            if consumed > 0 {
+                total_consumed += consumed as u64;
+                progressed = true;
+            }
+            if !(closed && rx.is_empty()) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            // Nothing to do yet: sleep instead of burning the core a
+            // co-located mapper may need.
+            std::thread::sleep(COMBINER_IDLE_SLEEP);
+        }
+    }
+    consumed_counter.store(total_consumed, Ordering::Relaxed);
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let mut pairs = Vec::new();
+    container.drain_into(&mut pairs);
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::ContainerKind;
+
+    struct Mod9;
+
+    impl MapReduceJob for Mod9 {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x % 9, x);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(9)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+
+        fn name(&self) -> &str {
+            "mod9"
+        }
+    }
+
+    fn reference(input: &[u64]) -> Vec<(u64, u64)> {
+        let mut sums = std::collections::BTreeMap::new();
+        for &x in input {
+            *sums.entry(x % 9).or_insert(0u64) += x;
+        }
+        sums.into_iter().collect()
+    }
+
+    fn config(workers: usize, combiners: usize) -> RuntimeConfig {
+        RuntimeConfig::builder()
+            .num_workers(workers)
+            .num_combiners(combiners)
+            .task_size(17)
+            .queue_capacity(64)
+            .batch_size(8)
+            .num_reducers(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let input: Vec<u64> = (1..=20_000).collect();
+        let rt = RamrRuntime::new(config(4, 2)).unwrap();
+        let out = rt.run(&Mod9, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+    }
+
+    #[test]
+    fn all_container_kinds_agree() {
+        let input: Vec<u64> = (0..5000).map(|i| i * 31 % 4096).collect();
+        let expected = reference(&input);
+        for kind in ContainerKind::ALL {
+            let mut cfg = config(3, 3);
+            cfg.container = kind;
+            let out = RamrRuntime::new(cfg).unwrap().run(&Mod9, &input).unwrap();
+            assert_eq!(out.pairs, expected, "container {kind}");
+        }
+    }
+
+    #[test]
+    fn ratio_sweep_preserves_results() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let expected = reference(&input);
+        for (workers, combiners) in [(1, 1), (2, 1), (3, 1), (4, 2), (6, 2), (8, 8)] {
+            let out =
+                RamrRuntime::new(config(workers, combiners)).unwrap().run(&Mod9, &input).unwrap();
+            assert_eq!(out.pairs, expected, "workers={workers} combiners={combiners}");
+        }
+    }
+
+    #[test]
+    fn batch_size_sweep_preserves_results() {
+        let input: Vec<u64> = (0..8000).collect();
+        let expected = reference(&input);
+        for batch in [1usize, 2, 7, 16, 33, 64] {
+            let mut cfg = config(4, 2);
+            cfg.batch_size = batch;
+            let out = RamrRuntime::new(cfg).unwrap().run(&Mod9, &input).unwrap();
+            assert_eq!(out.pairs, expected, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn tiny_queue_capacity_forces_blocking_but_stays_correct() {
+        let input: Vec<u64> = (0..5000).collect();
+        let mut cfg = config(4, 1);
+        cfg.queue_capacity = 2;
+        cfg.batch_size = 2;
+        let out = RamrRuntime::new(cfg).unwrap().run(&Mod9, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+        assert!(
+            out.stats.queue_full_events > 0,
+            "a 2-element queue must overflow with 5000 pushes"
+        );
+    }
+
+    #[test]
+    fn busy_wait_backoff_is_also_correct() {
+        let input: Vec<u64> = (0..3000).collect();
+        let mut cfg = config(2, 1);
+        cfg.queue_capacity = 4;
+        cfg.batch_size = 4;
+        cfg.push_backoff = PushBackoff::BusyWait;
+        let out = RamrRuntime::new(cfg).unwrap().run(&Mod9, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+    }
+
+    #[test]
+    fn empty_input_terminates_cleanly() {
+        let rt = RamrRuntime::new(config(4, 2)).unwrap();
+        let out = rt.run(&Mod9, &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.stats.emitted, 0);
+    }
+
+    #[test]
+    fn mapper_panic_is_surfaced_and_does_not_hang() {
+        struct Panics;
+        impl MapReduceJob for Panics {
+            type Input = u64;
+            type Key = u64;
+            type Value = u64;
+            fn map(&self, _: &[u64], _: &mut Emitter<'_, u64, u64>) {
+                panic!("mapper exploded");
+            }
+            fn combine(&self, _: &mut u64, _: u64) {}
+            fn key_space(&self) -> Option<usize> {
+                Some(1)
+            }
+            fn key_index(&self, _: &u64) -> usize {
+                0
+            }
+        }
+        let err = RamrRuntime::new(config(2, 1)).unwrap().run(&Panics, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("mapper exploded")));
+    }
+
+    #[test]
+    fn container_overflow_drains_pipeline_and_reports() {
+        let mut cfg = config(4, 2);
+        cfg.container = ContainerKind::FixedHash;
+        cfg.fixed_capacity = Some(2);
+        let input: Vec<u64> = (0..10_000).collect(); // 9 distinct keys > 2
+        let err = RamrRuntime::new(cfg).unwrap().run(&Mod9, &input).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 2, .. }));
+    }
+
+    #[test]
+    fn placement_is_inspectable() {
+        let rt = RamrRuntime::with_machine(config(8, 4), MachineModel::fig3_demo()).unwrap();
+        let plan = rt.placement().unwrap();
+        assert_eq!(plan.num_mappers(), 8);
+        assert_eq!(plan.num_combiners(), 4);
+        assert_eq!(rt.machine().name, "fig3-demo");
+    }
+
+    #[test]
+    fn stats_report_phase_times_and_counters() {
+        let input: Vec<u64> = (0..50_000).collect();
+        let out = RamrRuntime::new(config(4, 2)).unwrap().run(&Mod9, &input).unwrap();
+        assert_eq!(out.stats.emitted, 50_000);
+        assert_eq!(out.stats.output_keys, 9);
+        assert!(out.stats.map_combine > Duration::ZERO);
+        // The map-combine phase dominates for this job shape (Fig 1).
+        assert!(out.stats.fraction(PhaseKind::MapCombine) > 0.3);
+    }
+
+    #[test]
+    fn run_report_accounts_for_every_pair() {
+        let input: Vec<u64> = (0..40_000).collect();
+        let rt = RamrRuntime::new(config(4, 2)).unwrap();
+        let (out, report) = rt.run_with_report(&Mod9, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+        assert_eq!(report.emitted_per_mapper.len(), 4);
+        assert_eq!(report.consumed_per_combiner.len(), 2);
+        let emitted: u64 = report.emitted_per_mapper.iter().sum();
+        let consumed: u64 = report.consumed_per_combiner.iter().sum();
+        assert_eq!(emitted, 40_000, "every input element emits once");
+        assert_eq!(consumed, emitted, "conservation: all pairs consumed");
+        assert!(report.back_pressure() >= 0.0);
+        assert_eq!(report.plan.num_mappers(), 4);
+    }
+
+    #[test]
+    fn run_report_flags_back_pressure_on_tiny_queues() {
+        let input: Vec<u64> = (0..20_000).collect();
+        let mut cfg = config(4, 1);
+        cfg.queue_capacity = 2;
+        cfg.batch_size = 2;
+        let (_, report) =
+            RamrRuntime::new(cfg).unwrap().run_with_report(&Mod9, &input).unwrap();
+        assert!(report.back_pressure() > 0.0, "2-slot queues must report back-pressure");
+        if let Some(imbalance) = report.combiner_imbalance() {
+            assert!(imbalance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn agrees_with_phoenix_baseline() {
+        let input: Vec<u64> = (0..30_000).map(|i| i * 7 % 10_000).collect();
+        let ramr_out = RamrRuntime::new(config(4, 2)).unwrap().run(&Mod9, &input).unwrap();
+        let phoenix_out = phoenix_mr::PhoenixRuntime::new(config(4, 4))
+            .unwrap()
+            .run(&Mod9, &input)
+            .unwrap();
+        assert_eq!(ramr_out.pairs, phoenix_out.pairs);
+    }
+}

@@ -1,0 +1,5 @@
+//! Carrier package for the repository-level integration tests in `/tests`.
+//!
+//! See the `[[test]]` entries in this package's `Cargo.toml`: each points at
+//! a file under the repository root's `tests/` directory, spanning every
+//! crate in the workspace.

@@ -1,0 +1,469 @@
+//! Runtime configuration: the tuning knobs §III of the paper exposes.
+
+use std::time::Duration;
+
+use crate::RuntimeError;
+
+/// Which intermediate container each worker/combiner allocates.
+///
+/// Mirrors the Phoenix++ modular-container design: the paper's default is a
+/// thread-local **fixed array** for every application whose key range is
+/// known a priori, and a **hash table** for Word Count; the "stressed" runs
+/// of Figs 8b/9b/10b switch to fixed-size hash tables (HG, KM, LR, WC) and
+/// regular hash tables (MM, PCA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ContainerKind {
+    /// Dense array over a key space known a priori; the fastest option.
+    Array,
+    /// Growable open-addressing hash table for arbitrary key sets.
+    Hash,
+    /// Fixed-capacity open-addressing hash table: hash cost without resize
+    /// cost, overflow is a runtime error.
+    FixedHash,
+}
+
+impl ContainerKind {
+    /// All container kinds, for configuration sweeps.
+    pub const ALL: [ContainerKind; 3] =
+        [ContainerKind::Array, ContainerKind::Hash, ContainerKind::FixedHash];
+}
+
+impl std::fmt::Display for ContainerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ContainerKind::Array => "array",
+            ContainerKind::Hash => "hash",
+            ContainerKind::FixedHash => "fixed-hash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Thread-to-CPU placement policy (paper §III-B and §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PinningPolicyKind {
+    /// RAMR's contention-aware policy: each combiner is placed on logical
+    /// cores contiguous (in remapped physical order) with its assigned
+    /// mappers, so mapper→combiner traffic flows through the closest shared
+    /// cache and complementary phases share a physical core.
+    Ramr,
+    /// Round-robin over logical CPU ids, role-oblivious.
+    RoundRobin,
+    /// No pinning: threads migrate at the whim of the OS scheduler.
+    OsDefault,
+}
+
+impl PinningPolicyKind {
+    /// All policies, for comparison sweeps (Fig 5).
+    pub const ALL: [PinningPolicyKind; 3] = [
+        PinningPolicyKind::Ramr,
+        PinningPolicyKind::RoundRobin,
+        PinningPolicyKind::OsDefault,
+    ];
+}
+
+impl std::fmt::Display for PinningPolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PinningPolicyKind::Ramr => "ramr",
+            PinningPolicyKind::RoundRobin => "round-robin",
+            PinningPolicyKind::OsDefault => "os-default",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a mapper does when a push to a full SPSC queue fails.
+///
+/// The paper found that letting mappers sleep after a failed trial improves
+/// runtime over the original busy-wait loop ("Sleep on failed push").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PushBackoff {
+    /// Spin forever; burns the CPU the paired combiner may need.
+    BusyWait,
+    /// Spin `spins` times, then park for `sleep` until space frees up.
+    SpinThenSleep {
+        /// Spin iterations before the first sleep.
+        spins: u32,
+        /// Sleep duration between retries once spinning is exhausted.
+        sleep: Duration,
+    },
+}
+
+impl PushBackoff {
+    /// The paper's preferred setting.
+    pub const fn default_sleep() -> Self {
+        PushBackoff::SpinThenSleep { spins: 64, sleep: Duration::from_micros(50) }
+    }
+}
+
+impl Default for PushBackoff {
+    fn default() -> Self {
+        Self::default_sleep()
+    }
+}
+
+/// Complete tuning surface for a runtime invocation.
+///
+/// Defaults follow the paper: queue capacity 5000 (within 2% of optimal
+/// across all test-cases), batch size 1000 (the Haswell optimum), a 1:1
+/// mapper/combiner ratio, sleep-on-failed-push, and the RAMR pinning policy.
+///
+/// Every field is public so harnesses can sweep it; use
+/// [`RuntimeConfig::builder`] for validated construction and
+/// [`RuntimeConfig::from_env`] for the environment-variable tuning interface
+/// the paper mentions.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuntimeConfig {
+    /// Size of the general-purpose pool executing map, reduce and merge
+    /// tasks (the paper's "top pool").
+    pub num_workers: usize,
+    /// Size of the combiner pool; must be ≤ `num_workers`. The
+    /// mapper/combiner ratio is `num_workers / num_combiners`.
+    pub num_combiners: usize,
+    /// Input elements per map task. Large tasks load-balance poorly; small
+    /// tasks pay library overhead (paper §III).
+    pub task_size: usize,
+    /// Capacity of each mapper→combiner SPSC queue, in elements.
+    pub queue_capacity: usize,
+    /// Elements consumed per batched read (paper §III-A, §IV-C). A batch
+    /// size of 1 degenerates to element-wise consumption.
+    pub batch_size: usize,
+    /// Intermediate container allocated per worker/combiner.
+    pub container: ContainerKind,
+    /// Thread placement policy.
+    pub pinning: PinningPolicyKind,
+    /// Behaviour of mappers on a full queue.
+    pub push_backoff: PushBackoff,
+    /// Whether to actually invoke `sched_setaffinity`. Disabled by default
+    /// so tests behave identically on constrained CI machines; the placement
+    /// plan is still computed and reported.
+    pub pin_os_threads: bool,
+    /// Number of reduce partitions; defaults to `num_workers`.
+    pub num_reducers: usize,
+    /// Capacity used for fixed-size containers (array fallback for hash
+    /// kinds); `None` derives it from the job's `key_space`.
+    pub fixed_capacity: Option<usize>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            num_workers: workers,
+            num_combiners: workers,
+            task_size: 4096,
+            queue_capacity: 5000,
+            batch_size: 1000,
+            container: ContainerKind::Array,
+            pinning: PinningPolicyKind::Ramr,
+            push_backoff: PushBackoff::default(),
+            pin_os_threads: false,
+            num_reducers: workers,
+            fixed_capacity: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { config: Self::default() }
+    }
+
+    /// Mapper-to-combiner ratio implied by the pool sizes, rounded up.
+    ///
+    /// A workload with equal map and combine throughput wants ratio 1; a
+    /// light combine lets one combiner serve several mappers (Fig 4).
+    pub fn mapper_combiner_ratio(&self) -> usize {
+        self.num_workers.div_ceil(self.num_combiners.max(1))
+    }
+
+    /// Reads overrides from `RAMR_*` environment variables, mirroring the
+    /// paper's "finely tuned via a set of environmental variables".
+    ///
+    /// Recognized: `RAMR_WORKERS`, `RAMR_COMBINERS`, `RAMR_TASK_SIZE`,
+    /// `RAMR_QUEUE_CAPACITY`, `RAMR_BATCH_SIZE`, `RAMR_CONTAINER`
+    /// (`array|hash|fixed-hash`), `RAMR_PINNING`
+    /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS` (`0|1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when a variable is present but
+    /// unparsable, or when the resulting configuration is inconsistent.
+    pub fn from_env() -> Result<Self, RuntimeError> {
+        let mut b = Self::builder();
+        fn parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, RuntimeError> {
+            match std::env::var(name) {
+                Ok(s) => s.parse::<T>().map(Some).map_err(|_| {
+                    RuntimeError::InvalidConfig(format!("cannot parse {name}={s}"))
+                }),
+                Err(_) => Ok(None),
+            }
+        }
+        if let Some(n) = parse::<usize>("RAMR_WORKERS")? {
+            b = b.num_workers(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_COMBINERS")? {
+            b = b.num_combiners(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_TASK_SIZE")? {
+            b = b.task_size(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_QUEUE_CAPACITY")? {
+            b = b.queue_capacity(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_BATCH_SIZE")? {
+            b = b.batch_size(n);
+        }
+        if let Some(s) = parse::<String>("RAMR_CONTAINER")? {
+            b = b.container(match s.as_str() {
+                "array" => ContainerKind::Array,
+                "hash" => ContainerKind::Hash,
+                "fixed-hash" => ContainerKind::FixedHash,
+                other => {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "unknown container kind {other:?}"
+                    )))
+                }
+            });
+        }
+        if let Some(s) = parse::<String>("RAMR_PINNING")? {
+            b = b.pinning(match s.as_str() {
+                "ramr" => PinningPolicyKind::Ramr,
+                "round-robin" => PinningPolicyKind::RoundRobin,
+                "os-default" => PinningPolicyKind::OsDefault,
+                other => {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "unknown pinning policy {other:?}"
+                    )))
+                }
+            });
+        }
+        if let Some(n) = parse::<u8>("RAMR_PIN_THREADS")? {
+            b = b.pin_os_threads(n != 0);
+        }
+        b.build()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when any pool or sizing knob
+    /// is zero, or when the combiner pool exceeds the general-purpose pool.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        fn nonzero(value: usize, what: &str) -> Result<(), RuntimeError> {
+            if value == 0 {
+                Err(RuntimeError::InvalidConfig(format!("{what} must be nonzero")))
+            } else {
+                Ok(())
+            }
+        }
+        nonzero(self.num_workers, "num_workers")?;
+        nonzero(self.num_combiners, "num_combiners")?;
+        nonzero(self.task_size, "task_size")?;
+        nonzero(self.queue_capacity, "queue_capacity")?;
+        nonzero(self.batch_size, "batch_size")?;
+        nonzero(self.num_reducers, "num_reducers")?;
+        if self.num_combiners > self.num_workers {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "combiner pool ({}) larger than general-purpose pool ({}); the paper requires \
+                 a less or equal number of combine workers",
+                self.num_combiners, self.num_workers
+            )));
+        }
+        if self.batch_size > self.queue_capacity {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "batch_size ({}) exceeds queue_capacity ({}); a batch could never fill",
+                self.batch_size, self.queue_capacity
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RuntimeConfig`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the general-purpose pool size.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.config.num_workers = n;
+        self
+    }
+
+    /// Sets the combiner pool size.
+    pub fn num_combiners(mut self, n: usize) -> Self {
+        self.config.num_combiners = n;
+        self
+    }
+
+    /// Sets input elements per map task.
+    pub fn task_size(mut self, n: usize) -> Self {
+        self.config.task_size = n;
+        self
+    }
+
+    /// Sets per-queue capacity in elements.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// Sets the batched-consume block size.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n;
+        self
+    }
+
+    /// Sets the intermediate container kind.
+    pub fn container(mut self, kind: ContainerKind) -> Self {
+        self.config.container = kind;
+        self
+    }
+
+    /// Sets the pinning policy.
+    pub fn pinning(mut self, policy: PinningPolicyKind) -> Self {
+        self.config.pinning = policy;
+        self
+    }
+
+    /// Sets the full-queue backoff behaviour.
+    pub fn push_backoff(mut self, backoff: PushBackoff) -> Self {
+        self.config.push_backoff = backoff;
+        self
+    }
+
+    /// Enables or disables real OS-level thread pinning.
+    pub fn pin_os_threads(mut self, pin: bool) -> Self {
+        self.config.pin_os_threads = pin;
+        self
+    }
+
+    /// Sets the number of reduce partitions.
+    pub fn num_reducers(mut self, n: usize) -> Self {
+        self.config.num_reducers = n;
+        self
+    }
+
+    /// Sets the capacity for fixed-size containers.
+    pub fn fixed_capacity(mut self, n: usize) -> Self {
+        self.config.fixed_capacity = Some(n);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeConfig::validate`] failures.
+    pub fn build(self) -> Result<RuntimeConfig, RuntimeError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        RuntimeConfig::default().validate().expect("default config must validate");
+    }
+
+    #[test]
+    fn builder_round_trips_fields() {
+        let c = RuntimeConfig::builder()
+            .num_workers(8)
+            .num_combiners(4)
+            .task_size(100)
+            .queue_capacity(5000)
+            .batch_size(250)
+            .container(ContainerKind::Hash)
+            .pinning(PinningPolicyKind::RoundRobin)
+            .num_reducers(3)
+            .fixed_capacity(777)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_workers, 8);
+        assert_eq!(c.num_combiners, 4);
+        assert_eq!(c.mapper_combiner_ratio(), 2);
+        assert_eq!(c.task_size, 100);
+        assert_eq!(c.batch_size, 250);
+        assert_eq!(c.container, ContainerKind::Hash);
+        assert_eq!(c.pinning, PinningPolicyKind::RoundRobin);
+        assert_eq!(c.num_reducers, 3);
+        assert_eq!(c.fixed_capacity, Some(777));
+    }
+
+    #[test]
+    fn rejects_zero_knobs() {
+        for build in [
+            RuntimeConfig::builder().num_workers(0).build(),
+            RuntimeConfig::builder().num_workers(1).num_combiners(0).build(),
+            RuntimeConfig::builder().task_size(0).build(),
+            RuntimeConfig::builder().queue_capacity(0).build(),
+            RuntimeConfig::builder().batch_size(0).build(),
+            RuntimeConfig::builder().num_reducers(0).build(),
+        ] {
+            assert!(build.is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_more_combiners_than_workers() {
+        let err = RuntimeConfig::builder().num_workers(2).num_combiners(3).build().unwrap_err();
+        assert!(err.to_string().contains("combiner pool"));
+    }
+
+    #[test]
+    fn rejects_batch_larger_than_queue() {
+        let err =
+            RuntimeConfig::builder().queue_capacity(10).batch_size(11).build().unwrap_err();
+        assert!(err.to_string().contains("batch_size"));
+    }
+
+    #[test]
+    fn ratio_rounds_up() {
+        let c = RuntimeConfig::builder().num_workers(7).num_combiners(2).build().unwrap();
+        assert_eq!(c.mapper_combiner_ratio(), 4);
+    }
+
+    #[test]
+    fn container_kind_display() {
+        assert_eq!(ContainerKind::Array.to_string(), "array");
+        assert_eq!(ContainerKind::Hash.to_string(), "hash");
+        assert_eq!(ContainerKind::FixedHash.to_string(), "fixed-hash");
+    }
+
+    #[test]
+    fn pinning_policy_display() {
+        assert_eq!(PinningPolicyKind::Ramr.to_string(), "ramr");
+        assert_eq!(PinningPolicyKind::RoundRobin.to_string(), "round-robin");
+        assert_eq!(PinningPolicyKind::OsDefault.to_string(), "os-default");
+    }
+
+    #[test]
+    fn from_env_reads_overrides() {
+        // Serialize env mutation: tests run concurrently in one process.
+        static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_TASK_SIZE", "123");
+        std::env::set_var("RAMR_CONTAINER", "fixed-hash");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_TASK_SIZE");
+        std::env::remove_var("RAMR_CONTAINER");
+        assert_eq!(c.task_size, 123);
+        assert_eq!(c.container, ContainerKind::FixedHash);
+
+        std::env::set_var("RAMR_PINNING", "bogus");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_PINNING");
+        assert!(err.to_string().contains("bogus"));
+    }
+}

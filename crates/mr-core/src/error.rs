@@ -1,0 +1,69 @@
+//! The workspace-wide runtime error type.
+
+use std::fmt;
+
+/// Errors surfaced by MapReduce runtimes and their substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A configuration knob was inconsistent or unparsable.
+    InvalidConfig(String),
+    /// A job declared `key_space = Some(n)` but emitted a key whose index
+    /// fell outside `0..n`, or a fixed-capacity container overflowed.
+    ContainerOverflow {
+        /// Container capacity at the time of overflow.
+        capacity: usize,
+        /// Human-readable detail (offending index or load factor).
+        detail: String,
+    },
+    /// The requested container kind cannot serve this job (e.g. an array
+    /// container for a job without a declared key space).
+    UnsupportedContainer(String),
+    /// A worker thread panicked; the payload is its panic message.
+    WorkerPanic(String),
+    /// The placement plan could not be computed for the machine model.
+    Placement(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RuntimeError::ContainerOverflow { capacity, detail } => {
+                write!(f, "container overflow at capacity {capacity}: {detail}")
+            }
+            RuntimeError::UnsupportedContainer(msg) => {
+                write!(f, "unsupported container for this job: {msg}")
+            }
+            RuntimeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            RuntimeError::Placement(msg) => write!(f, "cannot compute placement: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = RuntimeError::InvalidConfig("task_size must be nonzero".into());
+        assert_eq!(e.to_string(), "invalid configuration: task_size must be nonzero");
+        let e = RuntimeError::ContainerOverflow { capacity: 8, detail: "index 9".into() };
+        assert!(e.to_string().contains("capacity 8"));
+        let e = RuntimeError::UnsupportedContainer("no key_space".into());
+        assert!(e.to_string().contains("unsupported container"));
+        let e = RuntimeError::WorkerPanic("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e = RuntimeError::Placement("zero cpus".into());
+        assert!(e.to_string().contains("placement"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

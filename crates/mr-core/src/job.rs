@@ -1,0 +1,205 @@
+//! The [`MapReduceJob`] trait and the [`Emitter`] handed to map functions.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Marker trait bundle for intermediate keys.
+///
+/// Keys must be hashable (hash containers), orderable (merge phase produces
+/// key-sorted output, as in Phoenix++), cloneable (keys cross the
+/// mapper/combiner boundary and appear in several thread-local containers)
+/// and sendable across threads.
+pub trait MrKey: Eq + Hash + Ord + Clone + Send + Sync + Debug + 'static {}
+
+impl<T> MrKey for T where T: Eq + Hash + Ord + Clone + Send + Sync + Debug + 'static {}
+
+/// Marker trait bundle for intermediate values.
+pub trait MrValue: Clone + Send + Sync + Debug + 'static {}
+
+impl<T> MrValue for T where T: Clone + Send + Sync + Debug + 'static {}
+
+/// Sink for intermediate key-value pairs produced by a map function.
+///
+/// In the Phoenix++-style baseline the emitter combines pairs directly into
+/// the worker's thread-local container; in RAMR it pushes them into the
+/// mapper's SPSC queue toward its assigned combiner. Map functions are
+/// agnostic to the difference.
+///
+/// The emitter counts emissions so runtimes can report throughput statistics
+/// without requiring cooperation from the job.
+pub struct Emitter<'a, K, V> {
+    sink: &'a mut dyn FnMut(K, V),
+    emitted: u64,
+}
+
+impl<K, V> Debug for Emitter<'_, K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Emitter")
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, K, V> Emitter<'a, K, V> {
+    /// Creates an emitter forwarding pairs into `sink`.
+    ///
+    /// Runtimes construct one emitter per map task; applications only consume
+    /// the emitter they are handed.
+    pub fn new(sink: &'a mut dyn FnMut(K, V)) -> Self {
+        Self { sink, emitted: 0 }
+    }
+
+    /// Emits one intermediate key-value pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted += 1;
+        (self.sink)(key, value);
+    }
+
+    /// Number of pairs emitted through this emitter so far.
+    #[inline]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// A shared-memory MapReduce job in the Phoenix++ / RAMR mould.
+///
+/// Implementations provide a `map` function over a slice of input elements
+/// (one *task*, sized by [`RuntimeConfig::task_size`]), an associative and
+/// commutative `combine` folding a new value into an accumulator, and
+/// optionally a `reduce` that post-processes the per-key combined value.
+///
+/// Jobs whose key space is dense and known a priori (all paper applications
+/// except Word Count) additionally implement [`key_space`] and [`key_index`]
+/// so runtimes can use the fixed **array container** — the paper's default.
+///
+/// # Correctness contract
+///
+/// `combine` must be associative and commutative with respect to the order
+/// values are folded: both runtimes fold values in nondeterministic
+/// inter-thread order, and the differential test suite asserts that the two
+/// runtimes agree, which only holds for conforming jobs. Floating-point jobs
+/// get bitwise-nondeterministic but numerically stable results; tests compare
+/// those with a tolerance.
+///
+/// [`RuntimeConfig::task_size`]: crate::RuntimeConfig::task_size
+/// [`key_space`]: MapReduceJob::key_space
+/// [`key_index`]: MapReduceJob::key_index
+pub trait MapReduceJob: Sync {
+    /// One element of the input collection. A map task receives a slice of
+    /// these.
+    type Input: Send + Sync;
+    /// Intermediate key type.
+    type Key: MrKey;
+    /// Intermediate value type.
+    type Value: MrValue;
+
+    /// Applies the map function to one task (a slice of input elements),
+    /// emitting intermediate pairs through `emit`.
+    fn map(&self, task: &[Self::Input], emit: &mut Emitter<'_, Self::Key, Self::Value>);
+
+    /// Folds `incoming` into the accumulator `acc` for the same key.
+    ///
+    /// Must be associative and commutative (see the trait-level contract).
+    fn combine(&self, acc: &mut Self::Value, incoming: Self::Value);
+
+    /// Reduces the fully combined value for `key` into the final value.
+    ///
+    /// After the map-combine phase each key holds one partial value per
+    /// container that saw it; the runtime folds those with [`combine`] and
+    /// then applies `reduce` once. The default is the identity, which is the
+    /// common case when combiners have already done the reducers' work (the
+    /// very situation the paper exploits by overlapping map with combine
+    /// rather than map with reduce).
+    ///
+    /// [`combine`]: MapReduceJob::combine
+    fn reduce(&self, key: &Self::Key, combined: Self::Value) -> Self::Value {
+        let _ = key;
+        combined
+    }
+
+    /// Size of the dense key space, if known a priori.
+    ///
+    /// Returning `Some(n)` promises that [`key_index`] maps every emitted key
+    /// injectively into `0..n`, enabling the array container.
+    ///
+    /// [`key_index`]: MapReduceJob::key_index
+    fn key_space(&self) -> Option<usize> {
+        None
+    }
+
+    /// Maps a key to its dense index in `0..key_space()`.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics; jobs returning `Some` from
+    /// [`key_space`] must override it.
+    ///
+    /// [`key_space`]: MapReduceJob::key_space
+    fn key_index(&self, key: &Self::Key) -> usize {
+        let _ = key;
+        unimplemented!("key_index requires a job with a declared key_space")
+    }
+
+    /// Human-readable job name used in statistics and reports.
+    fn name(&self) -> &str {
+        "unnamed-job"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+
+    impl MapReduceJob for Sum {
+        type Input = u32;
+        type Key = u32;
+        type Value = u64;
+
+        fn map(&self, task: &[u32], emit: &mut Emitter<'_, u32, u64>) {
+            for &x in task {
+                emit.emit(x % 4, u64::from(x));
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, incoming: u64) {
+            *acc += incoming;
+        }
+    }
+
+    #[test]
+    fn emitter_counts_emissions() {
+        let mut seen = Vec::new();
+        let mut sink = |k: u32, v: u64| seen.push((k, v));
+        let mut emitter = Emitter::new(&mut sink);
+        Sum.map(&[1, 2, 3], &mut emitter);
+        assert_eq!(emitter.emitted(), 3);
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn default_reduce_is_identity() {
+        assert_eq!(Sum.reduce(&7, 42), 42);
+    }
+
+    #[test]
+    fn default_key_space_is_none() {
+        assert!(Sum.key_space().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "key_index requires")]
+    fn default_key_index_panics() {
+        let _ = Sum.key_index(&3);
+    }
+
+    #[test]
+    fn emitter_debug_is_nonempty() {
+        let mut sink = |_: u32, _: u64| {};
+        let emitter = Emitter::new(&mut sink);
+        assert!(format!("{emitter:?}").contains("Emitter"));
+    }
+}

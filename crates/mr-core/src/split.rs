@@ -1,0 +1,137 @@
+//! Input partitioning: turning an input collection into map tasks.
+//!
+//! The paper's input-partition phase splits the raw input using a
+//! user-specified partitioning function, with the *task size* (splits per
+//! task) subject to tuning. Here the input is a slice of already-parsed
+//! elements, so a task is simply a contiguous index range of `task_size`
+//! elements; runtimes hand `&input[range]` to [`MapReduceJob::map`].
+//!
+//! [`MapReduceJob::map`]: crate::MapReduceJob::map
+
+/// Identifier of a map task within one job invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A contiguous range of input elements forming one map task.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TaskRange {
+    /// Task identifier, dense from zero in input order.
+    pub id: TaskId,
+    /// Start index into the input slice (inclusive).
+    pub start: usize,
+    /// End index into the input slice (exclusive).
+    pub end: usize,
+}
+
+impl TaskRange {
+    /// Number of input elements in this task.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the task covers no elements (never produced by
+    /// [`task_ranges`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Partitions `input_len` elements into tasks of `task_size` elements each
+/// (the final task may be shorter).
+///
+/// Returns an empty vector for an empty input. All indices are in-bounds
+/// for a slice of length `input_len`, tasks are contiguous, non-overlapping,
+/// in input order, and cover every element exactly once — properties the
+/// test suite checks exhaustively and property-based tests fuzz.
+///
+/// # Panics
+///
+/// Panics if `task_size` is zero (validated away by
+/// [`RuntimeConfig::validate`]).
+///
+/// [`RuntimeConfig::validate`]: crate::RuntimeConfig::validate
+pub fn task_ranges(input_len: usize, task_size: usize) -> Vec<TaskRange> {
+    assert!(task_size > 0, "task_size must be nonzero");
+    let mut tasks = Vec::with_capacity(input_len.div_ceil(task_size));
+    let mut start = 0;
+    while start < input_len {
+        let end = (start + task_size).min(input_len);
+        tasks.push(TaskRange { id: TaskId(tasks.len()), start, end });
+        start = end;
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input_yields_no_tasks() {
+        assert!(task_ranges(0, 16).is_empty());
+    }
+
+    #[test]
+    fn exact_division() {
+        let tasks = task_ranges(12, 4);
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0], TaskRange { id: TaskId(0), start: 0, end: 4 });
+        assert_eq!(tasks[2], TaskRange { id: TaskId(2), start: 8, end: 12 });
+        assert!(tasks.iter().all(|t| t.len() == 4 && !t.is_empty()));
+    }
+
+    #[test]
+    fn trailing_short_task() {
+        let tasks = task_ranges(10, 4);
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[2].len(), 2);
+    }
+
+    #[test]
+    fn single_oversized_task() {
+        let tasks = task_ranges(3, 100);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!((tasks[0].start, tasks[0].end), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "task_size must be nonzero")]
+    fn zero_task_size_panics() {
+        let _ = task_ranges(5, 0);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(7).to_string(), "task#7");
+    }
+
+    proptest! {
+        #[test]
+        fn tasks_partition_the_input(input_len in 0usize..10_000, task_size in 1usize..512) {
+            let tasks = task_ranges(input_len, task_size);
+            // Coverage: concatenated ranges equal 0..input_len.
+            let mut cursor = 0;
+            for (i, t) in tasks.iter().enumerate() {
+                prop_assert_eq!(t.id, TaskId(i));
+                prop_assert_eq!(t.start, cursor);
+                prop_assert!(t.end > t.start);
+                prop_assert!(t.len() <= task_size);
+                cursor = t.end;
+            }
+            prop_assert_eq!(cursor, input_len);
+            // All but the last task are full-size.
+            if tasks.len() > 1 {
+                for t in &tasks[..tasks.len() - 1] {
+                    prop_assert_eq!(t.len(), task_size);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Phase-timing statistics (the basis of the paper's Fig 1 breakdown).
+
+use std::time::{Duration, Instant};
+
+/// The phases of a shared-memory MapReduce invocation.
+///
+/// RAMR fuses map and combine into one overlapped phase; the baseline runs
+/// them inline on the same worker. Either way the wall-clock interval from
+/// first map task to last combined element is attributed to
+/// [`PhaseKind::MapCombine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Input partitioning into tasks.
+    Partition,
+    /// Map + combine (overlapped in RAMR, serialized in the baseline).
+    MapCombine,
+    /// Per-partition reduction of combined values.
+    Reduce,
+    /// Final key-sorted merge of reducer outputs.
+    Merge,
+}
+
+impl PhaseKind {
+    /// All phases in execution order.
+    pub const ALL: [PhaseKind; 4] =
+        [PhaseKind::Partition, PhaseKind::MapCombine, PhaseKind::Reduce, PhaseKind::Merge];
+}
+
+impl std::fmt::Display for PhaseKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PhaseKind::Partition => "partition",
+            PhaseKind::MapCombine => "map-combine",
+            PhaseKind::Reduce => "reduce",
+            PhaseKind::Merge => "merge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Wall-clock and counter statistics for one job invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Time spent partitioning the input.
+    pub partition: Duration,
+    /// Time spent in the (possibly overlapped) map-combine phase.
+    pub map_combine: Duration,
+    /// Time spent reducing.
+    pub reduce: Duration,
+    /// Time spent merging.
+    pub merge: Duration,
+    /// Number of map tasks executed.
+    pub tasks: u64,
+    /// Intermediate pairs emitted by map functions.
+    pub emitted: u64,
+    /// Failed pushes observed on full SPSC queues (RAMR only; zero for the
+    /// baseline). High values signal an undersized combiner pool or queue.
+    pub queue_full_events: u64,
+    /// Distinct keys in the final output.
+    pub output_keys: u64,
+}
+
+impl PhaseStats {
+    /// Total measured wall-clock time across all phases.
+    pub fn total(&self) -> Duration {
+        self.partition + self.map_combine + self.reduce + self.merge
+    }
+
+    /// Fraction of total time spent in a phase, in `[0, 1]`.
+    ///
+    /// Returns zero when no time has been recorded at all.
+    pub fn fraction(&self, phase: PhaseKind) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let t = match phase {
+            PhaseKind::Partition => self.partition,
+            PhaseKind::MapCombine => self.map_combine,
+            PhaseKind::Reduce => self.reduce,
+            PhaseKind::Merge => self.merge,
+        };
+        t.as_secs_f64() / total
+    }
+
+    /// Records a duration against a phase.
+    pub fn record(&mut self, phase: PhaseKind, elapsed: Duration) {
+        match phase {
+            PhaseKind::Partition => self.partition += elapsed,
+            PhaseKind::MapCombine => self.map_combine += elapsed,
+            PhaseKind::Reduce => self.reduce += elapsed,
+            PhaseKind::Merge => self.merge += elapsed,
+        }
+    }
+}
+
+/// RAII-style helper measuring one phase.
+///
+/// ```
+/// use mr_core::{PhaseKind, PhaseStats, PhaseTimer};
+///
+/// let mut stats = PhaseStats::default();
+/// let timer = PhaseTimer::start(PhaseKind::Reduce);
+/// // ... do the reduce work ...
+/// timer.stop(&mut stats);
+/// assert!(stats.reduce >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: PhaseKind,
+    started: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing `phase` now.
+    pub fn start(phase: PhaseKind) -> Self {
+        Self { phase, started: Instant::now() }
+    }
+
+    /// Stops the timer, accumulating the elapsed time into `stats`.
+    pub fn stop(self, stats: &mut PhaseStats) {
+        stats.record(self.phase, self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one_when_nonzero() {
+        let mut s = PhaseStats::default();
+        s.record(PhaseKind::Partition, Duration::from_millis(10));
+        s.record(PhaseKind::MapCombine, Duration::from_millis(70));
+        s.record(PhaseKind::Reduce, Duration::from_millis(15));
+        s.record(PhaseKind::Merge, Duration::from_millis(5));
+        let sum: f64 = PhaseKind::ALL.iter().map(|&p| s.fraction(p)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!((s.fraction(PhaseKind::MapCombine) - 0.7).abs() < 1e-9);
+        assert_eq!(s.total(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let s = PhaseStats::default();
+        for p in PhaseKind::ALL {
+            assert_eq!(s.fraction(p), 0.0);
+        }
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = PhaseStats::default();
+        s.record(PhaseKind::Reduce, Duration::from_millis(5));
+        s.record(PhaseKind::Reduce, Duration::from_millis(5));
+        assert_eq!(s.reduce, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn timer_records_positive_duration() {
+        let mut s = PhaseStats::default();
+        let t = PhaseTimer::start(PhaseKind::Merge);
+        std::thread::sleep(Duration::from_millis(1));
+        t.stop(&mut s);
+        assert!(s.merge >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn phase_display_names() {
+        let names: Vec<String> = PhaseKind::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["partition", "map-combine", "reduce", "merge"]);
+    }
+}
+
+impl std::fmt::Display for PhaseStats {
+    /// One-line breakdown: total plus per-phase share, e.g.
+    /// `12.3ms (partition 1%, map-combine 86%, reduce 9%, merge 4%)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1?} (partition {:.0}%, map-combine {:.0}%, reduce {:.0}%, merge {:.0}%)",
+            self.total(),
+            100.0 * self.fraction(PhaseKind::Partition),
+            100.0 * self.fraction(PhaseKind::MapCombine),
+            100.0 * self.fraction(PhaseKind::Reduce),
+            100.0 * self.fraction(PhaseKind::Merge),
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+
+    #[test]
+    fn stats_display_shows_shares() {
+        let mut s = PhaseStats::default();
+        s.record(PhaseKind::MapCombine, Duration::from_millis(80));
+        s.record(PhaseKind::Reduce, Duration::from_millis(20));
+        let rendered = s.to_string();
+        assert!(rendered.contains("map-combine 80%"), "{rendered}");
+        assert!(rendered.contains("reduce 20%"), "{rendered}");
+    }
+}

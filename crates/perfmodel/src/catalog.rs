@@ -1,0 +1,340 @@
+//! The per-application workload profile catalog.
+//!
+//! Each profile states the dynamic cost of one map element and one combine
+//! (container-insert) operation for an application under a given container,
+//! in auditable per-element terms. The constants are calibrated so the
+//! *comparative* picture matches the paper's Fig 10 and §IV-E narrative —
+//! the only way the paper itself uses these quantities:
+//!
+//! * **HG, LR** — computationally light (lowest IPB), few stalls with the
+//!   default array containers;
+//! * **KM** — heavy map (64 distance computations per point) dominated by
+//!   floating-point dependency chains (low ILP → high RSPI) while streaming
+//!   the point set;
+//! * **MM** — heavy map streaming matrix blocks, plus a default container
+//!   that is an **oversized** `n²` array per worker of which each worker
+//!   touches only its rows — the paper's explanation for MM's high default
+//!   stalls and for why a right-sized hash *reduces* them;
+//! * **PCA** — the highest IPB (row-pair dot products over cache-resident
+//!   rows) with almost no stalls: lots of work, nothing for a decoupled
+//!   pipeline to hide;
+//! * **WC** — moderate intensity; its default container is already a hash
+//!   table, so the stressed configuration changes nothing ("a reasonable
+//!   exception", §IV-E).
+//!
+//! Fixed-size hash containers are modelled with a generically sized (1 MiB)
+//! slot region — the paper's fixed-size tables are not sized to the key
+//! space, which is how HG's and LR's stressed stall rates rise despite their
+//! tiny key sets. KM's fixed-size table is an exception: its key space (the
+//! cluster count) is declared, the table is right-sized, and the paper
+//! indeed observes KM's stalls *slightly improving*.
+
+use mr_apps::AppKind;
+use mr_core::ContainerKind;
+
+use crate::profile::{AccessPattern, PhaseProfile, WorkloadProfile};
+
+/// Working-set bytes of a generically sized fixed hash table (2^16 slots of
+/// 16 bytes).
+const GENERIC_FIXED_HASH_WS: u64 = 1 << 20;
+
+/// The combine-side profile of a container choice, given the app's
+/// right-sized working set and value width.
+fn combine_profile(container: ContainerKind, right_sized_ws: u64, value_instr: f64) -> PhaseProfile {
+    match container {
+        ContainerKind::Array => PhaseProfile {
+            instructions: 3.0 + value_instr,
+            mem_refs: 1.5 + value_instr / 4.0,
+            access: if right_sized_ws <= 256 << 10 {
+                AccessPattern::CacheResident
+            } else {
+                AccessPattern::Irregular { working_set_bytes: right_sized_ws }
+            },
+            ilp: 0.9,
+        },
+        ContainerKind::Hash => PhaseProfile {
+            instructions: 26.0 + value_instr,
+            mem_refs: 6.0 + value_instr / 4.0,
+            access: AccessPattern::Irregular { working_set_bytes: right_sized_ws.max(64 << 10) },
+            // Hash + dependent probe chain.
+            ilp: 0.6,
+        },
+        ContainerKind::FixedHash => PhaseProfile {
+            instructions: 24.0 + value_instr,
+            mem_refs: 5.0 + value_instr / 4.0,
+            access: AccessPattern::Irregular {
+                working_set_bytes: if right_sized_ws <= 8 << 10 {
+                    // Key space declared and tiny (KM's clusters, LR's five
+                    // sums): the fixed table is right-sized and cache
+                    // friendly.
+                    right_sized_ws.max(4 << 10)
+                } else {
+                    GENERIC_FIXED_HASH_WS
+                },
+            },
+            // Hash + dependent probe chain.
+            ilp: 0.55,
+        },
+    }
+}
+
+/// The workload profile of `app` under `container`.
+///
+/// Representative sizes: MM uses `n = 256, k-block = 32`; PCA `n = 256`;
+/// KM 64 clusters in 3 dimensions — the same shapes the scaled Table I
+/// generators produce.
+pub fn app_profile(app: AppKind, container: ContainerKind) -> WorkloadProfile {
+    let (name, input_bytes, emits, pair_bytes, serialize_instr, map, combine) = match app {
+        AppKind::Histogram => (
+            "HG",
+            3.0, // one RGB pixel
+            3.0,
+            12,
+            0.0,
+            PhaseProfile {
+                instructions: 8.0,
+                mem_refs: 3.0,
+                access: AccessPattern::Streaming { bytes_per_elem: 3.0 },
+                ilp: 0.95,
+            },
+            // 768 bins of 16 B: resident.
+            combine_profile(container, 768 * 16, 1.0),
+        ),
+        AppKind::LinearRegression => (
+            "LR",
+            8.0, // two i32 coordinates
+            5.0,
+            16,
+            0.0,
+            PhaseProfile {
+                instructions: 18.0,
+                mem_refs: 3.0,
+                access: AccessPattern::Streaming { bytes_per_elem: 8.0 },
+                ilp: 0.9,
+            },
+            // Five accumulators: resident.
+            combine_profile(container, 5 * 16, 1.0),
+        ),
+        AppKind::WordCount => (
+            "WC",
+            60.0, // one text line
+            10.0,
+            // An owned string: the pair struct plus its heap data (two
+            // cache lines on the wire).
+            72,
+            // Materializing the owned word (allocation + copy) — work the
+            // inline baseline avoids by hashing from the input buffer.
+            35.0,
+            PhaseProfile {
+                instructions: 330.0, // parse 60 chars + hash 10 words
+                mem_refs: 80.0,
+                access: AccessPattern::Streaming { bytes_per_elem: 60.0 },
+                ilp: 0.8,
+            },
+            // Thread-local vocabulary: a few thousand words. WC's default
+            // container is already a hash table, so the stressed fixed-size
+            // variant costs the same ("the hash table overhead has been
+            // already counted", SIV-E).
+            combine_profile(
+                if container == ContainerKind::FixedHash { ContainerKind::Hash } else { container },
+                256 << 10,
+                2.0,
+            ),
+        ),
+        AppKind::Kmeans => (
+            "KM",
+            24.0, // one 3-d point
+            1.0,
+            40,
+            0.0,
+            PhaseProfile {
+                // 64 clusters x (3 sub + 3 mul + 3 add + compare).
+                instructions: 700.0,
+                mem_refs: 200.0,
+                access: AccessPattern::Streaming { bytes_per_elem: 24.0 },
+                // FP min-reduction chains: the RSPI driver.
+                ilp: 0.45,
+            },
+            // 64 accumulators x 40 B: right-sized and small.
+            combine_profile(container, 64 * 40, 8.0),
+        ),
+        AppKind::MatrixMultiply => (
+            "MM",
+            // One task covers a 32-wide k-block of one row: the input
+            // amortizes to 16 * k_block bytes per task (each matrix byte is
+            // reused n times).
+            512.0,
+            256.0, // one partial per output column
+            16,
+            0.0,
+            PhaseProfile {
+                // 2 * n * kb multiply-adds at n=256, kb=32.
+                instructions: 16_384.0,
+                mem_refs: 8_448.0,
+                // The blocked loop re-uses each loaded B row kb times;
+                // fresh traffic is ~1 byte per multiply-add.
+                access: AccessPattern::Streaming { bytes_per_elem: 16_384.0 },
+                ilp: 0.75,
+            },
+            // Default container: the FULL n^2 array per worker (1 MiB),
+            // sparsely touched -> irregular far-cache traffic. The paper
+            // explains MM's default stalls exactly this way.
+            match container {
+                ContainerKind::Array => PhaseProfile {
+                    instructions: 4.0,
+                    mem_refs: 1.5,
+                    access: AccessPattern::Irregular { working_set_bytes: 256 * 256 * 16 },
+                    ilp: 0.85,
+                },
+                // Right-sized hash: only the rows this worker touches
+                // (n x 32 B) -> better locality, fewer stalls.
+                _ => combine_profile(container, 256 * 32, 1.0),
+            },
+        ),
+        AppKind::Pca => (
+            "PCA",
+            16.0, // input bytes amortized per emitted covariance pair
+            1.0,
+            16,
+            0.0,
+            PhaseProfile {
+                // 4 * n FLOPs per covariance pair at n=256, over two
+                // cache-resident rows.
+                instructions: 1_024.0,
+                mem_refs: 256.0,
+                access: AccessPattern::CacheResident,
+                // Independent dot products pipeline almost perfectly.
+                ilp: 0.97,
+            },
+            combine_profile(container, 64 << 10, 1.0),
+        ),
+    };
+    WorkloadProfile {
+        name: format!("{name}/{container}"),
+        input_bytes_per_elem: input_bytes,
+        emits_per_elem: emits,
+        pair_bytes,
+        pair_serialize_instr: serialize_instr,
+        map,
+        combine,
+    }
+}
+
+/// The profile under the paper's default container (§IV-D).
+pub fn default_profile(app: AppKind) -> WorkloadProfile {
+    app_profile(app, app.default_container())
+}
+
+/// The profile under the stressed container of Figs 8b/9b/10b.
+pub fn stressed_profile(app: AppKind) -> WorkloadProfile {
+    app_profile(app, app.stressed_container())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize;
+    use ramr_topology::MachineModel;
+
+    fn metrics(app: AppKind, stressed: bool) -> crate::SuitabilityMetrics {
+        let profile = if stressed { stressed_profile(app) } else { default_profile(app) };
+        characterize(&profile, &MachineModel::haswell_server())
+    }
+
+    #[test]
+    fn fig10a_ipb_ordering() {
+        // HG and LR are the light workloads; KM, MM, PCA the heavy ones;
+        // WC sits in between.
+        let ipb = |a| metrics(a, false).ipb;
+        for light in [AppKind::Histogram, AppKind::LinearRegression] {
+            assert!(ipb(light) < ipb(AppKind::WordCount), "{light} must be lighter than WC");
+        }
+        for heavy in [AppKind::Kmeans, AppKind::MatrixMultiply, AppKind::Pca] {
+            assert!(ipb(heavy) > ipb(AppKind::WordCount), "{heavy} must be heavier than WC");
+        }
+    }
+
+    #[test]
+    fn fig10a_pca_has_high_ipb_but_rare_stalls() {
+        let pca = metrics(AppKind::Pca, false);
+        for other in [AppKind::Kmeans, AppKind::MatrixMultiply, AppKind::WordCount] {
+            assert!(
+                pca.stall_score() < metrics(other, false).stall_score(),
+                "PCA must stall less than {other}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig10a_km_and_mm_stall_frequently() {
+        // The suitable apps: high stalls relative to the light ones.
+        for suitable in [AppKind::Kmeans, AppKind::MatrixMultiply] {
+            let s = metrics(suitable, false);
+            for light in [AppKind::Histogram, AppKind::LinearRegression] {
+                assert!(
+                    s.stall_score() > metrics(light, false).stall_score(),
+                    "{suitable} must stall more than {light}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig10b_hash_containers_raise_light_apps_stalls() {
+        for app in [AppKind::Histogram, AppKind::LinearRegression] {
+            let default = metrics(app, false);
+            let stressed = metrics(app, true);
+            assert!(
+                stressed.stall_score() > default.stall_score() * 1.5,
+                "{app}: fixed-size hash must raise stalls markedly"
+            );
+            assert!(stressed.ipb > default.ipb, "{app}: hashing adds instructions");
+        }
+    }
+
+    #[test]
+    fn fig10b_mm_stalls_drop_with_right_sized_hash() {
+        let default = metrics(AppKind::MatrixMultiply, false);
+        let stressed = metrics(AppKind::MatrixMultiply, true);
+        assert!(
+            stressed.mspi < default.mspi,
+            "right-sizing MM's container must reduce memory stalls \
+             (default {:.4} vs hash {:.4})",
+            default.mspi,
+            stressed.mspi
+        );
+    }
+
+    #[test]
+    fn fig10b_wc_is_the_reasonable_exception() {
+        // WC already used a hash container in 10a; the metrics barely move.
+        let default = metrics(AppKind::WordCount, false);
+        let stressed = metrics(AppKind::WordCount, true);
+        assert!((stressed.ipb / default.ipb - 1.0).abs() < 0.1);
+        assert!((stressed.stall_score() / default.stall_score() - 1.0).abs() < 0.35);
+    }
+
+    #[test]
+    fn fig10b_km_changes_are_small() {
+        // KM's fixed table is right-sized to its declared cluster count;
+        // the paper reports slightly improved metrics.
+        let default = metrics(AppKind::Kmeans, false);
+        let stressed = metrics(AppKind::Kmeans, true);
+        assert!((stressed.stall_score() / default.stall_score() - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn profiles_have_positive_costs_everywhere() {
+        for app in AppKind::ALL {
+            for container in ContainerKind::ALL {
+                let p = app_profile(app, container);
+                assert!(p.map.instructions > 0.0);
+                assert!(p.combine.instructions > 0.0);
+                assert!(p.emits_per_elem > 0.0);
+                assert!(p.input_bytes_per_elem > 0.0);
+                assert!(p.pair_bytes > 0);
+                assert!(p.name.contains('/'));
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! A Phoenix++-style shared-memory MapReduce runtime (the paper's baseline).
+//!
+//! Phoenix++ [Talbot et al., MapReduce'11] executes the classic scale-up MR
+//! workflow: a pool of worker threads pulls map tasks from a shared queue,
+//! and — crucially — applies the **combine function inline after every map
+//! emission**, folding each intermediate pair straight into the worker's
+//! thread-local container. Map and combine are therefore *serialized on the
+//! same thread*, which is precisely the structural property RAMR attacks by
+//! decoupling them (see the `ramr` crate).
+//!
+//! The reduce and merge phases implemented here ([`phases`]) are shared with
+//! the RAMR runtime, because the paper leaves them unchanged: "the rest MR
+//! execution remains unchanged" (§III).
+//!
+//! # Example
+//!
+//! ```
+//! use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
+//! use phoenix_mr::PhoenixRuntime;
+//!
+//! struct CharCount;
+//! impl MapReduceJob for CharCount {
+//!     type Input = char;
+//!     type Key = char;
+//!     type Value = u64;
+//!     fn map(&self, task: &[char], emit: &mut Emitter<'_, char, u64>) {
+//!         for &c in task {
+//!             emit.emit(c, 1);
+//!         }
+//!     }
+//!     fn combine(&self, acc: &mut u64, v: u64) {
+//!         *acc += v;
+//!     }
+//! }
+//!
+//! let config = RuntimeConfig::builder()
+//!     .num_workers(2)
+//!     .num_combiners(2)
+//!     .task_size(8)
+//!     .container(mr_core::ContainerKind::Hash)
+//!     .build()?;
+//! let input: Vec<char> = "abracadabra".chars().collect();
+//! let output = PhoenixRuntime::new(config)?.run(&CharCount, &input)?;
+//! assert_eq!(output.get(&'a'), Some(&5));
+//! # Ok::<(), mr_core::RuntimeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod phases;
+mod runtime;
+pub mod tasks;
+
+pub use runtime::PhoenixRuntime;
+pub use tasks::TaskQueues;

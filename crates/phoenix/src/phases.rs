@@ -1,0 +1,264 @@
+//! The MR phases shared between the baseline and the RAMR runtime.
+//!
+//! RAMR restructures only the map-combine phase; input partitioning, reduce
+//! and merge "remain the same as in typical MR libraries" (§III). Both
+//! runtimes therefore call into this module for everything downstream of the
+//! per-thread containers.
+
+use mr_core::{MapReduceJob, RuntimeError};
+use ramr_containers::{fnv1a_hash, HashContainer};
+
+/// The intermediate pairs one worker/combiner/bucket contributes.
+pub type Pairs<J> = Vec<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+
+/// Distributes the partial `(key, value)` vectors produced by the
+/// map-combine phase into `num_reducers` buckets by key hash.
+///
+/// Every occurrence of a key lands in the same bucket, so each bucket can be
+/// reduced independently.
+pub fn bucket_by_key<J: MapReduceJob>(
+    partials: Vec<Pairs<J>>,
+    num_reducers: usize,
+) -> Vec<Pairs<J>> {
+    let total: usize = partials.iter().map(Vec::len).sum();
+    let mut buckets: Vec<Vec<(J::Key, J::Value)>> = Vec::with_capacity(num_reducers);
+    buckets.resize_with(num_reducers, || Vec::with_capacity(total / num_reducers + 1));
+    for partial in partials {
+        for (key, value) in partial {
+            let bucket = (fnv1a_hash(&key) as usize) % num_reducers;
+            buckets[bucket].push((key, value));
+        }
+    }
+    buckets
+}
+
+/// Reduces one bucket: folds all partial values per key with the job's
+/// combine function, applies [`MapReduceJob::reduce`] once per key, and
+/// returns the bucket's pairs sorted by key (its contribution to the merge).
+pub fn reduce_bucket<J: MapReduceJob>(job: &J, bucket: Pairs<J>) -> Pairs<J> {
+    let mut table: HashContainer<J::Key, J::Value> =
+        HashContainer::with_capacity(bucket.len().max(1));
+    for (key, value) in bucket {
+        table.combine_insert(key, value, |acc, v| job.combine(acc, v));
+    }
+    let mut pairs = Vec::new();
+    table.drain_into(&mut pairs);
+    let mut reduced: Vec<(J::Key, J::Value)> =
+        pairs.into_iter().map(|(k, v)| { let r = job.reduce(&k, v); (k, r) }).collect();
+    reduced.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    reduced
+}
+
+/// Runs the reduce phase over all buckets in parallel (one thread per
+/// bucket, up to `num_reducers`), returning per-bucket key-sorted outputs.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::WorkerPanic`] if a reducer thread panics.
+pub fn reduce_parallel<J: MapReduceJob>(
+    job: &J,
+    buckets: Vec<Pairs<J>>,
+) -> Result<Vec<Pairs<J>>, RuntimeError> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || reduce_bucket(job, bucket)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|panic| {
+                    RuntimeError::WorkerPanic(panic_message(&*panic))
+                })
+            })
+            .collect()
+    })
+}
+
+/// Merges key-sorted runs into one key-sorted vector (the merge phase).
+///
+/// Performs iterative pairwise merges — the classic Phoenix merge tree.
+/// Each tree level merges its pairs **in parallel** (one thread per pair,
+/// halving each level), so the merge phase scales like the rest of the
+/// runtime instead of serializing on one core.
+pub fn merge_sorted_runs<K: Ord + Send, V: Send>(mut runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    /// Below this many total pairs a level is merged on the calling thread:
+    /// spawning costs more than the merge itself.
+    const PARALLEL_THRESHOLD: usize = 16 * 1024;
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let total: usize = runs.iter().map(Vec::len).sum();
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut pairs = Vec::new();
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => pairs.push((a, b)),
+                None => next.push(a),
+            }
+        }
+        if total < PARALLEL_THRESHOLD || pairs.len() < 2 {
+            next.extend(pairs.into_iter().map(|(a, b)| merge_two(a, b)));
+        } else {
+            let merged: Vec<Vec<(K, V)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(a, b)| scope.spawn(move || merge_two(a, b)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge_two does not panic"))
+                    .collect()
+            });
+            next.extend(merged);
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+fn merge_two<K: Ord, V>(a: Vec<(K, V)>, b: Vec<(K, V)>) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                if x.0 <= y.0 {
+                    out.push(ai.next().expect("peeked"));
+                } else {
+                    out.push(bi.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                break;
+            }
+            (None, _) => {
+                out.extend(bi);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts a readable message from a thread panic payload.
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::Emitter;
+
+    struct Sum;
+
+    impl MapReduceJob for Sum {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x, 1);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn reduce(&self, _key: &u64, combined: u64) -> u64 {
+            combined * 10
+        }
+    }
+
+    #[test]
+    fn buckets_route_equal_keys_together() {
+        let partials = vec![vec![(1u64, 1u64), (2, 1)], vec![(1, 1), (3, 1)], vec![(2, 1)]];
+        let buckets = bucket_by_key::<Sum>(partials, 3);
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 5);
+        for key in [1u64, 2, 3] {
+            let holders: Vec<usize> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.iter().any(|(k, _)| *k == key))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holders.len(), 1, "key {key} must live in exactly one bucket");
+        }
+    }
+
+    #[test]
+    fn reduce_bucket_folds_and_applies_reduce() {
+        let out = reduce_bucket(&Sum, vec![(5, 1), (5, 1), (2, 1)]);
+        assert_eq!(out, [(2, 10), (5, 20)]); // sorted, reduced (x10)
+    }
+
+    #[test]
+    fn reduce_parallel_matches_sequential() {
+        let buckets = vec![vec![(1u64, 1u64), (1, 1)], vec![(2, 1)], Vec::new()];
+        let runs = reduce_parallel(&Sum, buckets.clone()).unwrap();
+        let expected: Vec<Vec<(u64, u64)>> =
+            buckets.into_iter().map(|b| reduce_bucket(&Sum, b)).collect();
+        assert_eq!(runs, expected);
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_runs() {
+        let merged = merge_sorted_runs(vec![
+            vec![(1, 'a'), (4, 'b')],
+            vec![(2, 'c')],
+            vec![(0, 'd'), (3, 'e'), (5, 'f')],
+        ]);
+        let keys: Vec<i32> = merged.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_runs() {
+        assert!(merge_sorted_runs::<u32, u32>(Vec::new()).is_empty());
+        assert!(merge_sorted_runs::<u32, u32>(vec![Vec::new(), Vec::new()]).is_empty());
+        assert_eq!(merge_sorted_runs(vec![vec![(1, 2)]]), [(1, 2)]);
+    }
+
+    #[test]
+    fn parallel_merge_matches_sequential_at_scale() {
+        // Cross the parallel threshold with many runs.
+        let runs: Vec<Vec<(u64, u64)>> = (0..16)
+            .map(|r| (0..4000u64).map(|i| (i * 16 + r, i)).collect())
+            .collect();
+        let merged = merge_sorted_runs(runs.clone());
+        let mut expected: Vec<(u64, u64)> = runs.into_iter().flatten().collect();
+        expected.sort_unstable();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn merge_is_stable_for_distinct_keys_across_runs() {
+        // All keys distinct across runs: result equals global sort.
+        let runs = vec![vec![(10, ()), (30, ())], vec![(20, ()), (40, ())]];
+        let merged = merge_sorted_runs(runs);
+        assert_eq!(merged.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panic_message_extracts_strings() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(&*p), "boom");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
+        assert_eq!(panic_message(&*p), "kaboom");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u8);
+        assert_eq!(panic_message(&*p), "opaque panic payload");
+    }
+}

@@ -1,0 +1,314 @@
+//! The baseline runtime: inline map+combine per worker.
+
+use mr_core::{
+    task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer,
+    PinningPolicyKind, RuntimeConfig, RuntimeError,
+};
+use ramr_containers::JobContainer;
+use ramr_topology::{pin_current_thread, thrid_to_cpu, MachineModel};
+
+use crate::phases;
+
+/// The Phoenix++-style runtime: `num_workers` threads, each mapping tasks
+/// and combining every emission into its own thread-local container, then
+/// the shared reduce + merge phases.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct PhoenixRuntime {
+    config: RuntimeConfig,
+}
+
+impl PhoenixRuntime {
+    /// Creates a runtime with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for inconsistent knob
+    /// settings (see [`RuntimeConfig::validate`]).
+    pub fn new(config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Executes `job` over `input`, returning the key-sorted reduced output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates container overflows ([`RuntimeError::ContainerOverflow`],
+    /// [`RuntimeError::UnsupportedContainer`]) and surfaces worker panics as
+    /// [`RuntimeError::WorkerPanic`].
+    pub fn run<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        let config = &self.config;
+        let mut stats = PhaseStats::default();
+
+        // --- Input partition phase -------------------------------------
+        let timer = PhaseTimer::start(PhaseKind::Partition);
+        let tasks = task_ranges(input.len(), config.task_size);
+        timer.stop(&mut stats);
+        stats.tasks = tasks.len() as u64;
+
+        // --- Map-combine phase (serialized per worker) ------------------
+        // Tasks are spread over per-locality-group queues (paper SIII: "the
+        // map tasks are added in the task queues - one for each locality
+        // group"); workers drain their home group first and steal after.
+        let timer = PhaseTimer::start(PhaseKind::MapCombine);
+        let groups = MachineModel::host().sockets.max(1);
+        let queues = crate::tasks::TaskQueues::new(tasks, groups);
+        let pin_seq = pin_sequence(config);
+        let worker_results: Vec<Result<(phases::Pairs<J>, u64), RuntimeError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..config.num_workers)
+                    .map(|worker_id| {
+                        let queues = &queues;
+                        let pin_seq = &pin_seq;
+                        scope.spawn(move || {
+                            if let Some(seq) = pin_seq {
+                                // Best-effort: a missing CPU is not fatal.
+                                let _ = pin_current_thread(seq[worker_id % seq.len()]);
+                            }
+                            map_combine_worker(job, config, input, queues, worker_id % groups)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|panic| {
+                            Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
+                        })
+                    })
+                    .collect()
+            });
+        let mut partials = Vec::with_capacity(worker_results.len());
+        for result in worker_results {
+            let (pairs, emitted) = result?;
+            stats.emitted += emitted;
+            partials.push(pairs);
+        }
+        timer.stop(&mut stats);
+
+        // --- Reduce phase ------------------------------------------------
+        let timer = PhaseTimer::start(PhaseKind::Reduce);
+        let buckets = phases::bucket_by_key::<J>(partials, config.num_reducers);
+        let runs = phases::reduce_parallel(job, buckets)?;
+        timer.stop(&mut stats);
+
+        // --- Merge phase ---------------------------------------------------
+        let timer = PhaseTimer::start(PhaseKind::Merge);
+        let merged = phases::merge_sorted_runs(runs);
+        timer.stop(&mut stats);
+
+        stats.output_keys = merged.len() as u64;
+        Ok(JobOutput::from_unsorted(merged, stats))
+    }
+}
+
+/// Computes the CPU id sequence workers pin to, or `None` when pinning is
+/// disabled (by config or policy).
+fn pin_sequence(config: &RuntimeConfig) -> Option<Vec<usize>> {
+    if !config.pin_os_threads {
+        return None;
+    }
+    let host = MachineModel::host();
+    match config.pinning {
+        PinningPolicyKind::OsDefault => None,
+        PinningPolicyKind::RoundRobin => Some((0..host.logical_cpus()).collect()),
+        PinningPolicyKind::Ramr => {
+            Some(thrid_to_cpu(host.sockets, host.cores_per_socket, host.smt))
+        }
+    }
+}
+
+/// One worker's map-combine loop: pull tasks from the locality-grouped
+/// queues, map, combine inline.
+fn map_combine_worker<J: MapReduceJob>(
+    job: &J,
+    config: &RuntimeConfig,
+    input: &[J::Input],
+    queues: &crate::tasks::TaskQueues,
+    home_group: usize,
+) -> Result<(phases::Pairs<J>, u64), RuntimeError> {
+    let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
+    let mut emitted = 0u64;
+    let mut first_error: Option<RuntimeError> = None;
+    while let Some(task) = queues.claim(home_group) {
+        {
+            // Phoenix++ semantics: the combine function runs after every
+            // map emission, on the mapping thread, into its local container.
+            let mut sink = |key: J::Key, value: J::Value| {
+                if first_error.is_none() {
+                    if let Err(e) = container.insert(key, value) {
+                        first_error = Some(e);
+                    }
+                }
+            };
+            let mut emitter = Emitter::new(&mut sink);
+            job.map(&input[task.start..task.end], &mut emitter);
+            emitted += emitter.emitted();
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
+    let mut pairs = Vec::new();
+    container.drain_into(&mut pairs);
+    Ok((pairs, emitted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_core::ContainerKind;
+
+    struct Mod7;
+
+    impl MapReduceJob for Mod7 {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x % 7, x);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(7)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+
+        fn name(&self) -> &str {
+            "mod7"
+        }
+    }
+
+    fn reference(input: &[u64]) -> Vec<(u64, u64)> {
+        let mut sums = [0u64; 7];
+        for &x in input {
+            sums[(x % 7) as usize] += x;
+        }
+        (0..7).filter(|&k| sums[k as usize] != 0).map(|k| (k, sums[k as usize])).collect()
+    }
+
+    fn config(workers: usize, kind: ContainerKind) -> RuntimeConfig {
+        RuntimeConfig::builder()
+            .num_workers(workers)
+            .num_combiners(workers)
+            .task_size(13)
+            .container(kind)
+            .num_reducers(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_reference_all_containers() {
+        let input: Vec<u64> = (1..=10_000).collect();
+        for kind in ContainerKind::ALL {
+            let rt = PhoenixRuntime::new(config(4, kind)).unwrap();
+            let out = rt.run(&Mod7, &input).unwrap();
+            assert_eq!(out.pairs, reference(&input), "container {kind}");
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let rt = PhoenixRuntime::new(config(2, ContainerKind::Array)).unwrap();
+        let out = rt.run(&Mod7, &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.stats.tasks, 0);
+    }
+
+    #[test]
+    fn single_worker_equals_many_workers() {
+        let input: Vec<u64> = (0..5000).map(|i| i * 37 % 1013).collect();
+        let one = PhoenixRuntime::new(config(1, ContainerKind::Hash)).unwrap();
+        let many = PhoenixRuntime::new(config(8, ContainerKind::Hash)).unwrap();
+        assert_eq!(one.run(&Mod7, &input).unwrap().pairs, many.run(&Mod7, &input).unwrap().pairs);
+    }
+
+    #[test]
+    fn stats_count_tasks_and_emissions() {
+        let input: Vec<u64> = (0..100).collect();
+        let rt = PhoenixRuntime::new(config(2, ContainerKind::Array)).unwrap();
+        let out = rt.run(&Mod7, &input).unwrap();
+        assert_eq!(out.stats.tasks, 100u64.div_ceil(13));
+        assert_eq!(out.stats.emitted, 100);
+        assert_eq!(out.stats.output_keys, 7);
+        assert!(out.stats.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        struct Panics;
+        impl MapReduceJob for Panics {
+            type Input = u64;
+            type Key = u64;
+            type Value = u64;
+            fn map(&self, _: &[u64], _: &mut Emitter<'_, u64, u64>) {
+                panic!("map exploded");
+            }
+            fn combine(&self, _: &mut u64, _: u64) {}
+        }
+        let rt = PhoenixRuntime::new(config(2, ContainerKind::Hash)).unwrap();
+        let err = rt.run(&Panics, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("map exploded")));
+    }
+
+    #[test]
+    fn fixed_hash_overflow_surfaces() {
+        let cfg = RuntimeConfig::builder()
+            .num_workers(2)
+            .num_combiners(2)
+            .container(ContainerKind::FixedHash)
+            .fixed_capacity(3)
+            .build()
+            .unwrap();
+        let rt = PhoenixRuntime::new(cfg).unwrap();
+        let input: Vec<u64> = (0..100).collect(); // 7 distinct keys > capacity 3
+        let err = rt.run(&Mod7, &input).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 3, .. }));
+    }
+
+    #[test]
+    fn reduce_hook_is_applied_once_per_key() {
+        struct Doubler;
+        impl MapReduceJob for Doubler {
+            type Input = u64;
+            type Key = u64;
+            type Value = u64;
+            fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+                for &x in task {
+                    emit.emit(x % 3, 1);
+                }
+            }
+            fn combine(&self, acc: &mut u64, v: u64) {
+                *acc += v;
+            }
+            fn reduce(&self, _: &u64, combined: u64) -> u64 {
+                combined * 2
+            }
+        }
+        let rt = PhoenixRuntime::new(config(3, ContainerKind::Hash)).unwrap();
+        let out = rt.run(&Doubler, &(0..9u64).collect::<Vec<_>>()).unwrap();
+        assert_eq!(out.pairs, vec![(0, 6), (1, 6), (2, 6)]);
+    }
+}

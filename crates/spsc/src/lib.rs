@@ -1,0 +1,720 @@
+//! A lock-free, fixed-capacity single-producer/single-consumer queue.
+//!
+//! This is the communication substrate RAMR uses to pipeline intermediate
+//! key-value pairs from each mapper to its assigned combiner (paper §III-A).
+//! The paper builds on `boost::lockfree::spsc_queue`; this crate implements
+//! the same Lamport-style ring buffer from scratch and layers on the paper's
+//! two additions:
+//!
+//! * **Sleep on failed push** — pushes must always succeed eventually
+//!   (dropping or overwriting elements would violate correctness), so a
+//!   producer facing a full queue spins briefly and then sleeps instead of
+//!   busy-waiting, freeing core resources for the co-located combiner
+//!   ([`Producer::push_with_backoff`]).
+//! * **Batched reads** — the consumer drains runs of contiguous elements
+//!   with a single control-variable update, reducing producer/consumer
+//!   congestion on the shared indices and favouring spatial locality
+//!   ([`Consumer::pop_batch`]).
+//!
+//! A fixed-size buffer is used instead of a dynamically resizable one
+//! because of the scalability penalty of dynamic memory allocators (paper
+//! §III-A, citing Hoard). The paper found a capacity of five thousand
+//! elements within 2% of optimal across all test-cases.
+//!
+//! The queue is split at construction into a [`Producer`] and a [`Consumer`]
+//! handle, enforcing the single-producer/single-consumer discipline in the
+//! type system rather than by convention.
+//!
+//! # Example
+//!
+//! ```
+//! use ramr_spsc::SpscQueue;
+//!
+//! let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+//! std::thread::spawn(move || {
+//!     for i in 0..100u32 {
+//!         tx.push_with_backoff(i, &Default::default());
+//!     }
+//! });
+//! let mut sum = 0u64;
+//! let mut received = 0;
+//! while received < 100 {
+//!     received += rx.pop_batch(16, |v| sum += u64::from(v));
+//! }
+//! assert_eq!(sum, (0..100u64).sum());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::utils::CachePadded;
+
+/// What a producer does between failed push attempts.
+///
+/// Mirrors `mr_core::PushBackoff` without depending on that crate (this
+/// queue is a standalone substrate); the RAMR runtime converts between the
+/// two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffPolicy {
+    /// Spin until space frees up. The paper's original (worse) strategy.
+    BusyWait,
+    /// Spin `spins` times, then sleep `sleep` between further attempts.
+    SpinThenSleep {
+        /// Spin iterations before the first sleep.
+        spins: u32,
+        /// Sleep duration once spinning is exhausted.
+        sleep: Duration,
+    },
+}
+
+impl Default for BackoffPolicy {
+    /// The paper's preferred strategy: a short spin, then sleep.
+    fn default() -> Self {
+        BackoffPolicy::SpinThenSleep { spins: 64, sleep: Duration::from_micros(50) }
+    }
+}
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Monotonic count of elements ever popped. Slot = index % capacity.
+    head: CachePadded<AtomicUsize>,
+    /// Monotonic count of elements ever pushed.
+    tail: CachePadded<AtomicUsize>,
+    /// Set when the producer is dropped; lets the consumer distinguish
+    /// "empty for now" from "empty forever".
+    closed: AtomicBool,
+}
+
+// SAFETY: `Inner` is shared between exactly one producer and one consumer
+// thread. All slot accesses are ordered by acquire/release operations on
+// `head`/`tail`: the producer only writes slots in `tail..head+cap` and the
+// consumer only reads slots in `head..tail`, and the index updates publish
+// those accesses. `T: Send` is required because values cross threads.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any elements still in the queue. We have exclusive access
+        // here (both handles are gone), so plain loads are fine.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = &self.buf[i % self.buf.len()];
+            // SAFETY: slots in head..tail hold initialized values that no
+            // other code will touch again.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// A fixed-capacity SPSC queue, created via [`SpscQueue::with_capacity`] and
+/// consumed by [`SpscQueue::split`].
+#[derive(Debug)]
+pub struct SpscQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Inner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscInner")
+            .field("capacity", &self.buf.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("tail", &self.tail.load(Ordering::Relaxed))
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<T: Send> SpscQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be nonzero");
+        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+            (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Self {
+            inner: Arc::new(Inner {
+                buf,
+                head: CachePadded::new(AtomicUsize::new(0)),
+                tail: CachePadded::new(AtomicUsize::new(0)),
+                closed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Splits the queue into its producer and consumer halves.
+    pub fn split(self) -> (Producer<T>, Consumer<T>) {
+        let producer = Producer { inner: Arc::clone(&self.inner), cached_head: 0 };
+        let consumer = Consumer { inner: self.inner, cached_tail: 0 };
+        (producer, consumer)
+    }
+}
+
+/// The write half of an [`SpscQueue`]; owned by exactly one mapper thread.
+///
+/// Dropping the producer closes the queue: the consumer can then drain the
+/// remaining elements and observe [`Consumer::is_closed`].
+#[derive(Debug)]
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer-local copy of `head`, refreshed only when the queue looks
+    /// full — the classic cached-cursor optimization that keeps the hot
+    /// path free of cross-core cache traffic.
+    cached_head: usize,
+}
+
+impl<T: Send> Producer<T> {
+    /// Attempts to push without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` — handing the element back — when the queue is
+    /// full.
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        let tail = inner.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head == cap {
+            // Looks full based on the stale cursor; refresh and re-check.
+            self.cached_head = inner.head.load(Ordering::Acquire);
+            if tail - self.cached_head == cap {
+                return Err(value);
+            }
+        }
+        let slot = &inner.buf[tail % cap];
+        // SAFETY: slot `tail` is outside `head..tail`, so the consumer will
+        // not touch it until we publish the new tail below.
+        unsafe { (*slot.get()).write(value) };
+        inner.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pushes, blocking until space is available, per the backoff policy.
+    ///
+    /// Returns the number of failed attempts before success — the
+    /// `queue_full_events` statistic reported by the RAMR runtime.
+    pub fn push_with_backoff(&mut self, value: T, policy: &BackoffPolicy) -> u64 {
+        let mut value = value;
+        let mut failures = 0u64;
+        let mut spins_left = match policy {
+            BackoffPolicy::BusyWait => u32::MAX,
+            BackoffPolicy::SpinThenSleep { spins, .. } => *spins,
+        };
+        loop {
+            match self.try_push(value) {
+                Ok(()) => return failures,
+                Err(v) => {
+                    value = v;
+                    failures += 1;
+                    match policy {
+                        BackoffPolicy::BusyWait => std::hint::spin_loop(),
+                        BackoffPolicy::SpinThenSleep { sleep, .. } => {
+                            if spins_left > 0 {
+                                spins_left -= 1;
+                                std::hint::spin_loop();
+                            } else {
+                                std::thread::sleep(*sleep);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes as many elements from `batch` as fit, with a **single** tail
+    /// update for the whole run — the producer-side mirror of
+    /// [`Consumer::pop_batch`]: one control-variable write per batch instead
+    /// of per element.
+    ///
+    /// Returns the number of elements consumed from the iterator (the rest
+    /// remain in `batch`).
+    pub fn push_batch(&mut self, batch: &mut impl Iterator<Item = T>) -> usize {
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        let tail = inner.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head == cap {
+            self.cached_head = inner.head.load(Ordering::Acquire);
+            if tail - self.cached_head == cap {
+                return 0;
+            }
+        }
+        let free = cap - (tail - self.cached_head);
+        let mut written = 0;
+        while written < free {
+            let Some(value) = batch.next() else { break };
+            let slot = &inner.buf[(tail + written) % cap];
+            // SAFETY: slots tail..tail+free are outside `head..tail`; the
+            // consumer will not touch them until the release store below.
+            unsafe { (*slot.get()).write(value) };
+            written += 1;
+        }
+        if written > 0 {
+            inner.tail.store(tail + written, Ordering::Release);
+        }
+        written
+    }
+
+    /// Number of elements currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail - head
+    }
+
+    /// Whether the queue currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of buffered elements.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+}
+
+/// The read half of an [`SpscQueue`]; owned by exactly one combiner thread.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer-local copy of `tail`, refreshed only when the queue looks
+    /// empty.
+    cached_tail: usize,
+}
+
+impl<T: Send> Consumer<T> {
+    /// Attempts to pop one element without blocking.
+    #[inline]
+    pub fn try_pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        let head = inner.head.load(Ordering::Relaxed);
+        if self.cached_tail == head {
+            self.cached_tail = inner.tail.load(Ordering::Acquire);
+            if self.cached_tail == head {
+                return None;
+            }
+        }
+        let slot = &inner.buf[head % cap];
+        // SAFETY: slot `head` is inside `head..tail`, initialized by the
+        // producer and published by its release store to `tail`.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        inner.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Pops up to `max` elements, invoking `f` on each, with a **single**
+    /// head update for the whole run.
+    ///
+    /// This is the paper's *batched read*: the producer observes one control
+    /// variable write per batch instead of per element, and the consumed
+    /// elements are contiguous in the ring, favouring spatial locality.
+    ///
+    /// Returns the number of elements consumed (zero when the queue was
+    /// empty).
+    pub fn pop_batch(&mut self, max: usize, mut f: impl FnMut(T)) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        let head = inner.head.load(Ordering::Relaxed);
+        if self.cached_tail - head < max {
+            // The stale cursor cannot satisfy a full batch; refresh once.
+            self.cached_tail = inner.tail.load(Ordering::Acquire);
+            if self.cached_tail == head {
+                return 0;
+            }
+        }
+        let available = self.cached_tail - head;
+        let take = available.min(max);
+        for i in 0..take {
+            let slot = &inner.buf[(head + i) % cap];
+            // SAFETY: slots head..head+take are all initialized (published
+            // by the producer's release stores) and we consume each once.
+            let value = unsafe { (*slot.get()).assume_init_read() };
+            f(value);
+        }
+        inner.head.store(head + take, Ordering::Release);
+        take
+    }
+
+    /// Pops exactly `max` elements only if at least `max` are available;
+    /// otherwise consumes nothing and returns `false`.
+    ///
+    /// Used by combiners that prefer full batches while mappers are still
+    /// running (partial batches are drained only after map-phase end).
+    pub fn pop_batch_exact(&mut self, max: usize, f: impl FnMut(T)) -> bool {
+        let inner = &*self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        if self.cached_tail - head < max {
+            self.cached_tail = inner.tail.load(Ordering::Acquire);
+            if self.cached_tail - head < max {
+                return false;
+            }
+        }
+        let consumed = self.pop_batch(max, f);
+        debug_assert_eq!(consumed, max);
+        true
+    }
+
+    /// Whether the producer has been dropped.
+    ///
+    /// A `true` result combined with a subsequent empty pop means no element
+    /// will ever arrive again (consumers must re-check emptiness *after*
+    /// observing `is_closed` to avoid racing the producer's final pushes).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of elements currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail - head
+    }
+
+    /// Whether the queue currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of buffered elements.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "queue must report full at capacity");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(3).split();
+        for round in 0..10u32 {
+            for i in 0..3 {
+                tx.try_push(round * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(rx.try_pop(), Some(round * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        assert!(tx.is_empty() && rx.is_empty());
+        assert_eq!(tx.capacity(), 8);
+        assert_eq!(rx.capacity(), 8);
+        for i in 0..5 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.len(), 5);
+        assert_eq!(rx.len(), 5);
+        rx.try_pop().unwrap();
+        assert_eq!(rx.len(), 4);
+    }
+
+    #[test]
+    fn pop_batch_consumes_runs() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(16).split();
+        for i in 0..10u32 {
+            tx.try_push(i).unwrap();
+        }
+        let mut seen = Vec::new();
+        assert_eq!(rx.pop_batch(4, |v| seen.push(v)), 4);
+        assert_eq!(rx.pop_batch(100, |v| seen.push(v)), 6);
+        assert_eq!(rx.pop_batch(4, |v| seen.push(v)), 0);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_batch_zero_max_is_noop() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        tx.try_push(1).unwrap();
+        assert_eq!(rx.pop_batch(0, |_: u32| panic!("must not consume")), 0);
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_exact_waits_for_full_batch() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        for i in 0..3u32 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(!rx.pop_batch_exact(4, |_| panic!("must not consume a partial batch")));
+        tx.try_push(3).unwrap();
+        let mut seen = Vec::new();
+        assert!(rx.pop_batch_exact(4, |v| seen.push(v)));
+        assert_eq!(seen, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn close_is_observable_after_producer_drop() {
+        let (tx, mut rx) = SpscQueue::<u32>::with_capacity(2).split();
+        assert!(!rx.is_closed());
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn remaining_elements_survive_producer_drop() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        tx.try_push(7).unwrap();
+        tx.try_push(8).unwrap();
+        drop(tx);
+        assert!(rx.is_closed());
+        assert_eq!(rx.try_pop(), Some(7));
+        assert_eq!(rx.try_pop(), Some(8));
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn push_with_backoff_reports_full_events() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(1).split();
+        assert_eq!(tx.push_with_backoff(1, &BackoffPolicy::default()), 0);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut got = Vec::new();
+            while got.len() < 2 {
+                if let Some(v) = rx.try_pop() {
+                    got.push(v);
+                }
+            }
+            got
+        });
+        let failures = tx.push_with_backoff(
+            2,
+            &BackoffPolicy::SpinThenSleep { spins: 4, sleep: Duration::from_micros(100) },
+        );
+        assert!(failures > 0, "push into a full queue must record failed attempts");
+        assert_eq!(handle.join().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn drops_queued_elements_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        for _ in 0..6 {
+            tx.try_push(Counted).unwrap();
+        }
+        assert!(rx.try_pop().is_some()); // one dropped by consumption
+        drop(tx);
+        drop(rx); // five dropped by Inner::drop
+        assert_eq!(DROPS.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = SpscQueue::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn two_thread_stress_no_loss_no_duplication() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = SpscQueue::with_capacity(128).split();
+        let producer = std::thread::spawn(move || {
+            let policy =
+                BackoffPolicy::SpinThenSleep { spins: 32, sleep: Duration::from_micros(10) };
+            for i in 0..N {
+                tx.push_with_backoff(i, &policy);
+            }
+        });
+        let mut expected = 0u64;
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        while count < N {
+            let consumed = rx.pop_batch(64, |v| {
+                assert_eq!(v, expected, "FIFO order violated");
+                expected += 1;
+                sum += v;
+            });
+            count += consumed as u64;
+            if consumed == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn two_thread_stress_mixed_batch_sizes() {
+        const N: u32 = 100_000;
+        let (mut tx, mut rx) = SpscQueue::with_capacity(61).split(); // prime-ish, forces wraps
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push_with_backoff(i, &BackoffPolicy::BusyWait);
+            }
+        });
+        let mut next = 0u32;
+        let mut batch = 1usize;
+        while next < N {
+            rx.pop_batch(batch, |v| {
+                assert_eq!(v, next);
+                next += 1;
+            });
+            batch = batch % 17 + 1; // cycle through batch sizes 1..=17
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn push_batch_fills_free_space_only() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        tx.try_push(0).unwrap();
+        let mut items = 1..100;
+        assert_eq!(tx.push_batch(&mut items), 3, "only 3 slots were free");
+        assert_eq!(items.next(), Some(4), "iterator must retain unwritten items");
+        let mut seen = Vec::new();
+        rx.pop_batch(10, |v| seen.push(v));
+        assert_eq!(seen, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn push_batch_on_full_queue_is_zero() {
+        let (mut tx, _rx) = SpscQueue::with_capacity(2).split();
+        assert_eq!(tx.push_batch(&mut (0..2)), 2);
+        assert_eq!(tx.push_batch(&mut (2..4)), 0);
+    }
+
+    #[test]
+    fn push_batch_with_short_iterator() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(16).split();
+        assert_eq!(tx.push_batch(&mut (0..3)), 3);
+        assert_eq!(rx.pop_batch(16, |_| {}), 3);
+    }
+
+    #[test]
+    fn two_thread_stress_batched_producer() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = SpscQueue::with_capacity(128).split();
+        let producer = std::thread::spawn(move || {
+            let mut items = 0..N;
+            let mut pending = items.next();
+            while pending.is_some() {
+                // Re-chain the pending element ahead of the iterator.
+                let mut chained = pending.into_iter().chain(&mut items);
+                tx.push_batch(&mut chained);
+                pending = chained.next();
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            rx.pop_batch(64, |v| {
+                assert_eq!(v, expected, "FIFO order violated under batched push");
+                expected += 1;
+            });
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Producer<u64>>();
+        assert_send::<Consumer<u64>>();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Single-threaded model check: an arbitrary interleaving of pushes and
+    /// (batched) pops must behave exactly like a VecDeque of the same
+    /// capacity.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u16),
+        Pop,
+        PopBatch(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<u16>().prop_map(Op::Push),
+            Just(Op::Pop),
+            (1u8..32).prop_map(Op::PopBatch),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_bounded_deque(
+            capacity in 1usize..64,
+            ops in proptest::collection::vec(op_strategy(), 1..400),
+        ) {
+            let (mut tx, mut rx) = SpscQueue::with_capacity(capacity).split();
+            let mut model = std::collections::VecDeque::new();
+            for op in ops {
+                match op {
+                    Op::Push(v) => {
+                        let accepted = tx.try_push(v).is_ok();
+                        let model_accepts = model.len() < capacity;
+                        prop_assert_eq!(accepted, model_accepts);
+                        if model_accepts {
+                            model.push_back(v);
+                        }
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(rx.try_pop(), model.pop_front());
+                    }
+                    Op::PopBatch(max) => {
+                        let mut got = Vec::new();
+                        let n = rx.pop_batch(max as usize, |v| got.push(v));
+                        let expect: Vec<u16> =
+                            model.drain(..(max as usize).min(model.len())).collect();
+                        prop_assert_eq!(n, expect.len());
+                        prop_assert_eq!(got, expect);
+                    }
+                }
+                prop_assert_eq!(rx.len(), model.len());
+            }
+        }
+    }
+}

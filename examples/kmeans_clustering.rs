@@ -1,0 +1,44 @@
+//! Iterative KMeans on the RAMR runtime: one Lloyd iteration per MapReduce
+//! invocation, repeated to convergence — the paper's best-case workload
+//! (compute-heavy map, streaming combine).
+//!
+//! ```sh
+//! cargo run -p ramr --example kmeans_clustering
+//! ```
+
+use mr_apps::inputs::{km_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{kmeans::KmeansState, AppKind};
+use mr_core::RuntimeConfig;
+use ramr::RamrRuntime;
+
+fn main() -> Result<(), mr_core::RuntimeError> {
+    let spec = InputSpec::table1(AppKind::Kmeans, Platform::Haswell, InputFlavor::Small);
+    let points = km_input(&spec, 100);
+    println!("clustering {} points into 8 clusters", points.len());
+
+    let config = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(1) // KM's combine is light: one combiner serves all
+        .task_size(512)
+        .build()?;
+    let runtime = RamrRuntime::new(config)?;
+
+    let mut state = KmeansState::seeded(&points, 8);
+    loop {
+        let job = state.job();
+        let output = runtime.run(&job, &points)?;
+        let movement = state.step(&output.pairs);
+        println!(
+            "iteration {:>2}: max centroid movement {movement:.6}",
+            state.iterations()
+        );
+        if movement < 1e-6 || state.iterations() >= 30 {
+            break;
+        }
+    }
+    println!("\nfinal centroids:");
+    for (i, c) in state.centroids().iter().enumerate() {
+        println!("  c{i}: [{:8.3} {:8.3} {:8.3}]", c[0], c[1], c[2]);
+    }
+    Ok(())
+}

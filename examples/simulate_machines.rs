@@ -1,0 +1,37 @@
+//! Price a job on machines you do not have: the mrsim performance model on
+//! the paper's Haswell server and Xeon Phi presets.
+//!
+//! ```sh
+//! cargo run -p ramr --example simulate_machines
+//! ```
+
+use mr_apps::AppKind;
+use mrsim::{simulate, SimConfig, SimJob};
+use ramr_perfmodel::catalog;
+use ramr_topology::MachineModel;
+
+fn main() {
+    for machine in [MachineModel::haswell_server(), MachineModel::xeon_phi()] {
+        println!("=== {machine} ===");
+        for app in AppKind::ALL {
+            let job = SimJob {
+                profile: catalog::default_profile(app),
+                input_elements: 1_000_000,
+                unique_keys: 10_000,
+            };
+            let phoenix = simulate(&job, &SimConfig::phoenix(machine.clone()));
+            let ramr = simulate(&job, &SimConfig::ramr(machine.clone()));
+            println!(
+                "  {:>3}: phoenix++ {:>9.2} ms | ramr {:>9.2} ms ({} mappers + {} combiners) | speedup {:>5.2}x",
+                app.abbrev(),
+                phoenix.total_ns() / 1e6,
+                ramr.total_ns() / 1e6,
+                ramr.mappers,
+                ramr.combiners,
+                phoenix.total_ns() / ramr.total_ns(),
+            );
+        }
+        println!();
+    }
+    println!("See DESIGN.md for the machine-model substitution rationale.");
+}

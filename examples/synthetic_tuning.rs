@@ -1,0 +1,43 @@
+//! The workload-aware synthetic suite (paper SIII-C): sweep the combine
+//! intensity and watch the best mapper/combiner ratio shift, on the real
+//! runtime — the functional counterpart of Fig 4.
+//!
+//! ```sh
+//! cargo run -p ramr --example synthetic_tuning
+//! ```
+
+use mr_core::RuntimeConfig;
+use mr_synth::SynthSpec;
+use ramr::RamrRuntime;
+use std::time::Instant;
+
+fn main() -> Result<(), mr_core::RuntimeError> {
+    let input: Vec<u64> = (0..120_000).collect();
+    println!("synthetic sweep: CPU-intensive map (fixed), memory-intensive combine (swept)");
+    println!("times are wall-clock on THIS machine; see `fig4_synthetic` for the modeled figure\n");
+    println!("{:>10} {:>12} {:>12} {:>12}", "comb-iters", "ratio=3", "ratio=2", "ratio=1");
+    for intensity in [1u32, 16, 64] {
+        let mut row = format!("{intensity:>10}");
+        for (workers, combiners) in [(6, 2), (4, 2), (4, 4)] {
+            let spec = SynthSpec::fig4(intensity);
+            let job = spec.job();
+            let config = RuntimeConfig::builder()
+                .num_workers(workers)
+                .num_combiners(combiners)
+                .task_size(1024)
+                .queue_capacity(5000)
+                .batch_size(500)
+                .build()?;
+            let runtime = RamrRuntime::new(config)?;
+            let started = Instant::now();
+            let output = runtime.run(&job, &input)?;
+            row.push_str(&format!(" {:>9.1} ms", started.elapsed().as_secs_f64() * 1e3));
+            assert_eq!(
+                output.iter().map(|(_, v)| v).sum::<u64>(),
+                input.len() as u64 * mr_synth::SYNTH_EMITS_PER_ELEM as u64
+            );
+        }
+        println!("{row}");
+    }
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Differential tests: every paper application must produce the same output
+//! on the Phoenix++-style baseline and the decoupled RAMR runtime.
+//!
+//! Integer-valued jobs (WC, HG, LR, MM) are compared exactly; float-valued
+//! jobs (KM, PCA) within a relative tolerance, since the two runtimes fold
+//! combine operations in different orders.
+
+use std::sync::Arc;
+
+use mr_apps::inputs::{
+    hg_input, km_input, lr_input, mm_matrices, pca_matrix, wc_input, InputFlavor, InputSpec,
+    Platform,
+};
+use mr_apps::{
+    AppKind, Histogram, KmeansState, LinearRegression, MatrixMultiply, PcaCovJob, PcaMeanJob,
+    WordCount,
+};
+use mr_core::{JobOutput, MapReduceJob, MrKey, RuntimeConfig};
+use phoenix_mr::PhoenixRuntime;
+use ramr::RamrRuntime;
+
+const SCALE: u64 = 20_000;
+
+fn config(app: AppKind) -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(97)
+        .queue_capacity(256)
+        .batch_size(32)
+        .container(app.default_container())
+        .build()
+        .expect("valid test config")
+}
+
+fn spec(app: AppKind) -> InputSpec {
+    InputSpec::table1(app, Platform::Haswell, InputFlavor::Small)
+}
+
+type BothOutputs<J> =
+    (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>,
+     JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>);
+
+fn run_both<J: MapReduceJob>(job: &J, input: &[J::Input], config: RuntimeConfig) -> BothOutputs<J> {
+    let ramr = RamrRuntime::new(config.clone()).unwrap().run(job, input).unwrap();
+    let phoenix = PhoenixRuntime::new(config).unwrap().run(job, input).unwrap();
+    (ramr, phoenix)
+}
+
+fn assert_float_close<K: MrKey>(a: &[(K, f64)], b: &[(K, f64)]) {
+    assert_eq!(a.len(), b.len(), "key sets differ");
+    for ((ka, va), (kb, vb)) in a.iter().zip(b) {
+        assert_eq!(ka, kb);
+        let scale = va.abs().max(vb.abs()).max(1.0);
+        assert!((va - vb).abs() / scale < 1e-9, "{ka:?}: {va} vs {vb}");
+    }
+}
+
+#[test]
+fn word_count_agrees() {
+    let input = wc_input(&spec(AppKind::WordCount), SCALE);
+    let (ramr, phoenix) = run_both(&WordCount, &input, config(AppKind::WordCount));
+    assert_eq!(ramr.pairs, phoenix.pairs);
+    assert!(!ramr.is_empty());
+}
+
+#[test]
+fn histogram_agrees_and_conserves_pixels() {
+    let input = hg_input(&spec(AppKind::Histogram), SCALE);
+    let (ramr, phoenix) = run_both(&Histogram, &input, config(AppKind::Histogram));
+    assert_eq!(ramr.pairs, phoenix.pairs);
+    // Conservation: each channel's bins sum to the pixel count.
+    let red: u64 = ramr.iter().filter(|(k, _)| *k < 256).map(|(_, v)| v).sum();
+    assert_eq!(red, input.len() as u64);
+}
+
+#[test]
+fn linear_regression_agrees_exactly() {
+    let input = lr_input(&spec(AppKind::LinearRegression), SCALE);
+    let (ramr, phoenix) = run_both(&LinearRegression, &input, config(AppKind::LinearRegression));
+    assert_eq!(ramr.pairs, phoenix.pairs);
+    assert_eq!(ramr.len(), 5, "exactly the five LR statistics");
+}
+
+#[test]
+fn kmeans_iteration_agrees_within_tolerance() {
+    let input = km_input(&spec(AppKind::Kmeans), SCALE);
+    let state = KmeansState::seeded(&input, 8);
+    let job = state.job();
+    let (ramr, phoenix) = run_both(&job, &input, config(AppKind::Kmeans));
+    assert_eq!(ramr.len(), phoenix.len());
+    for ((ka, va), (kb, vb)) in ramr.iter().zip(phoenix.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(va.count, vb.count, "cluster {ka} population differs");
+        for d in 0..mr_apps::DIM {
+            let scale = va.sum[d].abs().max(1.0);
+            assert!((va.sum[d] - vb.sum[d]).abs() / scale < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn matrix_multiply_agrees_and_matches_reference() {
+    let (a, b) = mm_matrices(&spec(AppKind::MatrixMultiply), 2_000_000);
+    let (a, b) = (Arc::new(a), Arc::new(b));
+    let job = MatrixMultiply::new(Arc::clone(&a), Arc::clone(&b), 8);
+    let tasks = job.tasks();
+    let (ramr, phoenix) = run_both(&job, &tasks, config(AppKind::MatrixMultiply));
+    assert_eq!(ramr.pairs, phoenix.pairs);
+    // Cross-check against the sequential reference product.
+    let reference = a.multiply_reference(&b);
+    let n = job.n();
+    for (key, value) in ramr.iter() {
+        let (i, j) = ((*key as usize) / n, (*key as usize) % n);
+        assert_eq!(*value, reference.at(i, j), "C[{i}][{j}]");
+    }
+}
+
+#[test]
+fn pca_two_stage_agrees_within_tolerance() {
+    let matrix = Arc::new(pca_matrix(&spec(AppKind::Pca), 200_000));
+    let mean_job = PcaMeanJob::new(Arc::clone(&matrix));
+    let tasks = mean_job.tasks();
+    let (ramr_means, phoenix_means) = run_both(&mean_job, &tasks, config(AppKind::Pca));
+    assert_eq!(ramr_means.pairs, phoenix_means.pairs, "means are exact integer sums");
+
+    let means = Arc::new(mean_job.means(&ramr_means.pairs));
+    let cov_job = PcaCovJob::new(Arc::clone(&matrix), means);
+    let tasks = cov_job.tasks();
+    let (ramr_cov, phoenix_cov) = run_both(&cov_job, &tasks, config(AppKind::Pca));
+    assert_float_close(&ramr_cov.pairs, &phoenix_cov.pairs);
+    // Diagonal entries are variances: non-negative.
+    let n = matrix.n();
+    for (key, value) in ramr_cov.iter() {
+        let (i, j) = cov_job.unflatten(*key);
+        if i == j {
+            assert!(*value >= -1e-9, "variance of row {i} must be non-negative");
+        }
+        assert!(j >= i, "only the upper triangle is emitted");
+        let _ = n;
+    }
+}
+
+#[test]
+fn stressed_containers_agree_too() {
+    // Figs 8b/9b configuration: fixed-size hash / hash containers.
+    let input = hg_input(&spec(AppKind::Histogram), SCALE);
+    let mut cfg = config(AppKind::Histogram);
+    cfg.container = AppKind::Histogram.stressed_container();
+    cfg.fixed_capacity = Some(768);
+    let (ramr, phoenix) = run_both(&Histogram, &input, cfg);
+    assert_eq!(ramr.pairs, phoenix.pairs);
+}

@@ -1,0 +1,129 @@
+//! Cross-crate shape assertions: the modeled figures must reproduce the
+//! paper's qualitative results end to end (synthetic suite included).
+
+use mr_apps::inputs::{InputFlavor, Platform};
+use mr_apps::AppKind;
+use mr_synth::SynthSpec;
+use mrsim::{simulate, RuntimeKind, SimConfig, SimJob};
+use ramr_topology::MachineModel;
+
+fn fig4_job(combine_intensity: u32) -> SimJob {
+    SimJob {
+        profile: SynthSpec::fig4(combine_intensity).profile(),
+        input_elements: 20_000_000,
+        unique_keys: mr_synth::SYNTH_KEY_SPACE as u64,
+    }
+}
+
+fn ramr_at_ratio(job: &SimJob, ratio: usize) -> f64 {
+    let mut cfg = SimConfig::ramr(MachineModel::haswell_server());
+    let combiners = (cfg.total_threads / (ratio + 1)).max(1);
+    cfg.combiners = combiners;
+    cfg.mappers = cfg.total_threads - combiners;
+    simulate(job, &cfg).total_ns()
+}
+
+#[test]
+fn fig4_best_ratio_moves_from_three_to_one() {
+    // Light combine: one combiner serves three mappers best.
+    let light = fig4_job(2);
+    assert!(ramr_at_ratio(&light, 3) < ramr_at_ratio(&light, 1));
+    // Heavy combine: equal pools win.
+    let heavy = fig4_job(400);
+    assert!(ramr_at_ratio(&heavy, 1) < ramr_at_ratio(&heavy, 3));
+    // Somewhere in between, ratio 2 is the best of the three.
+    let mut crossover_seen = false;
+    for intensity in [10u32, 20, 30, 50, 80, 120] {
+        let j = fig4_job(intensity);
+        let (r3, r2, r1) = (ramr_at_ratio(&j, 3), ramr_at_ratio(&j, 2), ramr_at_ratio(&j, 1));
+        if r2 <= r3 && r2 <= r1 {
+            crossover_seen = true;
+        }
+    }
+    assert!(crossover_seen, "an intermediate intensity must prefer ratio 2");
+}
+
+#[test]
+fn fig4_ramr_beats_phoenix_on_the_synthetic() {
+    // CPU-intensive map + memory-intensive combine: the complementary
+    // profile RAMR is built for.
+    for intensity in [5u32, 50, 200] {
+        let j = fig4_job(intensity);
+        let phoenix = simulate(&j, &SimConfig::phoenix(MachineModel::haswell_server()));
+        let best_ramr = [1usize, 2, 3]
+            .iter()
+            .map(|&r| ramr_at_ratio(&j, r))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_ramr < phoenix.total_ns(),
+            "intensity {intensity}: RAMR {best_ramr:.3e} vs phoenix {:.3e}",
+            phoenix.total_ns()
+        );
+    }
+}
+
+#[test]
+fn fig8_fig9_shapes_hold_across_flavors() {
+    for platform in [Platform::Haswell, Platform::XeonPhi] {
+        for flavor in InputFlavor::ALL {
+            let km = mr_bench_speedup(AppKind::Kmeans, platform, flavor);
+            let hg = mr_bench_speedup(AppKind::Histogram, platform, flavor);
+            assert!(km > 1.0, "KM wins on {platform} {flavor}: {km:.2}");
+            assert!(hg < 1.0, "HG loses on {platform} {flavor}: {hg:.2}");
+        }
+    }
+}
+
+// Local copy of the bench helper (integration tests avoid depending on the
+// bench crate).
+fn mr_bench_speedup(app: AppKind, platform: Platform, flavor: InputFlavor) -> f64 {
+    use mr_apps::inputs::InputSpec;
+    use ramr_perfmodel::catalog;
+    let machine = match platform {
+        Platform::Haswell => MachineModel::haswell_server(),
+        Platform::XeonPhi => MachineModel::xeon_phi(),
+    };
+    let spec = InputSpec::table1(app, platform, flavor);
+    let job = SimJob {
+        profile: catalog::default_profile(app),
+        input_elements: spec.scaled_elements(1),
+        unique_keys: match app {
+            AppKind::Histogram => 768,
+            AppKind::Kmeans => 64,
+            _ => 1000,
+        },
+    };
+    let phoenix = simulate(&job, &SimConfig::phoenix(machine.clone()));
+    let mut ramr_cfg = SimConfig::ramr(machine);
+    ramr_cfg.runtime = RuntimeKind::Ramr;
+    let ramr = simulate(&job, &ramr_cfg);
+    phoenix.total_ns() / ramr.total_ns()
+}
+
+#[test]
+fn queue_capacity_5000_is_near_optimal() {
+    // Paper SIII-A: "a maximum capacity of five thousand elements achieves
+    // near-optimal (within 2%) performance across all test-cases".
+    for app in AppKind::ALL {
+        let job = SimJob {
+            profile: ramr_perfmodel::catalog::default_profile(app),
+            input_elements: 5_000_000,
+            unique_keys: 10_000,
+        };
+        let time_at = |capacity: usize| {
+            let mut cfg = SimConfig::ramr(MachineModel::haswell_server());
+            cfg.queue_capacity = capacity;
+            cfg.batch_size = cfg.batch_size.min(capacity);
+            simulate(&job, &cfg).total_ns()
+        };
+        let at_5000 = time_at(5000);
+        let best = [1000usize, 2000, 5000, 10_000, 20_000, 100_000]
+            .iter()
+            .map(|&c| time_at(c))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            at_5000 <= best * 1.05,
+            "{app}: capacity 5000 must be within ~2% of optimal ({at_5000:.3e} vs {best:.3e})"
+        );
+    }
+}

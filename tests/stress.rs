@@ -1,0 +1,209 @@
+//! Stress tests: degenerate queue sizes, oversubscription, heavy emission
+//! fan-out, and sustained pressure through tiny pipelines.
+
+use mr_core::{ContainerKind, Emitter, MapReduceJob, RuntimeConfig};
+use phoenix_mr::PhoenixRuntime;
+use ramr::RamrRuntime;
+
+/// Emits FAN pairs per element to stress the queues.
+struct FanOut;
+
+const FAN: u64 = 32;
+
+impl MapReduceJob for FanOut {
+    type Input = u64;
+    type Key = u32;
+    type Value = u64;
+
+    fn map(&self, task: &[u64], emit: &mut Emitter<'_, u32, u64>) {
+        for &x in task {
+            for i in 0..FAN {
+                emit.emit(((x + i) % 1024) as u32, x + i);
+            }
+        }
+    }
+
+    fn combine(&self, acc: &mut u64, v: u64) {
+        *acc = acc.wrapping_add(v);
+    }
+
+    fn key_space(&self) -> Option<usize> {
+        Some(1024)
+    }
+
+    fn key_index(&self, k: &u32) -> usize {
+        *k as usize
+    }
+}
+
+fn reference(input: &[u64]) -> Vec<(u32, u64)> {
+    let mut sums = std::collections::BTreeMap::new();
+    for &x in input {
+        for i in 0..FAN {
+            let k = ((x + i) % 1024) as u32;
+            let e = sums.entry(k).or_insert(0u64);
+            *e = e.wrapping_add(x + i);
+        }
+    }
+    sums.into_iter().collect()
+}
+
+#[test]
+fn single_slot_queues_do_not_deadlock() {
+    let input: Vec<u64> = (0..20_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(64)
+        .queue_capacity(1)
+        .batch_size(1)
+        .build()
+        .unwrap();
+    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    assert_eq!(out.pairs, reference(&input));
+    assert!(out.stats.queue_full_events > 0);
+}
+
+#[test]
+fn oversubscribed_pools_terminate() {
+    // Far more threads than this machine has cores.
+    let input: Vec<u64> = (0..50_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(16)
+        .num_combiners(16)
+        .task_size(128)
+        .queue_capacity(64)
+        .batch_size(16)
+        .build()
+        .unwrap();
+    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    assert_eq!(out.pairs, reference(&input));
+}
+
+#[test]
+fn sustained_pressure_with_heavy_fanout() {
+    let input: Vec<u64> = (0..100_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(6)
+        .num_combiners(2)
+        .task_size(1000)
+        .queue_capacity(100)
+        .batch_size(50)
+        .build()
+        .unwrap();
+    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    assert_eq!(out.stats.emitted, input.len() as u64 * FAN);
+    assert_eq!(out.pairs, reference(&input));
+}
+
+#[test]
+fn repeated_invocations_are_stable() {
+    // The runtime is reusable: many invocations on one instance.
+    let input: Vec<u64> = (0..5_000).collect();
+    let expected = reference(&input);
+    let cfg = RuntimeConfig::builder()
+        .num_workers(3)
+        .num_combiners(3)
+        .task_size(77)
+        .queue_capacity(32)
+        .batch_size(8)
+        .build()
+        .unwrap();
+    let rt = RamrRuntime::new(cfg).unwrap();
+    for round in 0..20 {
+        let out = rt.run(&FanOut, &input).unwrap();
+        assert_eq!(out.pairs, expected, "round {round}");
+    }
+}
+
+#[test]
+fn both_runtimes_survive_empty_and_tiny_inputs() {
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(1)
+        .queue_capacity(2)
+        .batch_size(1)
+        .build()
+        .unwrap();
+    for n in [0usize, 1, 2, 3, 7] {
+        let input: Vec<u64> = (0..n as u64).collect();
+        let r = RamrRuntime::new(cfg.clone()).unwrap().run(&FanOut, &input).unwrap();
+        let p = PhoenixRuntime::new(cfg.clone()).unwrap().run(&FanOut, &input).unwrap();
+        assert_eq!(r.pairs, p.pairs, "n={n}");
+        assert_eq!(r.pairs, reference(&input));
+    }
+}
+
+#[test]
+fn combine_panic_does_not_hang_the_pipeline() {
+    struct PanickyCombine;
+    impl MapReduceJob for PanickyCombine {
+        type Input = u64;
+        type Key = u32;
+        type Value = u64;
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u32, u64>) {
+            for &x in task {
+                emit.emit((x % 8) as u32, x);
+            }
+        }
+        fn combine(&self, acc: &mut u64, v: u64) {
+            if *acc > 50 {
+                panic!("combine exploded");
+            }
+            *acc += v;
+        }
+        fn key_space(&self) -> Option<usize> {
+            Some(8)
+        }
+        fn key_index(&self, k: &u32) -> usize {
+            *k as usize
+        }
+    }
+    let input: Vec<u64> = (0..10_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(32)
+        .queue_capacity(16)
+        .batch_size(4)
+        .build()
+        .unwrap();
+    // Must terminate (no deadlock on full queues) and surface the panic.
+    let err = RamrRuntime::new(cfg).unwrap().run(&PanickyCombine, &input).unwrap_err();
+    assert!(
+        matches!(err, mr_core::RuntimeError::WorkerPanic(ref m) if m.contains("combine exploded")),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn hash_container_stress_with_many_keys() {
+    struct WideKeys;
+    impl MapReduceJob for WideKeys {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x.wrapping_mul(0x9e37_79b9_7f4a_7c15), 1);
+            }
+        }
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+    }
+    let input: Vec<u64> = (0..200_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(512)
+        .queue_capacity(1000)
+        .batch_size(100)
+        .container(ContainerKind::Hash)
+        .build()
+        .unwrap();
+    let out = RamrRuntime::new(cfg).unwrap().run(&WideKeys, &input).unwrap();
+    assert_eq!(out.len(), 200_000, "all keys distinct");
+    assert!(out.iter().all(|(_, v)| *v == 1));
+}
