@@ -148,9 +148,9 @@ impl InputSpec {
         match self.paper {
             PaperQuantity::Bytes(b) => {
                 let per_elem = match self.app {
-                    AppKind::WordCount => 60,    // one generated text line
+                    AppKind::WordCount => 60,       // one generated text line
                     AppKind::LinearRegression => 8, // two i32 coordinates
-                    AppKind::Histogram => 3,     // one RGB pixel
+                    AppKind::Histogram => 3,        // one RGB pixel
                     _ => 8,
                 };
                 (b / scale / per_elem).max(64)
@@ -217,9 +217,7 @@ pub fn wc_input(spec: &InputSpec, scale: u64) -> Vec<String> {
 pub fn hg_input(spec: &InputSpec, scale: u64) -> Vec<Pixel> {
     let pixels = spec.scaled_elements(scale);
     let mut rng = StdRng::seed_from_u64(seed_for(spec.app, spec.platform, spec.flavor));
-    (0..pixels)
-        .map(|_| Pixel { r: rng.gen(), g: rng.gen(), b: rng.gen() })
-        .collect()
+    (0..pixels).map(|_| Pixel { r: rng.gen(), g: rng.gen(), b: rng.gen() }).collect()
 }
 
 /// Generates Linear Regression input: noisy points around a fixed line.
@@ -240,7 +238,13 @@ pub fn km_input(spec: &InputSpec, scale: u64) -> Vec<Point> {
     let points = spec.scaled_elements(scale);
     let mut rng = StdRng::seed_from_u64(seed_for(spec.app, spec.platform, spec.flavor));
     let centers: Vec<Point> = (0..KMEANS_CLUSTERS)
-        .map(|_| [rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)])
+        .map(|_| {
+            [
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+            ]
+        })
         .collect();
     (0..points)
         .map(|_| {
@@ -299,7 +303,10 @@ mod tests {
                     .iter()
                     .map(|&f| InputSpec::table1(app, platform, f).scaled_elements(1))
                     .collect();
-                assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "{app} {platform}: {sizes:?}");
+                assert!(
+                    sizes[0] <= sizes[1] && sizes[1] <= sizes[2],
+                    "{app} {platform}: {sizes:?}"
+                );
             }
         }
     }
@@ -336,7 +343,8 @@ mod tests {
 
     #[test]
     fn scaling_divides_counts() {
-        let spec = InputSpec::table1(AppKind::LinearRegression, Platform::Haswell, InputFlavor::Small);
+        let spec =
+            InputSpec::table1(AppKind::LinearRegression, Platform::Haswell, InputFlavor::Small);
         let full = spec.scaled_elements(1);
         let scaled = spec.scaled_elements(1000);
         assert_eq!(full, 50_000_000); // 400 MB / 8 B
@@ -345,7 +353,8 @@ mod tests {
 
     #[test]
     fn matrix_dims_scale_by_cbrt() {
-        let spec = InputSpec::table1(AppKind::MatrixMultiply, Platform::Haswell, InputFlavor::Large);
+        let spec =
+            InputSpec::table1(AppKind::MatrixMultiply, Platform::Haswell, InputFlavor::Large);
         // 4000 / cbrt(1000) = 400.
         assert_eq!(spec.scaled_elements(1000), 400);
     }
@@ -376,7 +385,8 @@ mod tests {
 
     #[test]
     fn lr_points_follow_the_planted_line() {
-        let spec = InputSpec::table1(AppKind::LinearRegression, Platform::Haswell, InputFlavor::Small);
+        let spec =
+            InputSpec::table1(AppKind::LinearRegression, Platform::Haswell, InputFlavor::Small);
         let points = lr_input(&spec, DEFAULT_SCALE);
         let n = points.len() as f64;
         let (sx, sy, sxx, sxy) = points.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, p| {

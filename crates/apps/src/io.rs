@@ -29,8 +29,10 @@ const MATRIX_MAGIC: &[u8; 8] = b"RAMRMAT1";
 fn bad_magic(expected: &[u8; 8]) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("missing {} header; is this the right input format?",
-            String::from_utf8_lossy(expected)),
+        format!(
+            "missing {} header; is this the right input format?",
+            String::from_utf8_lossy(expected)
+        ),
     )
 }
 
@@ -210,10 +212,8 @@ pub fn read_matrix(path: &Path) -> io::Result<Matrix> {
             format!("matrix body has {} bytes, expected {}", bytes.len(), n * n * 8),
         ));
     }
-    let data = bytes
-        .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect();
+    let data =
+        bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes"))).collect();
     Ok(Matrix::from_rows(n, data))
 }
 

@@ -123,11 +123,8 @@ mod tests {
     #[test]
     fn default_containers_match_paper() {
         for app in AppKind::ALL {
-            let expected = if app == AppKind::WordCount {
-                ContainerKind::Hash
-            } else {
-                ContainerKind::Array
-            };
+            let expected =
+                if app == AppKind::WordCount { ContainerKind::Hash } else { ContainerKind::Array };
             assert_eq!(app.default_container(), expected, "{app}");
         }
     }
@@ -136,7 +133,9 @@ mod tests {
     fn stressed_containers_match_paper() {
         assert_eq!(AppKind::MatrixMultiply.stressed_container(), ContainerKind::Hash);
         assert_eq!(AppKind::Pca.stressed_container(), ContainerKind::Hash);
-        for app in [AppKind::WordCount, AppKind::Histogram, AppKind::LinearRegression, AppKind::Kmeans] {
+        for app in
+            [AppKind::WordCount, AppKind::Histogram, AppKind::LinearRegression, AppKind::Kmeans]
+        {
             assert_eq!(app.stressed_container(), ContainerKind::FixedHash, "{app}");
         }
     }

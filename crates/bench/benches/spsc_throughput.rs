@@ -59,5 +59,72 @@ fn two_thread_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, single_thread_round_trip, two_thread_pipeline);
+/// Producer-side mirror of `two_thread_pipeline`: the consumer always reads
+/// 1000-element batches; the producer publishes either element-wise (one
+/// tail update per element, `push_with_backoff`) or in blocks (one tail
+/// update per block, `push_batch_with_backoff`). The block variants should
+/// meet or beat element-wise throughput — this is the runtime's emit-buffer
+/// mechanism in isolation.
+fn two_thread_producer_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc/producer-side");
+    group.throughput(Throughput::Elements(ITEMS));
+    group.sample_size(10);
+
+    let consume_all = |mut rx: ramr_spsc::Consumer<u64>| {
+        let mut sum = 0u64;
+        let mut seen = 0u64;
+        while seen < ITEMS {
+            let n = rx.pop_batch(1000, |v| sum += v);
+            seen += n as u64;
+            if n == 0 {
+                std::hint::spin_loop();
+            }
+        }
+        sum
+    };
+
+    group.bench_function("element-wise", |b| {
+        b.iter(|| {
+            let (mut tx, rx) = SpscQueue::with_capacity(5000).split();
+            let producer = std::thread::spawn(move || {
+                let policy = BackoffPolicy::default();
+                for i in 0..ITEMS {
+                    tx.push_with_backoff(i, &policy);
+                }
+            });
+            let sum = consume_all(rx);
+            producer.join().unwrap();
+            sum
+        })
+    });
+    for block in [64usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("block", block), &block, |b, &block| {
+            b.iter(|| {
+                let (mut tx, rx) = SpscQueue::with_capacity(5000).split();
+                let producer = std::thread::spawn(move || {
+                    let policy = BackoffPolicy::default();
+                    let mut buf = Vec::with_capacity(block);
+                    for i in 0..ITEMS {
+                        buf.push(i);
+                        if buf.len() == block {
+                            tx.push_batch_with_backoff(&mut buf, &policy);
+                        }
+                    }
+                    tx.push_batch_with_backoff(&mut buf, &policy);
+                });
+                let sum = consume_all(rx);
+                producer.join().unwrap();
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    single_thread_round_trip,
+    two_thread_pipeline,
+    two_thread_producer_blocks
+);
 criterion_main!(benches);

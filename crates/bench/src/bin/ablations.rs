@@ -1,12 +1,16 @@
 //! Ablation benches for the design choices the paper fixes by tuning:
 //! queue capacity (paper: 5000 within 2% of optimal), sleep-vs-busy-wait on
-//! failed push (paper: sleeping improves runtime), and task size (paper:
-//! large tasks load-balance poorly, small tasks pay library overhead).
+//! failed push (paper: sleeping improves runtime), task size (paper: large
+//! tasks load-balance poorly, small tasks pay library overhead), and the
+//! mapper-side emit buffer (this implementation's producer-side mirror of
+//! the batched read; measured on real threads, not the simulator).
 
-use mr_apps::inputs::{InputFlavor, Platform};
-use mr_apps::AppKind;
+use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, WordCount};
 use mr_bench::{sim_config, sim_job};
+use mr_core::RuntimeConfig;
 use mrsim::{auto_split, simulate, RuntimeKind};
+use ramr::RamrRuntime;
 
 fn main() {
     let platform = Platform::Haswell;
@@ -40,7 +44,11 @@ fn main() {
     cfg.busy_wait_push = true;
     let spinning = simulate(&job, &cfg).total_ns();
     println!("  sleep-on-failed-push: {:.1} ms", sleeping / 1e6);
-    println!("  busy-wait:            {:.1} ms ({:.2}x worse)", spinning / 1e6, spinning / sleeping);
+    println!(
+        "  busy-wait:            {:.1} ms ({:.2}x worse)",
+        spinning / 1e6,
+        spinning / sleeping
+    );
 
     println!("\nABLATION 3: task size sweep (KM, large). U-shaped: overhead vs balance.\n");
     mr_bench::print_header(&["task-size", "time(ms)", "vs-best"]);
@@ -57,5 +65,38 @@ fn main() {
     let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
     for (ts, t) in sizes.iter().zip(&times) {
         println!("{:>10} {:>10.1} {:>10.3}", ts, t / 1e6, t / best);
+    }
+
+    println!(
+        "\nABLATION 4: emit-buffer sweep (WC, real threads). 1 = element-wise \
+         publication; larger blocks amortize the tail update.\n"
+    );
+    mr_bench::print_header(&["emit-buf", "time(ms)", "vs-best", "back-pres"]);
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
+    let lines = wc_input(&spec, 2_000);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let buffers = [1usize, 2, 8, 64, 256, 1000];
+    let mut rows = Vec::new();
+    for &emit in &buffers {
+        let cfg = RuntimeConfig::builder()
+            .num_workers(threads.max(2))
+            .num_combiners((threads / 2).max(1))
+            .task_size(256)
+            .queue_capacity(5000)
+            .batch_size(1000)
+            .container(AppKind::WordCount.default_container())
+            .emit_buffer_size(emit)
+            .build()
+            .expect("valid ablation config");
+        let rt = RamrRuntime::new(cfg).expect("runtime");
+        rt.run(&WordCount, &lines).expect("warm-up run"); // warm caches/allocator
+        let start = std::time::Instant::now();
+        let (_, report) = rt.run_with_report(&WordCount, &lines).expect("measured run");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        rows.push((emit, ms, report.back_pressure()));
+    }
+    let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    for (emit, ms, bp) in rows {
+        println!("{emit:>10} {ms:>10.1} {:>10.3} {bp:>10.4}", ms / best);
     }
 }

@@ -9,11 +9,8 @@ fn table(stressed: bool) {
     let machine = MachineModel::haswell_server();
     mr_bench::print_header(&["app", "IPB", "MSPI", "RSPI"]);
     for app in AppKind::ALL {
-        let profile = if stressed {
-            catalog::stressed_profile(app)
-        } else {
-            catalog::default_profile(app)
-        };
+        let profile =
+            if stressed { catalog::stressed_profile(app) } else { catalog::default_profile(app) };
         let m = characterize(&profile, &machine);
         println!("{:>10} {:>10.2} {:>10.4} {:>10.4}", app.abbrev(), m.ipb, m.mspi, m.rspi);
     }

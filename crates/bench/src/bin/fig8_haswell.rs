@@ -10,10 +10,8 @@ fn table(platform: Platform, stressed: bool) {
     mr_bench::print_header(&["app", "small", "medium", "large", "mean"]);
     let mut all = Vec::new();
     for app in AppKind::ALL {
-        let per_flavor: Vec<f64> = InputFlavor::ALL
-            .iter()
-            .map(|&f| speedup(app, platform, f, stressed))
-            .collect();
+        let per_flavor: Vec<f64> =
+            InputFlavor::ALL.iter().map(|&f| speedup(app, platform, f, stressed)).collect();
         let mean = geomean(&per_flavor);
         all.push(mean);
         let mut row = per_flavor;

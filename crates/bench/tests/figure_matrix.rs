@@ -41,16 +41,11 @@ fn speedups_are_stable_across_input_flavors() {
     // Figs 8/9 plot three bars per app that sit close together: the
     // runtimes' relative standing is input-size insensitive at these scales.
     for app in AppKind::ALL {
-        let values: Vec<f64> = InputFlavor::ALL
-            .iter()
-            .map(|&f| speedup(app, Platform::Haswell, f, false))
-            .collect();
+        let values: Vec<f64> =
+            InputFlavor::ALL.iter().map(|&f| speedup(app, Platform::Haswell, f, false)).collect();
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(0.0f64, f64::max);
-        assert!(
-            max / min < 1.25,
-            "{app}: flavor spread too wide: {values:?}"
-        );
+        assert!(max / min < 1.25, "{app}: flavor spread too wide: {values:?}");
     }
 }
 

@@ -21,10 +21,7 @@ impl Args {
     ///
     /// Returns a message naming the offending flag when one is unknown or
     /// missing its value.
-    pub fn parse<I: IntoIterator<Item = String>>(
-        raw: I,
-        allowed: &[&str],
-    ) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I, allowed: &[&str]) -> Result<Self, String> {
         let mut args = Args::default();
         let mut iter = raw.into_iter();
         while let Some(arg) = iter.next() {
@@ -70,9 +67,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(raw) => {
-                raw.parse().map_err(|_| format!("cannot parse --{name} value {raw:?}"))
-            }
+            Some(raw) => raw.parse().map_err(|_| format!("cannot parse --{name} value {raw:?}")),
         }
     }
 }

@@ -27,7 +27,8 @@ USAGE:
                 [--input FILE] [--input-a FILE --input-b FILE (mm)]
                 [--flavor small|medium|large] [--platform hwl|phi]
                 [--scale N] [--workers N] [--combiners N] [--task N]
-                [--queue N] [--batch N] [--container array|hash|fixed-hash]
+                [--queue N] [--batch N] [--emit-buffer N]
+                [--container array|hash|fixed-hash]
                 [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
@@ -95,7 +96,7 @@ fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
         "os-default" => PinningPolicyKind::OsDefault,
         other => return Err(format!("unknown --pinning {other:?}")),
     };
-    RuntimeConfig::builder()
+    let mut builder = RuntimeConfig::builder()
         .num_workers(workers)
         .num_combiners(combiners)
         .task_size(args.get_or("task", 1024)?)
@@ -103,9 +104,12 @@ fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
         .batch_size(args.get_or("batch", 1000)?)
         .container(container)
         .pinning(pinning)
-        .pin_os_threads(args.get_or("pin", 0u8)? != 0)
-        .build()
-        .map_err(|e| e.to_string())
+        .pin_os_threads(args.get_or("pin", 0u8)? != 0);
+    if let Some(raw) = args.get("emit-buffer") {
+        let n: usize = raw.parse().map_err(|_| format!("cannot parse --emit-buffer {raw:?}"))?;
+        builder = builder.emit_buffer_size(n);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 /// Which runtimes a `run` invocation exercises.
@@ -196,11 +200,12 @@ pub fn run(args: &Args) -> Result<(), String> {
     };
     println!(
         "{} | {platform} {flavor} ({source}) | workers {} combiners {} \
-         batch {} queue {} container {}",
+         batch {} emit-buffer {} queue {} container {}",
         app.abbrev(),
         config.num_workers,
         config.num_combiners,
         config.batch_size,
+        config.effective_emit_buffer(),
         config.queue_capacity,
         config.container,
     );
@@ -277,9 +282,8 @@ pub fn generate(args: &Args) -> Result<(), String> {
     let flavor = parse_flavor(args)?;
     let platform = parse_platform(args, "platform", "hwl")?;
     let scale = args.get_or("scale", DEFAULT_SCALE)?;
-    let out = std::path::PathBuf::from(
-        args.get("out").ok_or("--out FILE is required for generate")?,
-    );
+    let out =
+        std::path::PathBuf::from(args.get("out").ok_or("--out FILE is required for generate")?);
     let spec = InputSpec::table1(app, platform, flavor);
     let io_err = |e: std::io::Error| e.to_string();
     let written = match app {
@@ -343,11 +347,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     } else {
         ramr_perfmodel::catalog::default_profile(app)
     };
-    let job = SimJob {
-        profile,
-        input_elements: spec.scaled_elements(1),
-        unique_keys: 10_000,
-    };
+    let job = SimJob { profile, input_elements: spec.scaled_elements(1), unique_keys: 10_000 };
     let apply = |cfg: &mut SimConfig| -> Result<(), String> {
         cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
         cfg.queue_capacity = args.get_or("queue", cfg.queue_capacity)?;
@@ -399,8 +399,7 @@ pub fn tune(args: &Args) -> Result<(), String> {
         sample: &[J::Input],
         base: RuntimeConfig,
     ) -> Result<(), String> {
-        let calibration =
-            ramr::tuning::calibrate(job, sample, &base).map_err(|e| e.to_string())?;
+        let calibration = ramr::tuning::calibrate(job, sample, &base).map_err(|e| e.to_string())?;
         let tuned = calibration.suggest(base).map_err(|e| e.to_string())?;
         println!(
             "map {:.1} ns/elem | combine {:.1} ns/pair | {:.2} pairs/elem | combine share {:.1}%",

@@ -19,8 +19,24 @@ mod commands;
 use args::Args;
 
 const RUN_FLAGS: &[&str] = &[
-    "app", "runtime", "flavor", "platform", "scale", "workers", "combiners", "task", "queue",
-    "batch", "container", "pinning", "runs", "pin", "input", "input-a", "input-b",
+    "app",
+    "runtime",
+    "flavor",
+    "platform",
+    "scale",
+    "workers",
+    "combiners",
+    "task",
+    "queue",
+    "batch",
+    "emit-buffer",
+    "container",
+    "pinning",
+    "runs",
+    "pin",
+    "input",
+    "input-a",
+    "input-b",
 ];
 const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];
@@ -37,11 +53,15 @@ fn main() {
         }
     };
     let outcome = match command.as_str() {
-        "run" => Args::parse(rest, RUN_FLAGS).and_then(no_positionals).and_then(|a| commands::run(&a)),
-        "simulate" => {
-            Args::parse(rest, SIM_FLAGS).and_then(no_positionals).and_then(|a| commands::simulate(&a))
+        "run" => {
+            Args::parse(rest, RUN_FLAGS).and_then(no_positionals).and_then(|a| commands::run(&a))
         }
-        "tune" => Args::parse(rest, TUNE_FLAGS).and_then(no_positionals).and_then(|a| commands::tune(&a)),
+        "simulate" => Args::parse(rest, SIM_FLAGS)
+            .and_then(no_positionals)
+            .and_then(|a| commands::simulate(&a)),
+        "tune" => {
+            Args::parse(rest, TUNE_FLAGS).and_then(no_positionals).and_then(|a| commands::tune(&a))
+        }
         "generate" => Args::parse(rest, GENERATE_FLAGS)
             .and_then(no_positionals)
             .and_then(|a| commands::generate(&a)),

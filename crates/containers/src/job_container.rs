@@ -3,9 +3,7 @@
 
 use mr_core::{ContainerKind, MapReduceJob, RuntimeError};
 
-use crate::{
-    ArrayContainer, FixedHashContainer, HashContainer, DEFAULT_FIXED_HASH_CAPACITY,
-};
+use crate::{ArrayContainer, FixedHashContainer, HashContainer, DEFAULT_FIXED_HASH_CAPACITY};
 
 /// A container of any [`ContainerKind`], dispatching by enum rather than
 /// trait object so the combine closure stays statically dispatched in the

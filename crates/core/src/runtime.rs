@@ -4,8 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use mr_core::{
-    task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer,
-    PushBackoff, RuntimeConfig, RuntimeError,
+    task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer, PushBackoff,
+    RuntimeConfig, RuntimeError,
 };
 use phoenix_mr::{phases, TaskQueues};
 use ramr_containers::JobContainer;
@@ -21,10 +21,17 @@ type PairProducer<J> = Producer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::
 /// The read half of one mapper's pipeline queue.
 type PairConsumer<J> = Consumer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
 
-/// How long an idle combiner sleeps when none of its queues can serve a
-/// batch. Short enough that drain latency is negligible, long enough not to
-/// burn the core its mappers may be sharing.
-const COMBINER_IDLE_SLEEP: Duration = Duration::from_micros(50);
+/// An idle combiner's waiting policy, derived from the configured
+/// producer-side backoff so both ends of each pipeline degrade
+/// symmetrically: `(spin rounds after the last progress, sleep once
+/// exhausted)`. `BusyWait` maps to pure spinning (no sleep), matching what
+/// it asks of the producers.
+fn idle_policy(backoff: PushBackoff) -> (u32, Option<Duration>) {
+    match backoff {
+        PushBackoff::BusyWait => (u32::MAX, None),
+        PushBackoff::SpinThenSleep { spins, sleep } => (spins, Some(sleep)),
+    }
+}
 
 /// The RAMR runtime: two thread pools, SPSC pipelines, batched combine.
 ///
@@ -97,9 +104,12 @@ impl RamrRuntime {
     /// Executes `job` over `input`, returning the key-sorted reduced output.
     ///
     /// The map-combine phase runs decoupled: `num_workers` mappers feed
-    /// `num_combiners` combiners through SPSC queues, with batched reads of
-    /// `batch_size` elements and the configured backoff on full queues.
-    /// Reduce and merge then run exactly as in the baseline.
+    /// `num_combiners` combiners through SPSC queues. Emissions travel in
+    /// blocks at both ends — each mapper buffers `effective_emit_buffer()`
+    /// pairs locally and publishes them with one tail update, and each
+    /// combiner consumes batched reads of `batch_size` elements — with the
+    /// configured backoff on full queues. Reduce and merge then run exactly
+    /// as in the baseline.
     ///
     /// # Errors
     ///
@@ -141,10 +151,10 @@ impl RamrRuntime {
         // --- Map-combine phase (decoupled, overlapped) -------------------
         let timer = PhaseTimer::start(PhaseKind::MapCombine);
         let backoff = to_backoff(config.push_backoff);
+        let emit_block = config.effective_emit_buffer();
 
         // One SPSC queue per mapper; consumers grouped per combiner.
-        let mut producers: Vec<Option<PairProducer<J>>> =
-            Vec::with_capacity(config.num_workers);
+        let mut producers: Vec<Option<PairProducer<J>>> = Vec::with_capacity(config.num_workers);
         let mut consumers_of: Vec<Vec<PairConsumer<J>>> =
             (0..config.num_combiners).map(|_| Vec::new()).collect();
         for mapper in 0..config.num_workers {
@@ -205,8 +215,9 @@ impl RamrRuntime {
                         let backoff = &backoff;
                         scope.spawn(move || {
                             maybe_pin(pin, slot);
-                            let (emitted, full_events) =
-                                mapper_loop(job, input, queues, home_group, tx, backoff);
+                            let (emitted, full_events) = mapper_loop(
+                                job, input, queues, home_group, tx, backoff, emit_block,
+                            );
                             counters.0.store(emitted, Ordering::Relaxed);
                             counters.1.store(full_events, Ordering::Relaxed);
                         })
@@ -218,22 +229,20 @@ impl RamrRuntime {
                 let mut mapper_panic: Option<RuntimeError> = None;
                 for h in mapper_handles {
                     if let Err(panic) = h.join() {
-                        mapper_panic
-                            .get_or_insert(RuntimeError::WorkerPanic(phases::panic_message(
-                                &*panic,
-                            )));
+                        mapper_panic.get_or_insert(RuntimeError::WorkerPanic(
+                            phases::panic_message(&*panic),
+                        ));
                     }
                 }
 
-                let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> =
-                    combiner_handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join().unwrap_or_else(|panic| {
-                                Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
-                            })
+                let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> = combiner_handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|panic| {
+                            Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
                         })
-                        .collect();
+                    })
+                    .collect();
                 if let Some(e) = mapper_panic {
                     results.insert(0, Err(e));
                 }
@@ -266,12 +275,8 @@ impl RamrRuntime {
         timer.stop(&mut stats);
 
         stats.output_keys = merged.len() as u64;
-        let report = RunReport {
-            plan,
-            emitted_per_mapper,
-            full_events_per_mapper,
-            consumed_per_combiner,
-        };
+        let report =
+            RunReport { plan, emitted_per_mapper, full_events_per_mapper, consumed_per_combiner };
         Ok((JobOutput::from_unsorted(merged, stats), report))
     }
 }
@@ -286,11 +291,21 @@ impl RamrRuntime {
 pub struct RunReport {
     /// The placement plan the run used.
     pub plan: PlacementPlan,
-    /// Pairs emitted by each mapper.
+    /// Pairs emitted by each mapper. Counted at emission time, so buffered
+    /// pairs awaiting a flush are included; conservation
+    /// (`emitted == consumed`) holds once the run returns because every
+    /// mapper drain-flushes its emit buffer before closing its queue.
     pub emitted_per_mapper: Vec<u64>,
-    /// Failed-push (queue full) events per mapper.
+    /// Queue-full events per mapper: publish attempts that made zero
+    /// progress because the queue had no free slot. With an emit buffer
+    /// of 1 this counts failed element pushes (the historical meaning);
+    /// with larger buffers it counts stalled *block* flushes, so absolute
+    /// values are not comparable across different `emit_buffer_size`
+    /// settings — compare [`RunReport::back_pressure`] trends instead.
     pub full_events_per_mapper: Vec<u64>,
-    /// Pairs consumed by each combiner.
+    /// Pairs consumed by each combiner. Exact even when a combine function
+    /// panics mid-batch: the count advances with the queue's head cursor,
+    /// element by element, inside each batched read.
     pub consumed_per_combiner: Vec<u64>,
 }
 
@@ -307,8 +322,10 @@ impl RunReport {
         }
     }
 
-    /// Fraction of emitted pairs whose push initially failed — the queue
-    /// back-pressure indicator.
+    /// Zero-progress publish attempts per emitted pair — the queue
+    /// back-pressure indicator. Zero means no mapper ever found its queue
+    /// full; rising values mean combiners cannot keep up (raise the
+    /// combiner pool, the queue capacity, or the emit buffer).
     pub fn back_pressure(&self) -> f64 {
         let emitted: u64 = self.emitted_per_mapper.iter().sum();
         let failed: u64 = self.full_events_per_mapper.iter().sum();
@@ -323,7 +340,9 @@ impl RunReport {
 fn to_backoff(backoff: PushBackoff) -> BackoffPolicy {
     match backoff {
         PushBackoff::BusyWait => BackoffPolicy::BusyWait,
-        PushBackoff::SpinThenSleep { spins, sleep } => BackoffPolicy::SpinThenSleep { spins, sleep },
+        PushBackoff::SpinThenSleep { spins, sleep } => {
+            BackoffPolicy::SpinThenSleep { spins, sleep }
+        }
     }
 }
 
@@ -338,8 +357,14 @@ fn maybe_pin(enabled: bool, slot: CpuSlot) {
 }
 
 /// One mapper's loop: pull tasks from the locality-grouped queues, map,
-/// push every emission into this mapper's SPSC queue. Returns
+/// accumulate emissions in a thread-local block and publish each full block
+/// to this mapper's SPSC queue with a single tail update. Returns
 /// `(pairs emitted, failed-push events)`.
+///
+/// The emit buffer is the producer-side mirror of the paper's batched read:
+/// instead of one release store (and one cross-core cache-line transfer) per
+/// pair, the consumer observes one tail update per `emit_block` pairs.
+/// `emit_block == 1` degenerates to element-wise publication.
 fn mapper_loop<J: MapReduceJob>(
     job: &J,
     input: &[J::Input],
@@ -347,27 +372,42 @@ fn mapper_loop<J: MapReduceJob>(
     home_group: usize,
     mut tx: PairProducer<J>,
     backoff: &BackoffPolicy,
+    emit_block: usize,
 ) -> (u64, u64) {
     let mut emitted = 0u64;
     let mut full_events = 0u64;
+    let mut buffer: Vec<(J::Key, J::Value)> = Vec::with_capacity(emit_block);
     while let Some(task) = queues.claim(home_group) {
         let mut sink = |key: J::Key, value: J::Value| {
-            // Pushes must always succeed: discarding or overwriting
-            // elements would violate correctness (paper §III-A).
-            full_events += tx.push_with_backoff((key, value), backoff);
+            buffer.push((key, value));
+            if buffer.len() >= emit_block {
+                // Pushes must always succeed: discarding or overwriting
+                // elements would violate correctness (paper §III-A). The
+                // flush loops with the configured backoff until the whole
+                // block is published, counting zero-progress attempts.
+                full_events += tx.push_batch_with_backoff(&mut buffer, backoff);
+            }
         };
         let mut emitter = Emitter::new(&mut sink);
         job.map(&input[task.start..task.end], &mut emitter);
         emitted += emitter.emitted();
     }
-    // `tx` drops here: the queue closes, notifying the combiner that this
-    // mapper is done.
+    // Final drain-flush: publish the partial block *before* `tx` drops —
+    // dropping closes the queue, and the combiner treats closed+empty as
+    // end-of-stream.
+    full_events += tx.push_batch_with_backoff(&mut buffer, backoff);
     (emitted, full_events)
 }
 
 /// One combiner's loop: round-robin over its assigned queues, consuming
 /// full batches while mappers run, then draining remainders after the map
 /// phase ends.
+///
+/// Panic containment is per *batch*: one `catch_unwind` wraps each
+/// `pop_batch`, not each element. `pop_batch` publishes its consumed prefix
+/// on the unwind path (see [`Consumer::pop_batch`]), so a panicking combine
+/// function loses nothing to double-reads; the error is recorded and every
+/// later batch drains in discard mode so blocked mappers still terminate.
 fn combiner_loop<J: MapReduceJob>(
     job: &J,
     config: &RuntimeConfig,
@@ -378,6 +418,8 @@ fn combiner_loop<J: MapReduceJob>(
     let mut first_error: Option<RuntimeError> = None;
     let mut total_consumed = 0u64;
     let batch = config.batch_size;
+    let (idle_spins, idle_sleep) = idle_policy(config.push_backoff);
+    let mut idle_rounds = 0u32;
     loop {
         let mut progressed = false;
         let mut all_done = true;
@@ -386,35 +428,57 @@ fn combiner_loop<J: MapReduceJob>(
             // and then drained to empty can never produce again (the
             // producer's pushes all happen before its drop).
             let closed = rx.is_closed();
-            let mut insert = |pair: (J::Key, J::Value)| {
-                if first_error.is_none() {
+            let consumed = if first_error.is_none() {
+                // Count consumption in a Cell *inside* the callback, before
+                // each insert: on an unwind mid-batch this still equals the
+                // number of elements the queue's head advanced past, keeping
+                // the conservation accounting exact.
+                let counted = std::cell::Cell::new(0usize);
+                let mut insert_err: Option<RuntimeError> = None;
+                let outcome = {
+                    let mut insert = |pair: (J::Key, J::Value)| {
+                        counted.set(counted.get() + 1);
+                        if insert_err.is_none() {
+                            if let Err(e) = container.insert(pair.0, pair.1) {
+                                insert_err = Some(e);
+                            }
+                        }
+                    };
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if closed {
+                            // End of map phase for this queue: consume any
+                            // remaining data, partial batches included.
+                            rx.pop_batch(batch, &mut insert)
+                        } else if rx.pop_batch_exact(batch, &mut insert) {
+                            // Mappers still running: prefer full batches
+                            // (paper §III-A, "the buffer is divided into
+                            // blocks of elements that are processed
+                            // contiguously").
+                            batch
+                        } else {
+                            0
+                        }
+                    }))
+                };
+                if let Err(panic) = outcome {
                     // A panic in the job's combine function must not kill
                     // this thread: its queues would never drain and the
-                    // blocked mappers would never terminate. Contain it,
-                    // keep consuming (discarding), and report at the end.
-                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || container.insert(pair.0, pair.1),
-                    ));
-                    match attempt {
-                        Ok(Ok(())) => {}
-                        Ok(Err(e)) => first_error = Some(e),
-                        Err(panic) => {
-                            first_error = Some(RuntimeError::WorkerPanic(
-                                phases::panic_message(&*panic),
-                            ));
-                        }
-                    }
+                    // blocked mappers would never terminate.
+                    first_error = Some(RuntimeError::WorkerPanic(phases::panic_message(&*panic)));
                 }
-            };
-            let consumed = if closed {
-                // End of map phase for this queue: consume any remaining
-                // data, batch by batch, partial batches included.
-                rx.pop_batch(batch, &mut insert)
+                if let Some(e) = insert_err {
+                    first_error.get_or_insert(e);
+                }
+                counted.get()
             } else {
-                // Mappers still running: prefer full batches (paper §III-A,
-                // "the buffer is divided into blocks of elements that are
-                // processed contiguously").
-                if rx.pop_batch_exact(batch, &mut insert) { batch } else { 0 }
+                // Error mode: keep the pipeline moving, discarding data.
+                if closed {
+                    rx.pop_batch(batch, |_| {})
+                } else if rx.pop_batch_exact(batch, |_| {}) {
+                    batch
+                } else {
+                    0
+                }
             };
             if consumed > 0 {
                 total_consumed += consumed as u64;
@@ -427,10 +491,17 @@ fn combiner_loop<J: MapReduceJob>(
         if all_done {
             break;
         }
-        if !progressed {
-            // Nothing to do yet: sleep instead of burning the core a
-            // co-located mapper may need.
-            std::thread::sleep(COMBINER_IDLE_SLEEP);
+        if progressed {
+            idle_rounds = 0;
+        } else {
+            // Nothing to do yet: spin briefly (data may be one block away),
+            // then sleep instead of burning the core a co-located mapper
+            // may need — symmetric to the producer's push backoff.
+            idle_rounds = idle_rounds.saturating_add(1);
+            match idle_sleep {
+                Some(sleep) if idle_rounds > idle_spins => std::thread::sleep(sleep),
+                _ => std::hint::spin_loop(),
+            }
         }
     }
     consumed_counter.store(total_consumed, Ordering::Relaxed);
@@ -541,6 +612,34 @@ mod tests {
     }
 
     #[test]
+    fn emit_buffer_sweep_preserves_results_and_conservation() {
+        let input: Vec<u64> = (0..8000).collect();
+        let expected = reference(&input);
+        // 1 = element-wise, 2, batch_size (8), queue_capacity (64).
+        for emit in [1usize, 2, 8, 64] {
+            let mut cfg = config(4, 2);
+            cfg.emit_buffer_size = Some(emit);
+            let rt = RamrRuntime::new(cfg).unwrap();
+            let (out, report) = rt.run_with_report(&Mod9, &input).unwrap();
+            assert_eq!(out.pairs, expected, "emit_buffer={emit}");
+            let emitted: u64 = report.emitted_per_mapper.iter().sum();
+            let consumed: u64 = report.consumed_per_combiner.iter().sum();
+            assert_eq!(emitted, 8000, "emit_buffer={emit}");
+            assert_eq!(consumed, emitted, "conservation with emit_buffer={emit}");
+        }
+    }
+
+    #[test]
+    fn element_wise_emit_buffer_matches_default() {
+        let input: Vec<u64> = (0..12_000).map(|i| i * 13 % 5000).collect();
+        let mut element_wise = config(4, 2);
+        element_wise.emit_buffer_size = Some(1);
+        let a = RamrRuntime::new(element_wise).unwrap().run(&Mod9, &input).unwrap();
+        let b = RamrRuntime::new(config(4, 2)).unwrap().run(&Mod9, &input).unwrap();
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
     fn tiny_queue_capacity_forces_blocking_but_stays_correct() {
         let input: Vec<u64> = (0..5000).collect();
         let mut cfg = config(4, 1);
@@ -647,8 +746,7 @@ mod tests {
         let mut cfg = config(4, 1);
         cfg.queue_capacity = 2;
         cfg.batch_size = 2;
-        let (_, report) =
-            RamrRuntime::new(cfg).unwrap().run_with_report(&Mod9, &input).unwrap();
+        let (_, report) = RamrRuntime::new(cfg).unwrap().run_with_report(&Mod9, &input).unwrap();
         assert!(report.back_pressure() > 0.0, "2-slot queues must report back-pressure");
         if let Some(imbalance) = report.combiner_imbalance() {
             assert!(imbalance >= 1.0);
@@ -659,10 +757,8 @@ mod tests {
     fn agrees_with_phoenix_baseline() {
         let input: Vec<u64> = (0..30_000).map(|i| i * 7 % 10_000).collect();
         let ramr_out = RamrRuntime::new(config(4, 2)).unwrap().run(&Mod9, &input).unwrap();
-        let phoenix_out = phoenix_mr::PhoenixRuntime::new(config(4, 4))
-            .unwrap()
-            .run(&Mod9, &input)
-            .unwrap();
+        let phoenix_out =
+            phoenix_mr::PhoenixRuntime::new(config(4, 4)).unwrap().run(&Mod9, &input).unwrap();
         assert_eq!(ramr_out.pairs, phoenix_out.pairs);
     }
 }

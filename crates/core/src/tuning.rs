@@ -83,12 +83,11 @@ impl Calibration {
     /// Propagates validation errors from the resulting configuration.
     pub fn suggest(&self, base: RuntimeConfig) -> Result<RuntimeConfig, RuntimeError> {
         let total = base.num_workers.max(2);
-        let combiners = ((total as f64 * self.combine_share() * 1.25).ceil() as usize)
-            .clamp(1, total / 2);
+        let combiners =
+            ((total as f64 * self.combine_share() * 1.25).ceil() as usize).clamp(1, total / 2);
         let machine = MachineModel::detect();
         let l1_share = (u64::from(machine.l1d_kb) * 1024 / machine.smt as u64) as usize;
-        let batch = (l1_share / 2 / self.pair_bytes.max(1))
-            .clamp(16, base.queue_capacity);
+        let batch = (l1_share / 2 / self.pair_bytes.max(1)).clamp(16, base.queue_capacity);
         RuntimeConfig {
             num_workers: total - combiners,
             num_combiners: combiners,

@@ -55,11 +55,8 @@ pub enum PinningPolicyKind {
 
 impl PinningPolicyKind {
     /// All policies, for comparison sweeps (Fig 5).
-    pub const ALL: [PinningPolicyKind; 3] = [
-        PinningPolicyKind::Ramr,
-        PinningPolicyKind::RoundRobin,
-        PinningPolicyKind::OsDefault,
-    ];
+    pub const ALL: [PinningPolicyKind; 3] =
+        [PinningPolicyKind::Ramr, PinningPolicyKind::RoundRobin, PinningPolicyKind::OsDefault];
 }
 
 impl std::fmt::Display for PinningPolicyKind {
@@ -129,6 +126,12 @@ pub struct RuntimeConfig {
     /// Elements consumed per batched read (paper §III-A, §IV-C). A batch
     /// size of 1 degenerates to element-wise consumption.
     pub batch_size: usize,
+    /// Elements a mapper accumulates locally before publishing them to its
+    /// SPSC queue with a single tail update — the producer-side mirror of
+    /// `batch_size`. `None` (the default) follows `batch_size`; `Some(1)`
+    /// degenerates to element-wise pushes. Resolved by
+    /// [`RuntimeConfig::effective_emit_buffer`].
+    pub emit_buffer_size: Option<usize>,
     /// Intermediate container allocated per worker/combiner.
     pub container: ContainerKind,
     /// Thread placement policy.
@@ -155,6 +158,7 @@ impl Default for RuntimeConfig {
             task_size: 4096,
             queue_capacity: 5000,
             batch_size: 1000,
+            emit_buffer_size: None,
             container: ContainerKind::Array,
             pinning: PinningPolicyKind::Ramr,
             push_backoff: PushBackoff::default(),
@@ -179,12 +183,20 @@ impl RuntimeConfig {
         self.num_workers.div_ceil(self.num_combiners.max(1))
     }
 
+    /// The emit-buffer size mappers actually use: the explicit
+    /// `emit_buffer_size` when set, otherwise `batch_size` (symmetric
+    /// producer/consumer block sizes), never exceeding `queue_capacity`
+    /// (a larger block could never be published in one piece).
+    pub fn effective_emit_buffer(&self) -> usize {
+        self.emit_buffer_size.unwrap_or(self.batch_size).min(self.queue_capacity)
+    }
+
     /// Reads overrides from `RAMR_*` environment variables, mirroring the
     /// paper's "finely tuned via a set of environmental variables".
     ///
     /// Recognized: `RAMR_WORKERS`, `RAMR_COMBINERS`, `RAMR_TASK_SIZE`,
-    /// `RAMR_QUEUE_CAPACITY`, `RAMR_BATCH_SIZE`, `RAMR_CONTAINER`
-    /// (`array|hash|fixed-hash`), `RAMR_PINNING`
+    /// `RAMR_QUEUE_CAPACITY`, `RAMR_BATCH_SIZE`, `RAMR_EMIT_BUFFER`,
+    /// `RAMR_CONTAINER` (`array|hash|fixed-hash`), `RAMR_PINNING`
     /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS` (`0|1`).
     ///
     /// # Errors
@@ -195,9 +207,10 @@ impl RuntimeConfig {
         let mut b = Self::builder();
         fn parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, RuntimeError> {
             match std::env::var(name) {
-                Ok(s) => s.parse::<T>().map(Some).map_err(|_| {
-                    RuntimeError::InvalidConfig(format!("cannot parse {name}={s}"))
-                }),
+                Ok(s) => s
+                    .parse::<T>()
+                    .map(Some)
+                    .map_err(|_| RuntimeError::InvalidConfig(format!("cannot parse {name}={s}"))),
                 Err(_) => Ok(None),
             }
         }
@@ -215,6 +228,9 @@ impl RuntimeConfig {
         }
         if let Some(n) = parse::<usize>("RAMR_BATCH_SIZE")? {
             b = b.batch_size(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_EMIT_BUFFER")? {
+            b = b.emit_buffer_size(n);
         }
         if let Some(s) = parse::<String>("RAMR_CONTAINER")? {
             b = b.container(match s.as_str() {
@@ -279,6 +295,16 @@ impl RuntimeConfig {
                 self.batch_size, self.queue_capacity
             )));
         }
+        if let Some(n) = self.emit_buffer_size {
+            nonzero(n, "emit_buffer_size")?;
+            if n > self.queue_capacity {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "emit_buffer_size ({}) exceeds queue_capacity ({}); a block could never \
+                     be published whole",
+                    n, self.queue_capacity
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -317,6 +343,12 @@ impl RuntimeConfigBuilder {
     /// Sets the batched-consume block size.
     pub fn batch_size(mut self, n: usize) -> Self {
         self.config.batch_size = n;
+        self
+    }
+
+    /// Sets the mapper-side emit-buffer size (1 = element-wise pushes).
+    pub fn emit_buffer_size(mut self, n: usize) -> Self {
+        self.config.emit_buffer_size = Some(n);
         self
     }
 
@@ -371,6 +403,9 @@ impl RuntimeConfigBuilder {
 mod tests {
     use super::*;
 
+    /// Serialize env mutation: tests run concurrently in one process.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn default_config_is_valid() {
         RuntimeConfig::default().validate().expect("default config must validate");
@@ -423,9 +458,39 @@ mod tests {
 
     #[test]
     fn rejects_batch_larger_than_queue() {
-        let err =
-            RuntimeConfig::builder().queue_capacity(10).batch_size(11).build().unwrap_err();
+        let err = RuntimeConfig::builder().queue_capacity(10).batch_size(11).build().unwrap_err();
         assert!(err.to_string().contains("batch_size"));
+    }
+
+    #[test]
+    fn emit_buffer_defaults_to_batch_size() {
+        let c = RuntimeConfig::builder().queue_capacity(5000).batch_size(250).build().unwrap();
+        assert_eq!(c.emit_buffer_size, None);
+        assert_eq!(c.effective_emit_buffer(), 250);
+        let c = RuntimeConfig::builder().emit_buffer_size(32).build().unwrap();
+        assert_eq!(c.effective_emit_buffer(), 32);
+    }
+
+    #[test]
+    fn rejects_invalid_emit_buffer() {
+        assert!(RuntimeConfig::builder().emit_buffer_size(0).build().is_err());
+        let err = RuntimeConfig::builder()
+            .queue_capacity(10)
+            .batch_size(10)
+            .emit_buffer_size(11)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("emit_buffer_size"));
+    }
+
+    #[test]
+    fn emit_buffer_from_env() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_EMIT_BUFFER", "77");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_EMIT_BUFFER");
+        assert_eq!(c.emit_buffer_size, Some(77));
+        assert_eq!(c.effective_emit_buffer(), 77);
     }
 
     #[test]
@@ -450,8 +515,6 @@ mod tests {
 
     #[test]
     fn from_env_reads_overrides() {
-        // Serialize env mutation: tests run concurrently in one process.
-        static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("RAMR_TASK_SIZE", "123");
         std::env::set_var("RAMR_CONTAINER", "fixed-hash");

@@ -34,9 +34,7 @@ pub struct Emitter<'a, K, V> {
 
 impl<K, V> Debug for Emitter<'_, K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Emitter")
-            .field("emitted", &self.emitted)
-            .finish_non_exhaustive()
+        f.debug_struct("Emitter").field("emitted", &self.emitted).finish_non_exhaustive()
     }
 }
 

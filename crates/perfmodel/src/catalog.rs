@@ -40,7 +40,11 @@ const GENERIC_FIXED_HASH_WS: u64 = 1 << 20;
 
 /// The combine-side profile of a container choice, given the app's
 /// right-sized working set and value width.
-fn combine_profile(container: ContainerKind, right_sized_ws: u64, value_instr: f64) -> PhaseProfile {
+fn combine_profile(
+    container: ContainerKind,
+    right_sized_ws: u64,
+    value_instr: f64,
+) -> PhaseProfile {
     match container {
         ContainerKind::Array => PhaseProfile {
             instructions: 3.0 + value_instr,

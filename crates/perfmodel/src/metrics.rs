@@ -204,9 +204,12 @@ mod tests {
     #[test]
     fn irregular_stalls_grow_with_working_set() {
         let m = MachineModel::haswell_server();
-        let small = phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 8 << 10 }, 0.9), &m);
-        let medium = phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 1 << 20 }, 0.9), &m);
-        let huge = phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 1 << 30 }, 0.9), &m);
+        let small =
+            phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 8 << 10 }, 0.9), &m);
+        let medium =
+            phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 1 << 20 }, 0.9), &m);
+        let huge =
+            phase_stalls(&phase(AccessPattern::Irregular { working_set_bytes: 1 << 30 }, 0.9), &m);
         assert!(small.mem < medium.mem);
         assert!(medium.mem < huge.mem);
     }
@@ -230,7 +233,8 @@ mod tests {
     fn streaming_stalls_scale_with_bytes() {
         let m = MachineModel::haswell_server();
         let light = phase_stalls(&phase(AccessPattern::Streaming { bytes_per_elem: 8.0 }, 0.9), &m);
-        let heavy = phase_stalls(&phase(AccessPattern::Streaming { bytes_per_elem: 800.0 }, 0.9), &m);
+        let heavy =
+            phase_stalls(&phase(AccessPattern::Streaming { bytes_per_elem: 800.0 }, 0.9), &m);
         assert!((heavy.mem / light.mem - 100.0).abs() < 1.0);
     }
 

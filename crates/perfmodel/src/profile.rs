@@ -90,7 +90,12 @@ mod tests {
     use super::*;
 
     fn phase(instructions: f64, ilp: f64) -> PhaseProfile {
-        PhaseProfile { instructions, mem_refs: instructions / 4.0, access: AccessPattern::CacheResident, ilp }
+        PhaseProfile {
+            instructions,
+            mem_refs: instructions / 4.0,
+            access: AccessPattern::CacheResident,
+            ilp,
+        }
     }
 
     #[test]
@@ -126,7 +131,12 @@ mod tests {
     #[test]
     fn degenerate_ilp_is_clamped() {
         let m = MachineModel::haswell_server();
-        let p = PhaseProfile { instructions: 10.0, mem_refs: 1.0, access: AccessPattern::CacheResident, ilp: 0.0 };
+        let p = PhaseProfile {
+            instructions: 10.0,
+            mem_refs: 1.0,
+            access: AccessPattern::CacheResident,
+            ilp: 0.0,
+        };
         assert!(p.compute_ns(&m).is_finite());
     }
 }

@@ -43,8 +43,13 @@ pub fn reduce_bucket<J: MapReduceJob>(job: &J, bucket: Pairs<J>) -> Pairs<J> {
     }
     let mut pairs = Vec::new();
     table.drain_into(&mut pairs);
-    let mut reduced: Vec<(J::Key, J::Value)> =
-        pairs.into_iter().map(|(k, v)| { let r = job.reduce(&k, v); (k, r) }).collect();
+    let mut reduced: Vec<(J::Key, J::Value)> = pairs
+        .into_iter()
+        .map(|(k, v)| {
+            let r = job.reduce(&k, v);
+            (k, r)
+        })
+        .collect();
     reduced.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     reduced
 }
@@ -66,11 +71,7 @@ pub fn reduce_parallel<J: MapReduceJob>(
             .collect();
         handles
             .into_iter()
-            .map(|h| {
-                h.join().map_err(|panic| {
-                    RuntimeError::WorkerPanic(panic_message(&*panic))
-                })
-            })
+            .map(|h| h.join().map_err(|panic| RuntimeError::WorkerPanic(panic_message(&*panic))))
             .collect()
     })
 }
@@ -103,14 +104,9 @@ pub fn merge_sorted_runs<K: Ord + Send, V: Send>(mut runs: Vec<Vec<(K, V)>>) -> 
             next.extend(pairs.into_iter().map(|(a, b)| merge_two(a, b)));
         } else {
             let merged: Vec<Vec<(K, V)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = pairs
-                    .into_iter()
-                    .map(|(a, b)| scope.spawn(move || merge_two(a, b)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("merge_two does not panic"))
-                    .collect()
+                let handles: Vec<_> =
+                    pairs.into_iter().map(|(a, b)| scope.spawn(move || merge_two(a, b))).collect();
+                handles.into_iter().map(|h| h.join().expect("merge_two does not panic")).collect()
             });
             next.extend(merged);
         }
@@ -235,9 +231,8 @@ mod tests {
     #[test]
     fn parallel_merge_matches_sequential_at_scale() {
         // Cross the parallel threshold with many runs.
-        let runs: Vec<Vec<(u64, u64)>> = (0..16)
-            .map(|r| (0..4000u64).map(|i| (i * 16 + r, i)).collect())
-            .collect();
+        let runs: Vec<Vec<(u64, u64)>> =
+            (0..16).map(|r| (0..4000u64).map(|i| (i * 16 + r, i)).collect()).collect();
         let merged = merge_sorted_runs(runs.clone());
         let mut expected: Vec<(u64, u64)> = runs.into_iter().flatten().collect();
         expected.sort_unstable();

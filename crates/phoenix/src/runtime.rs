@@ -13,6 +13,12 @@ use crate::phases;
 /// and combining every emission into its own thread-local container, then
 /// the shared reduce + merge phases.
 ///
+/// Accepts the full [`RuntimeConfig`] so configurations swap between
+/// runtimes unchanged; the pipeline-only knobs (`queue_capacity`,
+/// `batch_size`, `emit_buffer_size`, `push_backoff`, `num_combiners`) are
+/// validated but have no effect here — there are no mapper→combiner queues
+/// to tune.
+///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct PhoenixRuntime {

@@ -7,7 +7,8 @@ use ramr_perfmodel::catalog;
 use ramr_topology::{MachineModel, PinningPolicy};
 
 fn job(app: AppKind, stressed: bool) -> SimJob {
-    let profile = if stressed { catalog::stressed_profile(app) } else { catalog::default_profile(app) };
+    let profile =
+        if stressed { catalog::stressed_profile(app) } else { catalog::default_profile(app) };
     let (elements, keys) = match app {
         AppKind::WordCount => (2_000_000, 5_000),
         AppKind::Histogram => (60_000_000, 768),
@@ -20,7 +21,9 @@ fn job(app: AppKind, stressed: bool) -> SimJob {
 }
 
 fn main() {
-    for (mname, machine) in [("HWL", MachineModel::haswell_server()), ("PHI", MachineModel::xeon_phi())] {
+    for (mname, machine) in
+        [("HWL", MachineModel::haswell_server()), ("PHI", MachineModel::xeon_phi())]
+    {
         println!("=== {mname} ===");
         for stressed in [false, true] {
             println!(" containers: {}", if stressed { "hash/stressed" } else { "default" });

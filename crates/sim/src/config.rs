@@ -4,7 +4,6 @@ use mr_core::RuntimeError;
 use ramr_perfmodel::WorkloadProfile;
 use ramr_topology::{MachineModel, PinningPolicy};
 
-
 /// Which runtime's execution structure to price.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {

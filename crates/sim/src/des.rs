@@ -142,11 +142,8 @@ pub fn simulate_event_driven(job: &SimJob, cfg: &SimConfig) -> DesReport {
         RuntimeKind::Ramr,
         "the event-driven simulator models the decoupled pipeline only"
     );
-    let (mappers, combiners) = if cfg.mappers > 0 {
-        (cfg.mappers, cfg.combiners)
-    } else {
-        auto_split(job, cfg)
-    };
+    let (mappers, combiners) =
+        if cfg.mappers > 0 { (cfg.mappers, cfg.combiners) } else { auto_split(job, cfg) };
     let costs = per_thread_costs(job, cfg, mappers, combiners);
     let e = job.profile.emits_per_elem;
 
@@ -170,7 +167,8 @@ pub fn simulate_event_driven(job: &SimJob, cfg: &SimConfig) -> DesReport {
     let capacity = cfg.queue_capacity as u64;
 
     // Combiner bookkeeping.
-    let assigned: Vec<Vec<usize>> = (0..combiners).map(|c| costs.plan.mappers_of_combiner(c)).collect();
+    let assigned: Vec<Vec<usize>> =
+        (0..combiners).map(|c| costs.plan.mappers_of_combiner(c)).collect();
     let mut combiner_busy = vec![0.0f64; combiners];
     let mut combiner_active = vec![false; combiners];
     let mut mapper_busy = vec![0.0f64; mappers];
@@ -186,7 +184,11 @@ pub fn simulate_event_driven(job: &SimJob, cfg: &SimConfig) -> DesReport {
     // start their first scan.
     for (m, state) in mapper_state.iter().enumerate() {
         if !state.done {
-            push_event(&mut heap, state.quantum_ns.min(state.queue_len as f64 / e * costs.mapper_elem_ns[m]), Event::MapperQuantum(m));
+            push_event(
+                &mut heap,
+                state.quantum_ns.min(state.queue_len as f64 / e * costs.mapper_elem_ns[m]),
+                Event::MapperQuantum(m),
+            );
         }
     }
     for (c, active) in combiner_active.iter_mut().enumerate() {
@@ -270,9 +272,9 @@ pub fn simulate_event_driven(job: &SimJob, cfg: &SimConfig) -> DesReport {
                         push_event(&mut heap, now + busy, Event::CombinerScan(c));
                     }
                     None => {
-                        let all_done = assigned[c].iter().all(|&m| {
-                            mapper_state[m].done && mapper_state[m].pending == 0
-                        });
+                        let all_done = assigned[c]
+                            .iter()
+                            .all(|&m| mapper_state[m].done && mapper_state[m].pending == 0);
                         if all_done {
                             combiner_active[c] = false; // retires
                         } else {

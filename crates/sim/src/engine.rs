@@ -146,10 +146,8 @@ fn pop_ns(machine: &MachineModel, distance: CommDistance, batch: usize, pair_byt
     // batched reads remove).
     let sync = (BATCH_SYNC_CYCLES * cyc + 2.0 * dist_ns) / batch as f64;
     // Batches overflowing the L1 window are re-fetched from the next level.
-    let spill = 0.5
-        * l1_spill_fraction(machine, batch, pair_bytes)
-        * lines
-        * machine.lat.same_socket_ns;
+    let spill =
+        0.5 * l1_spill_fraction(machine, batch, pair_bytes) * lines * machine.lat.same_socket_ns;
     POP_CYCLES * cyc + transfer + sync + spill
 }
 
@@ -168,10 +166,7 @@ fn imbalance(input_elements: u64, task_size: usize, threads: usize) -> f64 {
 
 /// Memory-bandwidth stretch factor: demand beyond the sockets' sustainable
 /// bandwidth extends the phase proportionally.
-fn bandwidth_stretch(
-    machine: &MachineModel,
-    streaming_bytes_per_ns: f64,
-) -> (f64, f64) {
+fn bandwidth_stretch(machine: &MachineModel, streaming_bytes_per_ns: f64) -> (f64, f64) {
     let capacity = machine.mem_bw_gbs * machine.sockets as f64; // GB/s == B/ns
     let utilization = streaming_bytes_per_ns / capacity;
     (utilization, utilization.max(1.0))
@@ -188,18 +183,21 @@ fn streaming_bytes(phase: &ramr_perfmodel::PhaseProfile) -> f64 {
 /// execution remains unchanged"). The number of *partial containers* differs
 /// though: one per worker for Phoenix++, one per combiner for RAMR — fewer,
 /// larger partials are part of the decoupled design.
-fn tail_phases(job: &SimJob, machine: &MachineModel, threads: usize, containers: usize) -> (f64, f64) {
+fn tail_phases(
+    job: &SimJob,
+    machine: &MachineModel,
+    threads: usize,
+    containers: usize,
+) -> (f64, f64) {
     let cyc = machine.cycle_ns();
     // Each container holds at most `unique_keys` partials, and the whole
     // run produces at most one partial per emitted pair (jobs like PCA emit
     // every key exactly once, so container count does not multiply them).
     let total_emits = job.input_elements as f64 * job.profile.emits_per_elem;
-    let partial_pairs =
-        (job.unique_keys as f64 * containers as f64).min(total_emits);
+    let partial_pairs = (job.unique_keys as f64 * containers as f64).min(total_emits);
     let reduce = partial_pairs * REDUCE_CYCLES_PER_PAIR * cyc / threads as f64;
     let levels = (threads as f64).log2().max(1.0);
-    let merge =
-        job.unique_keys as f64 * MERGE_CYCLES_PER_KEY * levels * cyc / threads as f64;
+    let merge = job.unique_keys as f64 * MERGE_CYCLES_PER_KEY * levels * cyc / threads as f64;
     (reduce, merge)
 }
 
@@ -240,9 +238,10 @@ fn simulate_phoenix(job: &SimJob, cfg: &SimConfig) -> SimReport {
         };
         mem + cost.dependency_stall_ns
     };
-    let exposed = exposed_of(&job.profile.map, &map)
-        + e * exposed_of(&job.profile.combine, &combine);
-    let raw = map.mem_stall_ns + map.resource_stall_ns()
+    let exposed =
+        exposed_of(&job.profile.map, &map) + e * exposed_of(&job.profile.combine, &combine);
+    let raw = map.mem_stall_ns
+        + map.resource_stall_ns()
         + e * (combine.mem_stall_ns + combine.resource_stall_ns());
     let passthrough = raw - exposed;
 
@@ -305,8 +304,8 @@ pub(crate) fn per_thread_costs(
     combiners: usize,
 ) -> ThreadCosts {
     let machine = &cfg.machine;
-    let plan = PlacementPlan::compute(machine, mappers, combiners, cfg.pinning)
-        .expect("validated pools");
+    let plan =
+        PlacementPlan::compute(machine, mappers, combiners, cfg.pinning).expect("validated pools");
 
     let map = phase_cost(&job.profile.map, machine);
     let combine = phase_cost(&job.profile.combine, machine);
@@ -317,8 +316,8 @@ pub(crate) fn per_thread_costs(
     // utilization is weighted by an estimated duty cycle (offered pair load
     // over consume capacity, un-inflated first-order estimate).
     let u_map = map.cpu_utilization();
-    let naive_map_elem = map.total_ns()
-        + e * (PUSH_CYCLES + job.profile.pair_serialize_instr) * machine.cycle_ns();
+    let naive_map_elem =
+        map.total_ns() + e * (PUSH_CYCLES + job.profile.pair_serialize_instr) * machine.cycle_ns();
     let naive_pair = combine.total_ns() + POP_CYCLES * machine.cycle_ns();
     let mut combiner_duty = vec![1.0f64; combiners];
     for (c, duty) in combiner_duty.iter_mut().enumerate() {
@@ -449,21 +448,17 @@ fn map_combine_rate(
 
 fn simulate_ramr(job: &SimJob, cfg: &SimConfig) -> SimReport {
     let machine = &cfg.machine;
-    let (mappers, combiners) = if cfg.mappers > 0 {
-        (cfg.mappers, cfg.combiners)
-    } else {
-        auto_split(job, cfg)
-    };
-    let plan = PlacementPlan::compute(machine, mappers, combiners, cfg.pinning)
-        .expect("validated pools");
+    let (mappers, combiners) =
+        if cfg.mappers > 0 { (cfg.mappers, cfg.combiners) } else { auto_split(job, cfg) };
+    let plan =
+        PlacementPlan::compute(machine, mappers, combiners, cfg.pinning).expect("validated pools");
     let map = phase_cost(&job.profile.map, machine);
     let combine = phase_cost(&job.profile.combine, machine);
     let e = job.profile.emits_per_elem;
     let (rate, map_side_rate, avg_pair) = map_combine_rate(job, cfg, mappers, combiners);
 
     let n = job.input_elements as f64;
-    let mut phase =
-        n / rate * imbalance(job.input_elements, cfg.task_size, mappers);
+    let mut phase = n / rate * imbalance(job.input_elements, cfg.task_size, mappers);
     let mapper_utilization = (rate / map_side_rate).min(1.0);
 
     // Queue coupling: a capacity without comfortable slack above the
@@ -471,8 +466,7 @@ fn simulate_ramr(job: &SimJob, cfg: &SimConfig) -> SimReport {
     // Capacity 5000 keeps the penalty under ~3% — the paper's "within 2% of
     // optimal" finding — while small queues degrade visibly.
     let coupling = 1.0
-        + QUEUE_COUPLING_FACTOR
-            * (PRODUCER_BURST_ELEMENTS + cfg.batch_size as f64 / 8.0)
+        + QUEUE_COUPLING_FACTOR * (PRODUCER_BURST_ELEMENTS + cfg.batch_size as f64 / 8.0)
             / cfg.queue_capacity as f64;
     phase *= coupling;
 
@@ -567,7 +561,10 @@ mod tests {
         let wc = speedup(AppKind::WordCount, false, m());
         assert!((0.6..1.0).contains(&wc), "WC slightly slower (paper: 0.82x), got {wc}");
         assert!(speedup(AppKind::Histogram, false, m()) < 0.6, "HG must lose (paper: ~1/3)");
-        assert!(speedup(AppKind::LinearRegression, false, m()) < 0.6, "LR must lose (paper: ~1/3.8)");
+        assert!(
+            speedup(AppKind::LinearRegression, false, m()) < 0.6,
+            "LR must lose (paper: ~1/3.8)"
+        );
     }
 
     #[test]
@@ -608,8 +605,7 @@ mod tests {
         assert!(speedup(AppKind::Kmeans, false, phi()) > 1.3, "KM wins big on PHI (paper: 2.8x)");
         assert!(speedup(AppKind::Histogram, false, phi()) < 0.7, "HG loses on PHI");
         // Stressed containers: higher average speedup than Haswell (2.6x vs 1.57x).
-        let avg_phi: f64 =
-            AppKind::ALL.iter().map(|&a| speedup(a, true, phi())).sum::<f64>() / 6.0;
+        let avg_phi: f64 = AppKind::ALL.iter().map(|&a| speedup(a, true, phi())).sum::<f64>() / 6.0;
         let avg_hwl: f64 = AppKind::ALL
             .iter()
             .map(|&a| speedup(a, true, MachineModel::haswell_server()))

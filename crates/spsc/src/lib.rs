@@ -241,16 +241,13 @@ impl<T: Send> Producer<T> {
     /// Returns the number of elements consumed from the iterator (the rest
     /// remain in `batch`).
     pub fn push_batch(&mut self, batch: &mut impl Iterator<Item = T>) -> usize {
+        let wanted = batch.size_hint().0.max(1);
+        let (tail, free) = self.free_run(wanted);
+        if free == 0 {
+            return 0;
+        }
         let inner = &*self.inner;
         let cap = inner.buf.len();
-        let tail = inner.tail.load(Ordering::Relaxed);
-        if tail - self.cached_head == cap {
-            self.cached_head = inner.head.load(Ordering::Acquire);
-            if tail - self.cached_head == cap {
-                return 0;
-            }
-        }
-        let free = cap - (tail - self.cached_head);
         let mut written = 0;
         while written < free {
             let Some(value) = batch.next() else { break };
@@ -264,6 +261,91 @@ impl<T: Send> Producer<T> {
             inner.tail.store(tail + written, Ordering::Release);
         }
         written
+    }
+
+    /// Moves as many elements as fit out of the front of `buf` into the
+    /// queue, publishing them with a **single** tail update. The written
+    /// prefix is removed from `buf`; unwritten elements stay in place.
+    ///
+    /// This is the block-transfer primitive behind the runtime's emit
+    /// buffer: a mapper accumulates emissions locally and hands whole
+    /// blocks to the queue, so the consumer observes one control-variable
+    /// write per block instead of per pair.
+    ///
+    /// Returns the number of elements written (zero when the queue is
+    /// full or `buf` is empty).
+    pub fn push_batch_drain(&mut self, buf: &mut Vec<T>) -> usize {
+        if buf.is_empty() {
+            return 0;
+        }
+        let (tail, free) = self.free_run(buf.len());
+        let take = free.min(buf.len());
+        if take == 0 {
+            return 0;
+        }
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        for (i, value) in buf.drain(..take).enumerate() {
+            let slot = &inner.buf[(tail + i) % cap];
+            // SAFETY: slots tail..tail+take are outside `head..tail`; the
+            // consumer will not touch them until the release store below.
+            unsafe { (*slot.get()).write(value) };
+        }
+        inner.tail.store(tail + take, Ordering::Release);
+        take
+    }
+
+    /// Pushes **every** element of `buf`, blocking per `policy` whenever the
+    /// queue is full, leaving `buf` empty. The batched analogue of
+    /// [`push_with_backoff`](Self::push_with_backoff): elements are
+    /// published in maximal blocks, one tail update each.
+    ///
+    /// Returns the number of failed (zero-progress) attempts — the
+    /// `queue_full_events` statistic reported by the RAMR runtime. The spin
+    /// allowance resets after every block that makes progress, so only
+    /// sustained back-pressure degrades to sleeping.
+    pub fn push_batch_with_backoff(&mut self, buf: &mut Vec<T>, policy: &BackoffPolicy) -> u64 {
+        let fresh_spins = match policy {
+            BackoffPolicy::BusyWait => u32::MAX,
+            BackoffPolicy::SpinThenSleep { spins, .. } => *spins,
+        };
+        let mut failures = 0u64;
+        let mut spins_left = fresh_spins;
+        while !buf.is_empty() {
+            if self.push_batch_drain(buf) > 0 {
+                spins_left = fresh_spins;
+                continue;
+            }
+            failures += 1;
+            match policy {
+                BackoffPolicy::BusyWait => std::hint::spin_loop(),
+                BackoffPolicy::SpinThenSleep { sleep, .. } => {
+                    if spins_left > 0 {
+                        spins_left -= 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::sleep(*sleep);
+                    }
+                }
+            }
+        }
+        failures
+    }
+
+    /// Returns `(tail, free)` where `free` is the run of writable slots
+    /// starting at `tail`. Refreshes the cached head cursor whenever the
+    /// *apparent* free space cannot satisfy `wanted` — not only when the
+    /// queue looks completely full — so a batch is never truncated by a
+    /// stale cursor while real space exists.
+    #[inline]
+    fn free_run(&mut self, wanted: usize) -> (usize, usize) {
+        let inner = &*self.inner;
+        let cap = inner.buf.len();
+        let tail = inner.tail.load(Ordering::Relaxed);
+        if cap - (tail - self.cached_head) < wanted {
+            self.cached_head = inner.head.load(Ordering::Acquire);
+        }
+        (tail, cap - (tail - self.cached_head))
     }
 
     /// Number of elements currently buffered (approximate under concurrency).
@@ -327,6 +409,12 @@ impl<T: Send> Consumer<T> {
     /// variable write per batch instead of per element, and the consumed
     /// elements are contiguous in the ring, favouring spatial locality.
     ///
+    /// The batch is unwind-safe: if `f` panics, every element already read
+    /// out of the ring (including the one `f` panicked on) counts as
+    /// consumed and the head cursor still advances past it exactly once, so
+    /// no value is dropped twice or resurrected. Callers may therefore wrap
+    /// whole batches in `catch_unwind` instead of each element.
+    ///
     /// Returns the number of elements consumed (zero when the queue was
     /// empty).
     pub fn pop_batch(&mut self, max: usize, mut f: impl FnMut(T)) -> usize {
@@ -345,14 +433,33 @@ impl<T: Send> Consumer<T> {
         }
         let available = self.cached_tail - head;
         let take = available.min(max);
+
+        /// Publishes the consumed prefix on both the normal and the unwind
+        /// path: `read` is bumped *before* each `f` call, and the single
+        /// release store happens in `Drop`.
+        struct PopGuard<'a> {
+            head: &'a AtomicUsize,
+            base: usize,
+            read: usize,
+        }
+        impl Drop for PopGuard<'_> {
+            fn drop(&mut self) {
+                self.head.store(self.base + self.read, Ordering::Release);
+            }
+        }
+
+        let mut guard = PopGuard { head: &inner.head, base: head, read: 0 };
         for i in 0..take {
             let slot = &inner.buf[(head + i) % cap];
             // SAFETY: slots head..head+take are all initialized (published
-            // by the producer's release stores) and we consume each once.
+            // by the producer's release stores) and we consume each once:
+            // the guard advances `read` past this slot before `f` can
+            // unwind, so an unwinding `f` cannot cause a re-read.
             let value = unsafe { (*slot.get()).assume_init_read() };
+            guard.read = i + 1;
             f(value);
         }
-        inner.head.store(head + take, Ordering::Release);
+        drop(guard);
         take
     }
 
@@ -653,6 +760,142 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_refreshes_stale_head_cursor() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        // Fill partially, then drain: head advances but the producer's
+        // cached cursor goes stale (it only sees its own pushes).
+        for i in 0..6 {
+            tx.try_push(i).unwrap();
+        }
+        let mut sink = Vec::new();
+        assert_eq!(rx.pop_batch(6, |v| sink.push(v)), 6);
+        // The queue is empty (8 slots free) but the stale cursor makes only
+        // 2 look free. A batch of 8 must refresh and fill all 8 slots.
+        let mut items = 10..18;
+        assert_eq!(
+            tx.push_batch(&mut items),
+            8,
+            "batch push must refresh the head cursor instead of truncating"
+        );
+        sink.clear();
+        rx.pop_batch(16, |v| sink.push(v));
+        assert_eq!(sink, (10..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_batch_drain_removes_written_prefix_only() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        tx.try_push(0).unwrap();
+        let mut buf: Vec<u32> = (1..10).collect();
+        assert_eq!(tx.push_batch_drain(&mut buf), 3, "only 3 slots were free");
+        assert_eq!(buf, (4..10).collect::<Vec<_>>(), "unwritten suffix must stay in the buffer");
+        let mut seen = Vec::new();
+        rx.pop_batch(10, |v| seen.push(v));
+        assert_eq!(seen, [0, 1, 2, 3]);
+        assert_eq!(tx.push_batch_drain(&mut Vec::new()), 0);
+    }
+
+    #[test]
+    fn push_batch_drain_refreshes_stale_head_cursor() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        for i in 0..6u32 {
+            tx.try_push(i).unwrap();
+        }
+        rx.pop_batch(6, |_| {});
+        let mut buf: Vec<u32> = (0..8).collect();
+        assert_eq!(tx.push_batch_drain(&mut buf), 8);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn push_batch_with_backoff_delivers_everything_and_counts_failures() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let mut got = Vec::new();
+            while got.len() < 100 {
+                rx.pop_batch(8, |v| got.push(v));
+            }
+            got
+        });
+        let mut buf: Vec<u32> = (0..100).collect();
+        let failures = tx.push_batch_with_backoff(
+            &mut buf,
+            &BackoffPolicy::SpinThenSleep { spins: 4, sleep: Duration::from_micros(100) },
+        );
+        assert!(buf.is_empty(), "backoff push must drain the whole buffer");
+        assert!(failures > 0, "a 4-slot queue receiving 100 elements must hit full");
+        assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_batch_survives_panicking_callback_without_double_drop() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Counted(u32);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = SpscQueue::with_capacity(8).split();
+        for i in 0..6 {
+            tx.try_push(Counted(i)).unwrap();
+        }
+        // Panic on the third element of the batch: elements 0..=2 must count
+        // as consumed (head advances past them), 3..6 must stay queued.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rx.pop_batch(6, |v: Counted| {
+                if v.0 == 2 {
+                    panic!("combiner blew up");
+                }
+            });
+        }));
+        assert!(panicked.is_err());
+        assert_eq!(rx.len(), 3, "head must advance past the consumed prefix exactly once");
+        let mut rest = Vec::new();
+        rx.pop_batch(8, |v| rest.push(v.0));
+        assert_eq!(rest, [3, 4, 5]);
+        drop((tx, rx));
+        assert_eq!(DROPS.load(Ordering::SeqCst), 6, "each element must drop exactly once");
+    }
+
+    #[test]
+    fn two_thread_stress_batched_push_vs_pop_batch_exact() {
+        const N: u64 = 100_000;
+        const BLOCK: usize = 37; // deliberately coprime with queue and pop sizes
+        let (mut tx, mut rx) = SpscQueue::with_capacity(128).split();
+        let producer = std::thread::spawn(move || {
+            let policy =
+                BackoffPolicy::SpinThenSleep { spins: 32, sleep: Duration::from_micros(10) };
+            let mut buf = Vec::with_capacity(BLOCK);
+            let mut failures = 0u64;
+            for i in 0..N {
+                buf.push(i);
+                if buf.len() == BLOCK {
+                    failures += tx.push_batch_with_backoff(&mut buf, &policy);
+                }
+            }
+            failures += tx.push_batch_with_backoff(&mut buf, &policy);
+            failures
+        });
+        let expected = std::cell::Cell::new(0u64);
+        let check = |v: u64| {
+            assert_eq!(v, expected.get(), "FIFO order violated under batched push");
+            expected.set(expected.get() + 1);
+        };
+        while expected.get() < N {
+            if !rx.pop_batch_exact(64, check) {
+                // Near the end only a partial batch remains.
+                rx.pop_batch(64, check);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
     fn handles_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Producer<u64>>();
@@ -671,6 +914,7 @@ mod proptests {
     #[derive(Debug, Clone)]
     enum Op {
         Push(u16),
+        PushBatch(Vec<u16>),
         Pop,
         PopBatch(u8),
     }
@@ -678,6 +922,7 @@ mod proptests {
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
             any::<u16>().prop_map(Op::Push),
+            proptest::collection::vec(any::<u16>(), 0..48).prop_map(Op::PushBatch),
             Just(Op::Pop),
             (1u8..32).prop_map(Op::PopBatch),
         ]
@@ -700,6 +945,14 @@ mod proptests {
                         if model_accepts {
                             model.push_back(v);
                         }
+                    }
+                    Op::PushBatch(items) => {
+                        let mut buf = items.clone();
+                        let written = tx.push_batch_drain(&mut buf);
+                        let fits = (capacity - model.len()).min(items.len());
+                        prop_assert_eq!(written, fits);
+                        prop_assert_eq!(&buf[..], &items[fits..]);
+                        model.extend(items[..fits].iter().copied());
                     }
                     Op::Pop => {
                         prop_assert_eq!(rx.try_pop(), model.pop_front());

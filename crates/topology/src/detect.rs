@@ -75,10 +75,8 @@ impl MachineModel {
     /// Cache/latency parameters keep the Haswell defaults — they only feed
     /// the performance model, while the geometry drives real pinning.
     pub fn detect() -> Self {
-        let parsed = std::fs::read_to_string("/proc/cpuinfo")
-            .ok()
-            .as_deref()
-            .and_then(parse_cpuinfo);
+        let parsed =
+            std::fs::read_to_string("/proc/cpuinfo").ok().as_deref().and_then(parse_cpuinfo);
         match parsed {
             Some(g) => Self {
                 name: "detected-host".into(),

@@ -48,8 +48,8 @@ mod placement;
 mod remap;
 
 pub use affinity::{pin_current_thread, pinning_supported};
-pub use detect::{parse_cpuinfo, DetectedGeometry};
 pub use comm::CommDistance;
+pub use detect::{parse_cpuinfo, DetectedGeometry};
 pub use machine::{CacheLatencies, Interconnect, MachineModel};
 pub use placement::{CpuSlot, PinningPolicy, PlacementPlan, ThreadRef};
 pub use remap::{cpu_id_of, physical_position_of, thrid_to_cpu, PhysicalPos};

@@ -249,8 +249,14 @@ mod tests {
     #[test]
     fn transfer_costs_grow_with_distance() {
         let m = MachineModel::haswell_server();
-        assert!(m.transfer_cost_ns(CommDistance::SharedCore) < m.transfer_cost_ns(CommDistance::SameSocket));
-        assert!(m.transfer_cost_ns(CommDistance::SameSocket) < m.transfer_cost_ns(CommDistance::CrossSocket));
+        assert!(
+            m.transfer_cost_ns(CommDistance::SharedCore)
+                < m.transfer_cost_ns(CommDistance::SameSocket)
+        );
+        assert!(
+            m.transfer_cost_ns(CommDistance::SameSocket)
+                < m.transfer_cost_ns(CommDistance::CrossSocket)
+        );
         let unpinned = m.transfer_cost_ns(CommDistance::Unpinned);
         assert!(unpinned > m.transfer_cost_ns(CommDistance::SharedCore));
         assert!(unpinned < m.transfer_cost_ns(CommDistance::CrossSocket) * 1.15 + 1.0);

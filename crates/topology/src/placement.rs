@@ -95,10 +95,9 @@ impl PlacementPlan {
 
         let ncpus = machine.logical_cpus();
         let (mapper_slots, combiner_slots) = match policy {
-            PinningPolicy::OsDefault => (
-                vec![CpuSlot::Unpinned; n_mappers],
-                vec![CpuSlot::Unpinned; n_combiners],
-            ),
+            PinningPolicy::OsDefault => {
+                (vec![CpuSlot::Unpinned; n_mappers], vec![CpuSlot::Unpinned; n_combiners])
+            }
             PinningPolicy::RoundRobin | PinningPolicy::Ramr => {
                 // Both pinned policies walk the threads in creation order
                 // (per combiner group: first mapper, the combiner, then the
@@ -380,10 +379,7 @@ mod tests {
     #[test]
     fn policy_kind_conversion() {
         assert_eq!(PinningPolicy::from(PinningPolicyKind::Ramr), PinningPolicy::Ramr);
-        assert_eq!(
-            PinningPolicy::from(PinningPolicyKind::RoundRobin),
-            PinningPolicy::RoundRobin
-        );
+        assert_eq!(PinningPolicy::from(PinningPolicyKind::RoundRobin), PinningPolicy::RoundRobin);
         assert_eq!(PinningPolicy::from(PinningPolicyKind::OsDefault), PinningPolicy::OsDefault);
     }
 }
@@ -437,8 +433,9 @@ mod display_tests {
 
     #[test]
     fn display_reports_unpinned_threads() {
-        let plan = PlacementPlan::compute(&MachineModel::fig3_demo(), 3, 1, PinningPolicy::OsDefault)
-            .unwrap();
+        let plan =
+            PlacementPlan::compute(&MachineModel::fig3_demo(), 3, 1, PinningPolicy::OsDefault)
+                .unwrap();
         let rendered = plan.to_string();
         assert!(rendered.contains("unpinned threads: 4"), "{rendered}");
     }

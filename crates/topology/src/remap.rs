@@ -55,7 +55,11 @@ pub fn thrid_to_cpu(sockets: usize, cores_per_socket: usize, smt: usize) -> Vec<
     for socket in 0..sockets {
         for core in 0..cores_per_socket {
             for thread in 0..smt {
-                seq.push(cpu_id_of(PhysicalPos { socket, core, thread }, sockets, cores_per_socket));
+                seq.push(cpu_id_of(
+                    PhysicalPos { socket, core, thread },
+                    sockets,
+                    cores_per_socket,
+                ));
             }
         }
     }
@@ -81,9 +85,9 @@ mod tests {
         for pair in seq.chunks(t) {
             let positions: Vec<PhysicalPos> =
                 pair.iter().map(|&cpu| physical_position_of(cpu, s, c, t)).collect();
-            assert!(positions.windows(2).all(|w| {
-                w[0].socket == w[1].socket && w[0].core == w[1].core
-            }));
+            assert!(positions
+                .windows(2)
+                .all(|w| { w[0].socket == w[1].socket && w[0].core == w[1].core }));
         }
     }
 

@@ -28,10 +28,7 @@ fn main() -> Result<(), mr_core::RuntimeError> {
         let job = state.job();
         let output = runtime.run(&job, &points)?;
         let movement = state.step(&output.pairs);
-        println!(
-            "iteration {:>2}: max centroid movement {movement:.6}",
-            state.iterations()
-        );
+        println!("iteration {:>2}: max centroid movement {movement:.6}", state.iterations());
         if movement < 1e-6 || state.iterations() >= 30 {
             break;
         }

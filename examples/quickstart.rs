@@ -56,7 +56,8 @@ fn main() -> Result<(), mr_core::RuntimeError> {
         println!("  {digit}: {count}");
     }
     let stats = &output.stats;
-    println!("\nphases: map-combine {:?} ({:.0}%), reduce {:?}, merge {:?}",
+    println!(
+        "\nphases: map-combine {:?} ({:.0}%), reduce {:?}, merge {:?}",
         stats.map_combine,
         100.0 * stats.fraction(PhaseKind::MapCombine),
         stats.reduce,

@@ -80,6 +80,30 @@ fn task_size_matrix() {
 }
 
 #[test]
+fn emit_buffer_matrix() {
+    let lines = input();
+    let expected = reference(&lines);
+    // (queue_capacity, batch_size, emit_buffer) including the degenerate
+    // block == capacity case, a block larger than batch, and element-wise.
+    for (capacity, batch, emit) in
+        [(128, 16, 1), (128, 16, 2), (128, 16, 16), (128, 16, 128), (4, 4, 4), (64, 5, 48)]
+    {
+        let cfg = RuntimeConfig::builder()
+            .num_workers(3)
+            .num_combiners(2)
+            .task_size(64)
+            .queue_capacity(capacity)
+            .batch_size(batch)
+            .emit_buffer_size(emit)
+            .container(ContainerKind::Hash)
+            .build()
+            .unwrap();
+        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        assert_eq!(out.pairs, expected, "capacity={capacity} batch={batch} emit={emit}");
+    }
+}
+
+#[test]
 fn pinning_policies_do_not_change_results() {
     let lines = input();
     let expected = reference(&lines);

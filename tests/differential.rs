@@ -37,9 +37,10 @@ fn spec(app: AppKind) -> InputSpec {
     InputSpec::table1(app, Platform::Haswell, InputFlavor::Small)
 }
 
-type BothOutputs<J> =
-    (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>,
-     JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>);
+type BothOutputs<J> = (
+    JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>,
+    JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>,
+);
 
 fn run_both<J: MapReduceJob>(job: &J, input: &[J::Input], config: RuntimeConfig) -> BothOutputs<J> {
     let ramr = RamrRuntime::new(config.clone()).unwrap().run(job, input).unwrap();
@@ -138,6 +139,26 @@ fn pca_two_stage_agrees_within_tolerance() {
         }
         assert!(j >= i, "only the upper triangle is emitted");
         let _ = n;
+    }
+}
+
+#[test]
+fn emit_buffer_sweep_agrees_with_baseline_and_element_wise() {
+    // Producer-side emission batching must be invisible in the output:
+    // every block size — element-wise (1), tiny (2), the default
+    // (= batch_size), and a whole queue's worth — matches both the Phoenix
+    // baseline and the element-wise RAMR run.
+    let input = wc_input(&spec(AppKind::WordCount), SCALE);
+    let base = config(AppKind::WordCount);
+    let mut element_wise_cfg = base.clone();
+    element_wise_cfg.emit_buffer_size = Some(1);
+    let element_wise = RamrRuntime::new(element_wise_cfg).unwrap().run(&WordCount, &input).unwrap();
+    for emit in [1, 2, base.batch_size, base.queue_capacity] {
+        let mut cfg = base.clone();
+        cfg.emit_buffer_size = Some(emit);
+        let (ramr, phoenix) = run_both(&WordCount, &input, cfg);
+        assert_eq!(ramr.pairs, phoenix.pairs, "emit_buffer_size={emit} vs phoenix");
+        assert_eq!(ramr.pairs, element_wise.pairs, "emit_buffer_size={emit} vs element-wise");
     }
 }
 

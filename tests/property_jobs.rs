@@ -73,12 +73,7 @@ fn reference(job: &RandomJob, input: &[u64]) -> Vec<(u32, u64)> {
 }
 
 fn fold_strategy() -> impl Strategy<Value = Fold> {
-    prop_oneof![
-        Just(Fold::Sum),
-        Just(Fold::Min),
-        Just(Fold::Max),
-        Just(Fold::SaturatingMul)
-    ]
+    prop_oneof![Just(Fold::Sum), Just(Fold::Min), Just(Fold::Max), Just(Fold::SaturatingMul)]
 }
 
 proptest! {

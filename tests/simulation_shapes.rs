@@ -50,10 +50,8 @@ fn fig4_ramr_beats_phoenix_on_the_synthetic() {
     for intensity in [5u32, 50, 200] {
         let j = fig4_job(intensity);
         let phoenix = simulate(&j, &SimConfig::phoenix(MachineModel::haswell_server()));
-        let best_ramr = [1usize, 2, 3]
-            .iter()
-            .map(|&r| ramr_at_ratio(&j, r))
-            .fold(f64::INFINITY, f64::min);
+        let best_ramr =
+            [1usize, 2, 3].iter().map(|&r| ramr_at_ratio(&j, r)).fold(f64::INFINITY, f64::min);
         assert!(
             best_ramr < phoenix.total_ns(),
             "intensity {intensity}: RAMR {best_ramr:.3e} vs phoenix {:.3e}",

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`, implementing the subset the workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups with [`Throughput`], [`BenchmarkId`], and a measuring
+//! [`Bencher::iter`].
+//!
+//! Measurements are real wall-clock timings (warm-up, then an adaptive
+//! number of timed iterations), so relative comparisons between benchmarks
+//! in one run are meaningful. There is no statistical analysis, HTML
+//! report, or baseline persistence. See `vendor/README.md` for the
+//! rationale.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive measurement loop picks
+    /// its own iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the measurement window is fixed.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `routine` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut routine);
+        self
+    }
+
+    /// Runs `routine` with `input`, labelled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.full.clone();
+        self.run_one(&label, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    fn run_one(&mut self, label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { ns_per_iter: None };
+        routine(&mut bencher);
+        match bencher.ns_per_iter {
+            Some(ns) => {
+                let rate = self.throughput.map(|t| match t {
+                    Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 / ns * 1e3),
+                    Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64),
+                });
+                println!(
+                    "  {}/{label}: {ns:.0} ns/iter{}",
+                    self.name,
+                    rate.unwrap_or_default()
+                );
+            }
+            None => println!("  {}/{label}: no measurement (b.iter never called)", self.name),
+        }
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: a short warm-up, then timed iterations until
+    /// the measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (TARGET_MEASURE.as_nanos() / probe.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.ns_per_iter = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum-to", 128u32), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

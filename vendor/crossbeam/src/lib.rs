@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! Provides the single item this workspace uses: [`utils::CachePadded`].
+//! See `vendor/README.md` for the rationale.
+
+pub mod utils {
+    /// Pads and aligns a value to the length of a cache line, preventing
+    /// false sharing between adjacent values.
+    ///
+    /// 128-byte alignment covers the spatial-prefetcher pair of 64-byte
+    /// lines on modern x86 and the 128-byte lines of several AArch64 parts.
+    #[derive(Clone, Copy, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwraps the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> core::ops::Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> core::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+
+    impl<T: core::fmt::Debug> core::fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("CachePadded").field("value", &self.value).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn aligns_to_cache_line() {
+            assert_eq!(core::mem::align_of::<CachePadded<u8>>(), 128);
+            let padded = CachePadded::new(7u64);
+            assert_eq!(*padded, 7);
+            assert_eq!(padded.into_inner(), 7);
+        }
+    }
+}

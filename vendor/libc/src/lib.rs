@@ -1,0 +1,94 @@
+//! Offline stand-in for `libc`, exposing only the CPU-affinity surface the
+//! `ramr-topology` crate uses. Layouts match glibc so the real
+//! `sched_setaffinity(2)` syscall can be invoked directly.
+//! See `vendor/README.md` for the rationale.
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// C `int`.
+pub type c_int = i32;
+/// POSIX process/thread id.
+pub type pid_t = i32;
+/// C `size_t`.
+pub type size_t = usize;
+
+/// Number of CPUs representable in a [`cpu_set_t`] (glibc value).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const BITS_PER_WORD: usize = 64;
+const WORDS: usize = CPU_SETSIZE as usize / BITS_PER_WORD;
+
+/// A CPU bitmask, layout-compatible with glibc's `cpu_set_t` (1024 bits).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; WORDS],
+}
+
+/// Clears every CPU in `set`.
+///
+/// # Safety
+///
+/// Matches the signature shape of the glibc macro binding; operating on a
+/// plain bitset is always safe in practice.
+#[allow(unsafe_op_in_unsafe_fn, clippy::missing_safety_doc)]
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; WORDS];
+}
+
+/// Adds `cpu` to `set`. Out-of-range ids are ignored (as in glibc).
+///
+/// # Safety
+///
+/// Matches the signature shape of the glibc macro binding; operating on a
+/// plain bitset is always safe in practice.
+#[allow(unsafe_op_in_unsafe_fn, clippy::missing_safety_doc)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / BITS_PER_WORD] |= 1u64 << (cpu % BITS_PER_WORD);
+    }
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Binds `pid` (0 = calling thread) to the CPUs in `cpuset`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+}
+
+/// Non-Linux fallback so the crate still type-checks if ever compiled
+/// there; always fails with a nonzero return.
+///
+/// # Safety
+///
+/// Trivially safe; only reads the provided pointer's provenance, not its
+/// contents.
+#[cfg(not(target_os = "linux"))]
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn sched_setaffinity(_pid: pid_t, _cpusetsize: size_t, _cpuset: *const cpu_set_t) -> c_int {
+    -1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_matches_glibc_size() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+
+    #[test]
+    fn set_and_zero_manipulate_bits() {
+        unsafe {
+            let mut set: cpu_set_t = std::mem::zeroed();
+            CPU_ZERO(&mut set);
+            CPU_SET(3, &mut set);
+            CPU_SET(64, &mut set);
+            assert_eq!(set.bits[0], 1 << 3);
+            assert_eq!(set.bits[1], 1);
+            CPU_SET(1 << 20, &mut set); // out of range: ignored
+            CPU_ZERO(&mut set);
+            assert!(set.bits.iter().all(|&w| w == 0));
+        }
+    }
+}

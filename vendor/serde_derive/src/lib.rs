@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the derives expand to an empty
+//! token stream. Nothing in the workspace consumes the generated impls
+//! (no serializer is ever invoked), so an empty expansion is sufficient
+//! and works for any input type, generic or not.
+//! See `vendor/README.md` for the rationale.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
