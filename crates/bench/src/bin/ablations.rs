@@ -11,6 +11,7 @@ use mr_bench::{sim_config, sim_job};
 use mr_core::RuntimeConfig;
 use mrsim::{auto_split, simulate, RuntimeKind};
 use ramr::RamrRuntime;
+use ramr_telemetry::ThreadTelemetry;
 
 fn main() {
     let platform = Platform::Haswell;
@@ -71,11 +72,32 @@ fn main() {
         "\nABLATION 4: emit-buffer sweep (WC, real threads). 1 = element-wise \
          publication; larger blocks amortize the tail update.\n"
     );
-    mr_bench::print_header(&["emit-buf", "time(ms)", "vs-best", "back-pres"]);
+    mr_bench::print_header(&[
+        "emit-buf",
+        "time(ms)",
+        "vs-best",
+        "back-pres",
+        "map-stall%",
+        "cmb-busy%",
+        "ratio",
+    ]);
     let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
     let lines = wc_input(&spec, 2_000);
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let buffers = [1usize, 2, 8, 64, 256, 1000];
+    // Pool-wide share of wall-clock the threads spent in `stalled` / `busy`.
+    let share = |threads: &[ThreadTelemetry], stalled: bool| -> f64 {
+        let wall: f64 = threads.iter().map(|t| t.wall.as_secs_f64()).sum();
+        let part: f64 = threads
+            .iter()
+            .map(|t| if stalled { t.stalled.as_secs_f64() } else { t.busy.as_secs_f64() })
+            .sum();
+        if wall > 0.0 {
+            100.0 * part / wall
+        } else {
+            0.0
+        }
+    };
     let mut rows = Vec::new();
     for &emit in &buffers {
         let cfg = RuntimeConfig::builder()
@@ -93,10 +115,22 @@ fn main() {
         let start = std::time::Instant::now();
         let (_, report) = rt.run_with_report(&WordCount, &lines).expect("measured run");
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        rows.push((emit, ms, report.back_pressure()));
+        rows.push((
+            emit,
+            ms,
+            report.back_pressure(),
+            share(&report.mapper_telemetry, true),
+            share(&report.combiner_telemetry, false),
+            report.suggested_ratio(),
+        ));
     }
     let best = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
-    for (emit, ms, bp) in rows {
-        println!("{emit:>10} {ms:>10.1} {:>10.3} {bp:>10.4}", ms / best);
+    for (emit, ms, bp, map_stall, cmb_busy, ratio) in rows {
+        let ratio = ratio.map_or_else(|| "-".to_string(), |r| format!("{r}:1"));
+        println!(
+            "{emit:>10} {ms:>10.1} {:>10.3} {bp:>10.4} {map_stall:>10.1} {cmb_busy:>10.1} \
+             {ratio:>10}",
+            ms / best
+        );
     }
 }

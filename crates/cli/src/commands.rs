@@ -14,6 +14,8 @@ use mr_apps::{
 use mr_core::{ContainerKind, MapReduceJob, PhaseKind, PinningPolicyKind, RuntimeConfig};
 use phoenix_mr::PhoenixRuntime;
 use ramr::RamrRuntime;
+use ramr_telemetry::report::{breakdown_table, MetricsReport};
+use ramr_telemetry::ThreadTelemetry;
 use ramr_topology::{thrid_to_cpu, MachineModel};
 
 use crate::args::Args;
@@ -30,6 +32,7 @@ USAGE:
                 [--queue N] [--batch N] [--emit-buffer N]
                 [--container array|hash|fixed-hash]
                 [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
+                [--metrics-json FILE]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
   ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
@@ -42,6 +45,10 @@ USAGE:
 --scale, default 2000); `simulate` prices the full-size workload on the
 paper's machine models; `tune` measures map/combine throughput and suggests
 pool sizes and batch size.
+
+`run` also prints a per-thread telemetry breakdown (busy/stall shares,
+throughput, batch fullness) and, with --metrics-json FILE, dumps the full
+machine-readable report for offline tuning (see EXPERIMENTS.md).
 ";
 
 fn parse_app(args: &Args) -> Result<AppKind, String> {
@@ -128,13 +135,26 @@ fn parse_runtime(args: &Args) -> Result<RuntimeChoice, String> {
     }
 }
 
-/// Executes a job on the selected runtime(s), printing timing and agreement.
+/// Per-runtime telemetry captured from the last of the timed runs, in the
+/// shape [`MetricsReport`] wants.
+struct Capture {
+    threads: Vec<ThreadTelemetry>,
+    consumed: u64,
+    suggested_ratio: Option<usize>,
+}
+
+/// Executes a job on the selected runtime(s), printing timing, a per-thread
+/// telemetry breakdown, and agreement. When `metrics_json` is set, the last
+/// run's full [`MetricsReport`] (preferring ramr when both ran) is written
+/// there as JSON.
 fn execute<J: MapReduceJob>(
     job: &J,
     input: &[J::Input],
     config: &RuntimeConfig,
     choice: &RuntimeChoice,
     runs: usize,
+    app: AppKind,
+    metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let mut outputs = Vec::new();
     for (name, enabled) in [
@@ -148,16 +168,30 @@ fn execute<J: MapReduceJob>(
         let mut last = None;
         for _ in 0..runs.max(1) {
             let started = Instant::now();
-            let output = if name == "ramr" {
-                RamrRuntime::new(config.clone()).map_err(|e| e.to_string())?.run(job, input)
+            let (output, capture) = if name == "ramr" {
+                let rt = RamrRuntime::new(config.clone()).map_err(|e| e.to_string())?;
+                let (output, report) = rt.run_with_report(job, input).map_err(|e| e.to_string())?;
+                let mut threads = report.mapper_telemetry.clone();
+                threads.extend(report.combiner_telemetry.iter().cloned());
+                let capture = Capture {
+                    threads,
+                    consumed: report.consumed_per_combiner.iter().sum(),
+                    suggested_ratio: report.suggested_ratio(),
+                };
+                (output, capture)
             } else {
-                PhoenixRuntime::new(config.clone()).map_err(|e| e.to_string())?.run(job, input)
-            }
-            .map_err(|e| e.to_string())?;
+                let rt = PhoenixRuntime::new(config.clone()).map_err(|e| e.to_string())?;
+                let (output, report) = rt.run_with_report(job, input).map_err(|e| e.to_string())?;
+                // Inline combine consumes every pair it emits.
+                let consumed = report.worker_telemetry.iter().map(|t| t.items).sum();
+                let capture =
+                    Capture { threads: report.worker_telemetry, consumed, suggested_ratio: None };
+                (output, capture)
+            };
             samples.push(started.elapsed().as_secs_f64() * 1e3);
-            last = Some(output);
+            last = Some((output, capture));
         }
-        let output = last.expect("at least one run");
+        let (output, capture) = last.expect("at least one run");
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(
             "{name:>8}: {mean:8.2} ms over {} run(s) | {} keys | map-combine {:.0}% | \
@@ -168,7 +202,42 @@ fn execute<J: MapReduceJob>(
             output.stats.emitted,
             output.stats.queue_full_events,
         );
-        outputs.push((name, output));
+        if config.telemetry {
+            print!("{}", breakdown_table(&capture.threads));
+            if let Some(ratio) = capture.suggested_ratio {
+                println!("  suggested mapper:combiner ratio {ratio}:1 (throughput criterion)");
+            }
+        }
+        outputs.push((name, output, capture));
+    }
+    if let Some(path) = metrics_json {
+        let (name, output, capture) = outputs
+            .iter()
+            .find(|(n, ..)| *n == "ramr")
+            .or(outputs.first())
+            .ok_or("--metrics-json requires at least one runtime to run")?;
+        let stats = &output.stats;
+        let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let report = MetricsReport {
+            app: app.abbrev().to_string(),
+            runtime: name.to_string(),
+            workers: config.num_workers as u64,
+            combiners: config.num_combiners as u64,
+            batch_size: config.batch_size as u64,
+            emit_buffer: config.effective_emit_buffer() as u64,
+            queue_capacity: config.queue_capacity as u64,
+            phase_ns: [
+                ns(stats.partition),
+                ns(stats.map_combine),
+                ns(stats.reduce),
+                ns(stats.merge),
+            ],
+            emitted: stats.emitted,
+            consumed: capture.consumed,
+            threads: capture.threads.clone(),
+        };
+        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("  metrics written to {path}");
     }
     if outputs.len() == 2 {
         let equal = outputs[0].1.len() == outputs[1].1.len();
@@ -194,6 +263,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let spec = InputSpec::table1(app, platform, flavor);
     let config = build_config(args, app)?;
     let choice = parse_runtime(args)?;
+    let metrics_json = args.get("metrics-json");
     let source = match args.get("input") {
         Some(path) => format!("file {path}"),
         None => format!("paper {:?}, scale {scale}", spec.paper),
@@ -217,21 +287,21 @@ pub fn run(args: &Args) -> Result<(), String> {
                 Some(path) => mr_apps::io::read_text(path).map_err(io_err)?,
                 None => wc_input(&spec, scale),
             };
-            execute(&WordCount, &input, &config, &choice, runs)
+            execute(&WordCount, &input, &config, &choice, runs, app, metrics_json)
         }
         AppKind::Histogram => {
             let input = match &from_file {
                 Some(path) => mr_apps::io::read_pixels(path).map_err(io_err)?,
                 None => hg_input(&spec, scale),
             };
-            execute(&Histogram, &input, &config, &choice, runs)
+            execute(&Histogram, &input, &config, &choice, runs, app, metrics_json)
         }
         AppKind::LinearRegression => {
             let input = match &from_file {
                 Some(path) => mr_apps::io::read_lr_points(path).map_err(io_err)?,
                 None => lr_input(&spec, scale),
             };
-            execute(&LinearRegression, &input, &config, &choice, runs)
+            execute(&LinearRegression, &input, &config, &choice, runs, app, metrics_json)
         }
         AppKind::Kmeans => {
             let input = match &from_file {
@@ -239,7 +309,7 @@ pub fn run(args: &Args) -> Result<(), String> {
                 None => km_input(&spec, scale),
             };
             let state = KmeansState::seeded(&input, 16);
-            execute(&state.job(), &input, &config, &choice, runs)
+            execute(&state.job(), &input, &config, &choice, runs, app, metrics_json)
         }
         AppKind::Pca => {
             let matrix = Arc::new(match &from_file {
@@ -258,7 +328,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             };
             let cov_job = PcaCovJob::new(matrix, means);
             let tasks = cov_job.tasks();
-            execute(&cov_job, &tasks, &config, &choice, runs)
+            execute(&cov_job, &tasks, &config, &choice, runs, app, metrics_json)
         }
         AppKind::MatrixMultiply => {
             let (a, b) = match (args.get("input-a"), args.get("input-b")) {
@@ -271,7 +341,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             };
             let job = MatrixMultiply::new(Arc::new(a), Arc::new(b), 16);
             let tasks = job.tasks();
-            execute(&job, &tasks, &config, &choice, runs)
+            execute(&job, &tasks, &config, &choice, runs, app, metrics_json)
         }
     }
 }

@@ -37,6 +37,7 @@ const RUN_FLAGS: &[&str] = &[
     "input",
     "input-a",
     "input-b",
+    "metrics-json",
 ];
 const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];

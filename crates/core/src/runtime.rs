@@ -1,7 +1,6 @@
 //! The decoupled map/combine runtime (paper §III, Fig 2).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mr_core::{
     task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer, PushBackoff,
@@ -10,6 +9,7 @@ use mr_core::{
 use phoenix_mr::{phases, TaskQueues};
 use ramr_containers::JobContainer;
 use ramr_spsc::{BackoffPolicy, Consumer, Producer, SpscQueue};
+use ramr_telemetry::{pool_throughput, LocalTelemetry, TelemetryCell, ThreadRole, ThreadTelemetry};
 use ramr_topology::{pin_current_thread, CpuSlot, MachineModel, PlacementPlan};
 
 /// A job's output paired with the run's [`RunReport`].
@@ -179,9 +179,9 @@ impl RamrRuntime {
             }
             ramr_topology::CpuSlot::Unpinned => m % groups,
         };
-        let mapper_stats: Vec<(AtomicU64, AtomicU64)> =
+        let mapper_cells: Vec<TelemetryCell> =
             (0..config.num_workers).map(|_| Default::default()).collect();
-        let combiner_consumed: Vec<AtomicU64> =
+        let combiner_cells: Vec<TelemetryCell> =
             (0..config.num_combiners).map(|_| Default::default()).collect();
 
         let combiner_results: Vec<Result<phases::Pairs<J>, RuntimeError>> =
@@ -193,10 +193,10 @@ impl RamrRuntime {
                     .map(|(c, consumers)| {
                         let slot = plan.combiner_slot(c);
                         let pin = config.pin_os_threads;
-                        let consumed = &combiner_consumed[c];
+                        let cell = &combiner_cells[c];
                         scope.spawn(move || {
                             maybe_pin(pin, slot);
-                            combiner_loop(job, config, consumers, consumed)
+                            combiner_loop(job, config, consumers, cell)
                         })
                     })
                     .collect();
@@ -211,15 +211,15 @@ impl RamrRuntime {
                         let home_group = group_of_mapper(m);
                         let pin = config.pin_os_threads;
                         let queues = &queues;
-                        let counters = &mapper_stats[m];
+                        let cell = &mapper_cells[m];
                         let backoff = &backoff;
+                        let telemetry = config.telemetry;
                         scope.spawn(move || {
                             maybe_pin(pin, slot);
-                            let (emitted, full_events) = mapper_loop(
-                                job, input, queues, home_group, tx, backoff, emit_block,
+                            mapper_loop(
+                                job, input, queues, home_group, tx, backoff, emit_block, cell,
+                                telemetry,
                             );
-                            counters.0.store(emitted, Ordering::Relaxed);
-                            counters.1.store(full_events, Ordering::Relaxed);
                         })
                     })
                     .collect();
@@ -253,12 +253,20 @@ impl RamrRuntime {
         for result in combiner_results {
             partials.push(result?);
         }
-        let emitted_per_mapper: Vec<u64> =
-            mapper_stats.iter().map(|(e, _)| e.load(Ordering::Relaxed)).collect();
+        let mapper_telemetry: Vec<ThreadTelemetry> = mapper_cells
+            .iter()
+            .enumerate()
+            .map(|(m, cell)| cell.snapshot(ThreadRole::Mapper, m))
+            .collect();
+        let combiner_telemetry: Vec<ThreadTelemetry> = combiner_cells
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| cell.snapshot(ThreadRole::Combiner, c))
+            .collect();
+        let emitted_per_mapper: Vec<u64> = mapper_telemetry.iter().map(|t| t.items).collect();
         let full_events_per_mapper: Vec<u64> =
-            mapper_stats.iter().map(|(_, f)| f.load(Ordering::Relaxed)).collect();
-        let consumed_per_combiner: Vec<u64> =
-            combiner_consumed.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            mapper_telemetry.iter().map(|t| t.stall_events).collect();
+        let consumed_per_combiner: Vec<u64> = combiner_telemetry.iter().map(|t| t.items).collect();
         stats.emitted = emitted_per_mapper.iter().sum();
         stats.queue_full_events = full_events_per_mapper.iter().sum();
         timer.stop(&mut stats);
@@ -275,8 +283,14 @@ impl RamrRuntime {
         timer.stop(&mut stats);
 
         stats.output_keys = merged.len() as u64;
-        let report =
-            RunReport { plan, emitted_per_mapper, full_events_per_mapper, consumed_per_combiner };
+        let report = RunReport {
+            plan,
+            emitted_per_mapper,
+            full_events_per_mapper,
+            consumed_per_combiner,
+            mapper_telemetry,
+            combiner_telemetry,
+        };
         Ok((JobOutput::from_unsorted(merged, stats), report))
     }
 }
@@ -307,19 +321,59 @@ pub struct RunReport {
     /// panics mid-batch: the count advances with the queue's head cursor,
     /// element by element, inside each batched read.
     pub consumed_per_combiner: Vec<u64>,
+    /// Per-mapper wall-clock telemetry: useful map time (`busy`), time
+    /// blocked publishing blocks to a full queue (`stalled`), emit-buffer
+    /// flush occupancy, and the thread's own wall-clock. Timing fields are
+    /// zero when `RuntimeConfig::telemetry` is off; the counters
+    /// (`items`, `stall_events`) are always exact.
+    pub mapper_telemetry: Vec<ThreadTelemetry>,
+    /// Per-combiner wall-clock telemetry: time consuming batches (`busy`),
+    /// idle spin/sleep time waiting for data (`stalled`), and the
+    /// batched-read occupancy histogram (how full the batched reads
+    /// actually were — paper §III-A). `stall_events` counts idle rounds.
+    pub combiner_telemetry: Vec<ThreadTelemetry>,
 }
 
 impl RunReport {
     /// Ratio of the most- to least-loaded combiner (1.0 = perfectly even).
-    /// Returns `None` when any combiner consumed nothing.
+    ///
+    /// Returns `Some(f64::INFINITY)` when at least one combiner consumed
+    /// pairs while another consumed none — a fully starved combiner is the
+    /// *worst* skew, not missing data, and must not be silently hidden.
+    /// Returns `None` only when there is nothing to compare: no combiners,
+    /// or an all-zero report (e.g. empty input).
     pub fn combiner_imbalance(&self) -> Option<f64> {
         let max = *self.consumed_per_combiner.iter().max()?;
         let min = *self.consumed_per_combiner.iter().min()?;
-        if min == 0 {
+        if max == 0 {
             None
+        } else if min == 0 {
+            Some(f64::INFINITY)
         } else {
             Some(max as f64 / min as f64)
         }
+    }
+
+    /// Aggregate mapper-side throughput: pairs emitted per second of
+    /// *useful map time* (pairs/sec per fully-busy mapper). `None` when no
+    /// busy time was recorded (telemetry off or empty run).
+    pub fn map_throughput(&self) -> Option<f64> {
+        pool_throughput(&self.mapper_telemetry)
+    }
+
+    /// Aggregate combiner-side throughput: pairs folded per second of
+    /// busy combine time. `None` when no busy time was recorded.
+    pub fn combine_throughput(&self) -> Option<f64> {
+        pool_throughput(&self.combiner_telemetry)
+    }
+
+    /// The paper's throughput criterion for the mapper:combiner ratio: how
+    /// many mappers one combiner keeps up with, from *measured* relative
+    /// throughput (`combine_throughput / map_throughput`, ≥ 1). Raise the
+    /// ratio (fewer combiners) when combine is fast relative to map; drop
+    /// toward 1:1 when combine is the bottleneck.
+    pub fn suggested_ratio(&self) -> Option<usize> {
+        Some(ramr_telemetry::suggested_ratio(self.map_throughput()?, self.combine_throughput()?))
     }
 
     /// Zero-progress publish attempts per emitted pair — the queue
@@ -358,13 +412,20 @@ fn maybe_pin(enabled: bool, slot: CpuSlot) {
 
 /// One mapper's loop: pull tasks from the locality-grouped queues, map,
 /// accumulate emissions in a thread-local block and publish each full block
-/// to this mapper's SPSC queue with a single tail update. Returns
-/// `(pairs emitted, failed-push events)`.
+/// to this mapper's SPSC queue with a single tail update. Publishes its
+/// counters and (when `telemetry` is on) wall-clock telemetry into `cell`
+/// once, at exit.
 ///
 /// The emit buffer is the producer-side mirror of the paper's batched read:
 /// instead of one release store (and one cross-core cache-line transfer) per
 /// pair, the consumer observes one tail update per `emit_block` pairs.
 /// `emit_block == 1` degenerates to element-wise publication.
+///
+/// Instrumentation cost: timers fire once per map *task* and once per
+/// block *flush* — never per pair. `busy` is map time net of the flush
+/// time accrued inside the map call; `stalled` is the flush time itself,
+/// which is dominated by waiting whenever the queue is full.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the paper's knob list
 fn mapper_loop<J: MapReduceJob>(
     job: &J,
     input: &[J::Input],
@@ -373,54 +434,102 @@ fn mapper_loop<J: MapReduceJob>(
     mut tx: PairProducer<J>,
     backoff: &BackoffPolicy,
     emit_block: usize,
-) -> (u64, u64) {
+    cell: &TelemetryCell,
+    telemetry: bool,
+) {
+    let wall_start = telemetry.then(Instant::now);
+    let mut local = LocalTelemetry::default();
     let mut emitted = 0u64;
     let mut full_events = 0u64;
     let mut buffer: Vec<(J::Key, J::Value)> = Vec::with_capacity(emit_block);
     while let Some(task) = queues.claim(home_group) {
-        let mut sink = |key: J::Key, value: J::Value| {
-            buffer.push((key, value));
-            if buffer.len() >= emit_block {
-                // Pushes must always succeed: discarding or overwriting
-                // elements would violate correctness (paper §III-A). The
-                // flush loops with the configured backoff until the whole
-                // block is published, counting zero-progress attempts.
-                full_events += tx.push_batch_with_backoff(&mut buffer, backoff);
-            }
-        };
-        let mut emitter = Emitter::new(&mut sink);
-        job.map(&input[task.start..task.end], &mut emitter);
-        emitted += emitter.emitted();
+        let stalled_before = local.stalled;
+        let map_start = telemetry.then(Instant::now);
+        {
+            let local = &mut local;
+            let tx = &mut tx;
+            let buffer = &mut buffer;
+            let full_events = &mut full_events;
+            let mut sink = |key: J::Key, value: J::Value| {
+                buffer.push((key, value));
+                if buffer.len() >= emit_block {
+                    // Pushes must always succeed: discarding or overwriting
+                    // elements would violate correctness (paper §III-A). The
+                    // flush loops with the configured backoff until the whole
+                    // block is published, counting zero-progress attempts.
+                    let occupied = buffer.len();
+                    let flush_start = telemetry.then(Instant::now);
+                    *full_events += tx.push_batch_with_backoff(buffer, backoff);
+                    if let Some(t) = flush_start {
+                        local.stalled += t.elapsed();
+                        local.batches += 1;
+                        local.occupancy.record(occupied, emit_block);
+                    }
+                }
+            };
+            let mut emitter = Emitter::new(&mut sink);
+            job.map(&input[task.start..task.end], &mut emitter);
+            emitted += emitter.emitted();
+        }
+        if let Some(t) = map_start {
+            // Useful map time: the whole call minus the flush/stall time
+            // its emissions accrued.
+            local.busy += t.elapsed().saturating_sub(local.stalled - stalled_before);
+        }
     }
     // Final drain-flush: publish the partial block *before* `tx` drops —
     // dropping closes the queue, and the combiner treats closed+empty as
     // end-of-stream.
+    let occupied = buffer.len();
+    let flush_start = telemetry.then(Instant::now);
     full_events += tx.push_batch_with_backoff(&mut buffer, backoff);
-    (emitted, full_events)
+    if let Some(t) = flush_start {
+        local.stalled += t.elapsed();
+        if occupied > 0 {
+            local.batches += 1;
+            local.occupancy.record(occupied, emit_block);
+        }
+    }
+    local.items = emitted;
+    local.stall_events = full_events;
+    if let Some(t) = wall_start {
+        local.wall = t.elapsed();
+    }
+    cell.publish(&local);
 }
 
 /// One combiner's loop: round-robin over its assigned queues, consuming
 /// full batches while mappers run, then draining remainders after the map
-/// phase ends.
+/// phase ends. Publishes its counters and (when telemetry is on)
+/// wall-clock telemetry into `cell` once, at exit.
 ///
 /// Panic containment is per *batch*: one `catch_unwind` wraps each
 /// `pop_batch`, not each element. `pop_batch` publishes its consumed prefix
 /// on the unwind path (see [`Consumer::pop_batch`]), so a panicking combine
 /// function loses nothing to double-reads; the error is recorded and every
 /// later batch drains in discard mode so blocked mappers still terminate.
+///
+/// Instrumentation cost: two timer reads per *round* over the assigned
+/// queues, never per pair. A round that consumed anything counts as
+/// `busy`; a zero-progress round (including its spin/sleep backoff) counts
+/// as `stalled` idle time.
 fn combiner_loop<J: MapReduceJob>(
     job: &J,
     config: &RuntimeConfig,
     mut consumers: Vec<PairConsumer<J>>,
-    consumed_counter: &AtomicU64,
+    cell: &TelemetryCell,
 ) -> Result<phases::Pairs<J>, RuntimeError> {
+    let telemetry = config.telemetry;
     let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
+    let wall_start = telemetry.then(Instant::now);
+    let mut local = LocalTelemetry::default();
     let mut first_error: Option<RuntimeError> = None;
     let mut total_consumed = 0u64;
     let batch = config.batch_size;
     let (idle_spins, idle_sleep) = idle_policy(config.push_backoff);
     let mut idle_rounds = 0u32;
     loop {
+        let round_start = telemetry.then(Instant::now);
         let mut progressed = false;
         let mut all_done = true;
         for rx in &mut consumers {
@@ -483,28 +592,55 @@ fn combiner_loop<J: MapReduceJob>(
             if consumed > 0 {
                 total_consumed += consumed as u64;
                 progressed = true;
+                if telemetry {
+                    local.batches += 1;
+                    local.occupancy.record(consumed, batch);
+                }
             }
             if !(closed && rx.is_empty()) {
                 all_done = false;
             }
         }
+        if !all_done {
+            if progressed {
+                idle_rounds = 0;
+            } else {
+                // Nothing to do yet: spin briefly (data may be one block
+                // away), then sleep instead of burning the core a
+                // co-located mapper may need — symmetric to the producer's
+                // push backoff.
+                local.stall_events += 1;
+                idle_rounds = idle_rounds.saturating_add(1);
+                match idle_sleep {
+                    Some(sleep) if idle_rounds > idle_spins => std::thread::sleep(sleep),
+                    // Busy-wait mode: yield periodically so a co-scheduled
+                    // mapper can actually fill the queue — mirrors the
+                    // producer-side BUSY_WAIT_YIELD_EVERY escape hatch.
+                    None if idle_rounds.is_multiple_of(64) => std::thread::yield_now(),
+                    _ => std::hint::spin_loop(),
+                }
+            }
+        }
+        if let Some(t) = round_start {
+            // The backoff spin/sleep is inside the measured round, so idle
+            // waits land in `stalled` and busy + stalled tracks the
+            // thread's wall-clock.
+            let elapsed = t.elapsed();
+            if progressed {
+                local.busy += elapsed;
+            } else {
+                local.stalled += elapsed;
+            }
+        }
         if all_done {
             break;
         }
-        if progressed {
-            idle_rounds = 0;
-        } else {
-            // Nothing to do yet: spin briefly (data may be one block away),
-            // then sleep instead of burning the core a co-located mapper
-            // may need — symmetric to the producer's push backoff.
-            idle_rounds = idle_rounds.saturating_add(1);
-            match idle_sleep {
-                Some(sleep) if idle_rounds > idle_spins => std::thread::sleep(sleep),
-                _ => std::hint::spin_loop(),
-            }
-        }
     }
-    consumed_counter.store(total_consumed, Ordering::Relaxed);
+    local.items = total_consumed;
+    if let Some(t) = wall_start {
+        local.wall = t.elapsed();
+    }
+    cell.publish(&local);
     if let Some(e) = first_error {
         return Err(e);
     }
@@ -738,6 +874,197 @@ mod tests {
         assert_eq!(consumed, emitted, "conservation: all pairs consumed");
         assert!(report.back_pressure() >= 0.0);
         assert_eq!(report.plan.num_mappers(), 4);
+    }
+
+    /// Opaque busy-work whose loop the optimizer cannot elide; used to give
+    /// synthetic jobs a controllable map/combine cost.
+    fn spin_work(iters: u64) -> u64 {
+        let mut acc = iters.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for _ in 0..iters {
+            acc = std::hint::black_box(acc.rotate_left(7) ^ 0xabcd_ef01);
+        }
+        acc
+    }
+
+    /// A job with tunable per-element map cost and per-pair combine cost.
+    struct Synthetic {
+        map_work: u64,
+        combine_work: u64,
+    }
+
+    impl MapReduceJob for Synthetic {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                std::hint::black_box(spin_work(self.map_work));
+                emit.emit(x % 16, 1);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            std::hint::black_box(spin_work(self.combine_work));
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(16)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+    }
+
+    #[test]
+    fn telemetry_accounts_for_thread_wall_clock() {
+        // Busy + stalled must track each thread's own wall-clock: the only
+        // untimed work is task claiming and loop bookkeeping. Use a job
+        // with real map and combine cost so the run is long enough for the
+        // 10% bound to be meaningful.
+        let input: Vec<u64> = (0..60_000).collect();
+        let mut cfg = config(4, 2);
+        cfg.task_size = 1000;
+        cfg.queue_capacity = 1024;
+        cfg.batch_size = 64;
+        let job = Synthetic { map_work: 40, combine_work: 40 };
+        let rt = RamrRuntime::new(cfg).unwrap();
+        let (_, report) = rt.run_with_report(&job, &input).unwrap();
+        let slack = Duration::from_millis(2);
+        for t in report.mapper_telemetry.iter().chain(&report.combiner_telemetry) {
+            assert!(t.wall > Duration::ZERO, "telemetry on: wall must be recorded for {t:?}");
+            let accounted = t.busy + t.stalled;
+            assert!(
+                accounted <= t.wall + slack,
+                "{}[{}]: busy+stalled {accounted:?} exceeds wall {:?}",
+                t.role,
+                t.index,
+                t.wall
+            );
+            assert!(
+                accounted + slack >= Duration::from_secs_f64(t.wall.as_secs_f64() * 0.9),
+                "{}[{}]: busy+stalled {accounted:?} under 90% of wall {:?}",
+                t.role,
+                t.index,
+                t.wall
+            );
+        }
+        // Every combiner batch lands in the occupancy histogram.
+        let batches: u64 = report.combiner_telemetry.iter().map(|t| t.batches).sum();
+        let recorded: u64 = report.combiner_telemetry.iter().map(|t| t.occupancy.total()).sum();
+        assert!(batches > 0, "combiners must have consumed batched reads");
+        assert_eq!(recorded, batches);
+    }
+
+    #[test]
+    fn suggested_ratio_tracks_relative_throughput_direction() {
+        // The paper's criterion: a light combine lets one combiner serve
+        // many mappers (high ratio); a heavy combine pulls the suggestion
+        // back toward 1:1. Compare the two directions on the same shape.
+        let input: Vec<u64> = (0..40_000).collect();
+        let mut cfg = config(2, 1);
+        cfg.task_size = 500;
+        cfg.queue_capacity = 1024;
+        cfg.batch_size = 64;
+        let run = |job: &Synthetic| {
+            let rt = RamrRuntime::new(cfg.clone()).unwrap();
+            let (_, report) = rt.run_with_report(job, &input).unwrap();
+            report.suggested_ratio().expect("telemetry on: ratio must be derivable")
+        };
+        let light_combine = run(&Synthetic { map_work: 150, combine_work: 0 });
+        let heavy_combine = run(&Synthetic { map_work: 0, combine_work: 150 });
+        assert_eq!(heavy_combine, 1, "combine slower than map clamps to the 1:1 floor");
+        assert!(
+            light_combine > heavy_combine,
+            "cheap combine must suggest a higher ratio: light={light_combine} \
+             heavy={heavy_combine}"
+        );
+    }
+
+    #[test]
+    fn telemetry_disabled_still_reports_exact_counters() {
+        let input: Vec<u64> = (0..20_000).collect();
+        let mut cfg = config(4, 2);
+        cfg.telemetry = false;
+        let (out, report) = RamrRuntime::new(cfg).unwrap().run_with_report(&Mod9, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+        let emitted: u64 = report.emitted_per_mapper.iter().sum();
+        let consumed: u64 = report.consumed_per_combiner.iter().sum();
+        assert_eq!(emitted, 20_000);
+        assert_eq!(consumed, emitted);
+        for t in report.mapper_telemetry.iter().chain(&report.combiner_telemetry) {
+            assert_eq!(t.busy, Duration::ZERO);
+            assert_eq!(t.stalled, Duration::ZERO);
+            assert_eq!(t.wall, Duration::ZERO);
+        }
+        assert_eq!(report.map_throughput(), None);
+        assert_eq!(report.suggested_ratio(), None);
+    }
+
+    #[test]
+    fn telemetry_overhead_is_bounded_on_mod9() {
+        // Acceptance bound: instrumented wall-clock ≤ 5% over the
+        // counter-stubbed baseline (telemetry = false) on Mod9 at 1M
+        // elements. Interleave the measurements and keep the minimum of
+        // each so scheduler noise cancels; the structural overhead is a
+        // handful of Instant reads per task/flush/round, far below 5%.
+        let input: Vec<u64> = (0..1_000_000).collect();
+        let mut cfg = config(4, 2);
+        cfg.task_size = 4096;
+        cfg.queue_capacity = 5000;
+        cfg.batch_size = 1000;
+        let mut stubbed = cfg.clone();
+        stubbed.telemetry = false;
+        let time_one = |cfg: &RuntimeConfig| {
+            let rt = RamrRuntime::new(cfg.clone()).unwrap();
+            let start = Instant::now();
+            let out = rt.run(&Mod9, &input).unwrap();
+            let elapsed = start.elapsed();
+            assert_eq!(out.stats.emitted, 1_000_000);
+            elapsed
+        };
+        let mut best_on = Duration::MAX;
+        let mut best_off = Duration::MAX;
+        for _ in 0..5 {
+            best_off = best_off.min(time_one(&stubbed));
+            best_on = best_on.min(time_one(&cfg));
+        }
+        let bound =
+            Duration::from_secs_f64(best_off.as_secs_f64() * 1.05) + Duration::from_millis(4);
+        assert!(
+            best_on <= bound,
+            "telemetry overhead too high: instrumented {best_on:?} vs stubbed {best_off:?} \
+             (bound {bound:?})"
+        );
+    }
+
+    #[test]
+    fn combiner_imbalance_flags_starved_combiner_as_infinite() {
+        // Regression: a starved combiner (min == 0 while max > 0) used to
+        // return None — indistinguishable from "no data", hiding exactly
+        // the skew the metric exists to flag.
+        let plan = RamrRuntime::with_machine(config(2, 2), MachineModel::fig3_demo())
+            .unwrap()
+            .placement()
+            .unwrap();
+        let mk = |consumed: Vec<u64>| RunReport {
+            plan: plan.clone(),
+            emitted_per_mapper: vec![consumed.iter().sum()],
+            full_events_per_mapper: vec![0],
+            consumed_per_combiner: consumed,
+            mapper_telemetry: Vec::new(),
+            combiner_telemetry: Vec::new(),
+        };
+        // 1-combiner-starved placement: all pairs drained by combiner 0.
+        assert_eq!(mk(vec![5000, 0]).combiner_imbalance(), Some(f64::INFINITY));
+        assert_eq!(mk(vec![0, 5000, 400]).combiner_imbalance(), Some(f64::INFINITY));
+        // `None` is reserved for nothing-to-compare reports.
+        assert_eq!(mk(vec![]).combiner_imbalance(), None);
+        assert_eq!(mk(vec![0, 0]).combiner_imbalance(), None);
+        // Healthy reports keep the finite ratio.
+        assert_eq!(mk(vec![200, 100]).combiner_imbalance(), Some(2.0));
     }
 
     #[test]

@@ -147,6 +147,11 @@ pub struct RuntimeConfig {
     /// Capacity used for fixed-size containers (array fallback for hash
     /// kinds); `None` derives it from the job's `key_space`.
     pub fixed_capacity: Option<usize>,
+    /// Whether worker threads record wall-clock telemetry (busy/stall/idle
+    /// accounting and batch-occupancy histograms). Cheap enough to leave on
+    /// (the default); disable to get the counter-stubbed baseline the
+    /// telemetry overhead bound is measured against.
+    pub telemetry: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -165,6 +170,7 @@ impl Default for RuntimeConfig {
             pin_os_threads: false,
             num_reducers: workers,
             fixed_capacity: None,
+            telemetry: true,
         }
     }
 }
@@ -196,8 +202,13 @@ impl RuntimeConfig {
     ///
     /// Recognized: `RAMR_WORKERS`, `RAMR_COMBINERS`, `RAMR_TASK_SIZE`,
     /// `RAMR_QUEUE_CAPACITY`, `RAMR_BATCH_SIZE`, `RAMR_EMIT_BUFFER`,
-    /// `RAMR_CONTAINER` (`array|hash|fixed-hash`), `RAMR_PINNING`
-    /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS` (`0|1`).
+    /// `RAMR_REDUCERS`, `RAMR_FIXED_CAPACITY`, `RAMR_PUSH_SPINS`,
+    /// `RAMR_PUSH_SLEEP_US` (the two halves of the sleep-on-failed-push
+    /// policy; setting either selects [`PushBackoff::SpinThenSleep`] with
+    /// the paper's defaults for the other), `RAMR_CONTAINER`
+    /// (`array|hash|fixed-hash`), `RAMR_PINNING`
+    /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS` and
+    /// `RAMR_TELEMETRY` (`0|1|true|false|yes|no`, case-insensitive).
     ///
     /// # Errors
     ///
@@ -211,6 +222,18 @@ impl RuntimeConfig {
                     .parse::<T>()
                     .map(Some)
                     .map_err(|_| RuntimeError::InvalidConfig(format!("cannot parse {name}={s}"))),
+                Err(_) => Ok(None),
+            }
+        }
+        fn parse_bool(name: &str) -> Result<Option<bool>, RuntimeError> {
+            match std::env::var(name) {
+                Ok(s) => match s.to_ascii_lowercase().as_str() {
+                    "1" | "true" | "yes" | "on" => Ok(Some(true)),
+                    "0" | "false" | "no" | "off" => Ok(Some(false)),
+                    _ => Err(RuntimeError::InvalidConfig(format!(
+                        "cannot parse {name}={s} (expected 0|1|true|false|yes|no)"
+                    ))),
+                },
                 Err(_) => Ok(None),
             }
         }
@@ -256,8 +279,29 @@ impl RuntimeConfig {
                 }
             });
         }
-        if let Some(n) = parse::<u8>("RAMR_PIN_THREADS")? {
-            b = b.pin_os_threads(n != 0);
+        if let Some(n) = parse::<usize>("RAMR_REDUCERS")? {
+            b = b.num_reducers(n);
+        }
+        if let Some(n) = parse::<usize>("RAMR_FIXED_CAPACITY")? {
+            b = b.fixed_capacity(n);
+        }
+        let push_spins = parse::<u32>("RAMR_PUSH_SPINS")?;
+        let push_sleep_us = parse::<u64>("RAMR_PUSH_SLEEP_US")?;
+        if push_spins.is_some() || push_sleep_us.is_some() {
+            let (default_spins, default_sleep) = match PushBackoff::default_sleep() {
+                PushBackoff::SpinThenSleep { spins, sleep } => (spins, sleep),
+                PushBackoff::BusyWait => unreachable!("default_sleep is SpinThenSleep"),
+            };
+            b = b.push_backoff(PushBackoff::SpinThenSleep {
+                spins: push_spins.unwrap_or(default_spins),
+                sleep: push_sleep_us.map(Duration::from_micros).unwrap_or(default_sleep),
+            });
+        }
+        if let Some(pin) = parse_bool("RAMR_PIN_THREADS")? {
+            b = b.pin_os_threads(pin);
+        }
+        if let Some(on) = parse_bool("RAMR_TELEMETRY")? {
+            b = b.telemetry(on);
         }
         b.build()
     }
@@ -388,6 +432,12 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Enables or disables per-thread wall-clock telemetry.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.config.telemetry = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -511,6 +561,67 @@ mod tests {
         assert_eq!(PinningPolicyKind::Ramr.to_string(), "ramr");
         assert_eq!(PinningPolicyKind::RoundRobin.to_string(), "round-robin");
         assert_eq!(PinningPolicyKind::OsDefault.to_string(), "os-default");
+    }
+
+    #[test]
+    fn from_env_reads_reducers_fixed_capacity_and_backoff_knobs() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // Regression: these four knobs were silently ignored, breaking the
+        // paper's env-var tuning contract for a third of the surface.
+        std::env::set_var("RAMR_REDUCERS", "5");
+        std::env::set_var("RAMR_FIXED_CAPACITY", "321");
+        std::env::set_var("RAMR_PUSH_SPINS", "17");
+        std::env::set_var("RAMR_PUSH_SLEEP_US", "250");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_REDUCERS");
+        std::env::remove_var("RAMR_FIXED_CAPACITY");
+        std::env::remove_var("RAMR_PUSH_SPINS");
+        std::env::remove_var("RAMR_PUSH_SLEEP_US");
+        assert_eq!(c.num_reducers, 5);
+        assert_eq!(c.fixed_capacity, Some(321));
+        assert_eq!(
+            c.push_backoff,
+            PushBackoff::SpinThenSleep { spins: 17, sleep: Duration::from_micros(250) }
+        );
+    }
+
+    #[test]
+    fn from_env_backoff_knobs_default_each_other() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_PUSH_SPINS", "9");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_PUSH_SPINS");
+        // The unset half keeps the paper's default (64 spins / 50us).
+        assert_eq!(
+            c.push_backoff,
+            PushBackoff::SpinThenSleep { spins: 9, sleep: Duration::from_micros(50) }
+        );
+    }
+
+    #[test]
+    fn from_env_accepts_boolean_words_for_pin_threads() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        for (raw, expected) in
+            [("true", true), ("FALSE", false), ("yes", true), ("no", false), ("1", true)]
+        {
+            std::env::set_var("RAMR_PIN_THREADS", raw);
+            let c = RuntimeConfig::from_env().unwrap();
+            assert_eq!(c.pin_os_threads, expected, "RAMR_PIN_THREADS={raw}");
+        }
+        std::env::set_var("RAMR_PIN_THREADS", "maybe");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_PIN_THREADS");
+        assert!(err.to_string().contains("RAMR_PIN_THREADS"));
+    }
+
+    #[test]
+    fn from_env_reads_telemetry_toggle() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        assert!(RuntimeConfig::default().telemetry, "telemetry is on by default");
+        std::env::set_var("RAMR_TELEMETRY", "off");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_TELEMETRY");
+        assert!(!c.telemetry);
     }
 
     #[test]

@@ -83,6 +83,38 @@ impl PhaseStats {
         t.as_secs_f64() / total
     }
 
+    /// Integer percentage shares per phase (in [`PhaseKind::ALL`] order)
+    /// that always sum to exactly 100 (or 0 when nothing was recorded).
+    ///
+    /// Uses largest-remainder apportionment: rounding each share
+    /// independently can print totals anywhere from 97% to 102%, which
+    /// reads as a bug in every breakdown line. Floors are assigned first,
+    /// then the leftover percentage points go to the phases with the
+    /// largest fractional remainders (ties broken by phase order).
+    pub fn percent_shares(&self) -> [u64; 4] {
+        let total = self.total().as_nanos();
+        let mut shares = [0u64; 4];
+        if total == 0 {
+            return shares;
+        }
+        let parts =
+            [self.partition, self.map_combine, self.reduce, self.merge].map(|d| d.as_nanos());
+        let mut remainders: [(u128, usize); 4] = [(0, 0); 4];
+        let mut assigned = 0u64;
+        for (i, &part) in parts.iter().enumerate() {
+            let scaled = part * 100;
+            shares[i] = (scaled / total) as u64;
+            remainders[i] = (scaled % total, i);
+            assigned += shares[i];
+        }
+        // Stable by remainder descending; index order breaks ties.
+        remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, i) in remainders.iter().take((100 - assigned) as usize) {
+            shares[i] += 1;
+        }
+        shares
+    }
+
     /// Records a duration against a phase.
     pub fn record(&mut self, phase: PhaseKind, elapsed: Duration) {
         match phase {
@@ -175,15 +207,15 @@ mod tests {
 impl std::fmt::Display for PhaseStats {
     /// One-line breakdown: total plus per-phase share, e.g.
     /// `12.3ms (partition 1%, map-combine 86%, reduce 9%, merge 4%)`.
+    /// Shares come from [`PhaseStats::percent_shares`], so they always sum
+    /// to 100.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [partition, map_combine, reduce, merge] = self.percent_shares();
         write!(
             f,
-            "{:.1?} (partition {:.0}%, map-combine {:.0}%, reduce {:.0}%, merge {:.0}%)",
+            "{:.1?} (partition {partition}%, map-combine {map_combine}%, reduce {reduce}%, \
+             merge {merge}%)",
             self.total(),
-            100.0 * self.fraction(PhaseKind::Partition),
-            100.0 * self.fraction(PhaseKind::MapCombine),
-            100.0 * self.fraction(PhaseKind::Reduce),
-            100.0 * self.fraction(PhaseKind::Merge),
         )
     }
 }
@@ -200,5 +232,44 @@ mod display_tests {
         let rendered = s.to_string();
         assert!(rendered.contains("map-combine 80%"), "{rendered}");
         assert!(rendered.contains("reduce 20%"), "{rendered}");
+    }
+
+    /// Regression: rounding each share independently printed totals of
+    /// 97–102%. Three phases at exactly 1/3 each used to render as
+    /// 33+33+33 = 99%; pathological near-half splits overshot to 102%.
+    #[test]
+    fn displayed_shares_always_sum_to_100() {
+        let cases: [[u64; 4]; 6] = [
+            [1, 1, 1, 0],           // thirds: naive rounding sums to 99
+            [125, 125, 125, 625],   // three .5 remainders: naive hits 102
+            [333, 333, 334, 0],     // barely uneven thirds
+            [997, 1, 1, 1],         // tiny tails must not vanish the total
+            [1, 0, 0, 0],           // single phase
+            [49_999, 50_001, 0, 0], // near-even pair
+        ];
+        for durations in cases {
+            let mut s = PhaseStats::default();
+            for (phase, &ms) in PhaseKind::ALL.iter().zip(durations.iter()) {
+                s.record(*phase, Duration::from_micros(ms));
+            }
+            let shares = s.percent_shares();
+            assert_eq!(shares.iter().sum::<u64>(), 100, "{durations:?} -> {shares:?}");
+        }
+    }
+
+    #[test]
+    fn largest_remainder_favors_biggest_fraction() {
+        let mut s = PhaseStats::default();
+        // 1/3, 1/3, 1/3 + eps: the phase with the largest remainder gets
+        // the leftover point; with exact ties, earlier phases win.
+        s.record(PhaseKind::Partition, Duration::from_nanos(333));
+        s.record(PhaseKind::MapCombine, Duration::from_nanos(333));
+        s.record(PhaseKind::Reduce, Duration::from_nanos(334));
+        assert_eq!(s.percent_shares(), [33, 33, 34, 0]);
+    }
+
+    #[test]
+    fn empty_stats_render_zero_shares() {
+        assert_eq!(PhaseStats::default().percent_shares(), [0, 0, 0, 0]);
     }
 }

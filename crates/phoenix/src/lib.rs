@@ -52,5 +52,5 @@ pub mod phases;
 mod runtime;
 pub mod tasks;
 
-pub use runtime::PhoenixRuntime;
+pub use runtime::{PhoenixReport, PhoenixRuntime, ReportedOutput};
 pub use tasks::TaskQueues;

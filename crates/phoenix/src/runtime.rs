@@ -1,13 +1,41 @@
 //! The baseline runtime: inline map+combine per worker.
 
+use std::time::Instant;
+
 use mr_core::{
     task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer,
     PinningPolicyKind, RuntimeConfig, RuntimeError,
 };
 use ramr_containers::JobContainer;
+use ramr_telemetry::{LocalTelemetry, TelemetryCell, ThreadRole, ThreadTelemetry};
 use ramr_topology::{pin_current_thread, thrid_to_cpu, MachineModel};
 
 use crate::phases;
+
+/// A job's output paired with the run's [`PhoenixReport`] — mirrors the
+/// RAMR runtime's reported-output alias.
+pub type ReportedOutput<J> =
+    (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, PhoenixReport);
+
+/// Per-run observability for the baseline: one [`ThreadTelemetry`] per
+/// worker. Workers map and combine inline on the same thread, so all their
+/// time is `busy` — there is no queue to stall on, which is exactly the
+/// structural contrast with the RAMR report.
+#[derive(Debug, Clone)]
+pub struct PhoenixReport {
+    /// One entry per worker ([`ThreadRole::Worker`]), indexed by worker id.
+    /// `items` counts map emissions; the occupancy histogram records how
+    /// full each claimed task was relative to `task_size`.
+    pub worker_telemetry: Vec<ThreadTelemetry>,
+}
+
+impl PhoenixReport {
+    /// Aggregate map+combine throughput (pairs/sec over busy time), or
+    /// `None` when telemetry was disabled or nothing was emitted.
+    pub fn worker_throughput(&self) -> Option<f64> {
+        ramr_telemetry::pool_throughput(&self.worker_telemetry)
+    }
+}
 
 /// The Phoenix++-style runtime: `num_workers` threads, each mapping tasks
 /// and combining every emission into its own thread-local container, then
@@ -54,6 +82,21 @@ impl PhoenixRuntime {
         job: &J,
         input: &[J::Input],
     ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        self.run_with_report(job, input).map(|(out, _)| out)
+    }
+
+    /// Like [`PhoenixRuntime::run`], but also returns the per-worker
+    /// [`PhoenixReport`]. Timing fields are populated only when
+    /// [`RuntimeConfig::telemetry`] is on; counters are always exact.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`PhoenixRuntime::run`].
+    pub fn run_with_report<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<ReportedOutput<J>, RuntimeError> {
         let config = &self.config;
         let mut stats = PhaseStats::default();
 
@@ -71,18 +114,21 @@ impl PhoenixRuntime {
         let groups = MachineModel::host().sockets.max(1);
         let queues = crate::tasks::TaskQueues::new(tasks, groups);
         let pin_seq = pin_sequence(config);
+        let cells: Vec<TelemetryCell> =
+            (0..config.num_workers).map(|_| TelemetryCell::default()).collect();
         let worker_results: Vec<Result<(phases::Pairs<J>, u64), RuntimeError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..config.num_workers)
                     .map(|worker_id| {
                         let queues = &queues;
                         let pin_seq = &pin_seq;
+                        let cell = &cells[worker_id];
                         scope.spawn(move || {
                             if let Some(seq) = pin_seq {
                                 // Best-effort: a missing CPU is not fatal.
                                 let _ = pin_current_thread(seq[worker_id % seq.len()]);
                             }
-                            map_combine_worker(job, config, input, queues, worker_id % groups)
+                            map_combine_worker(job, config, input, queues, worker_id % groups, cell)
                         })
                     })
                     .collect();
@@ -95,6 +141,11 @@ impl PhoenixRuntime {
                     })
                     .collect()
             });
+        let worker_telemetry: Vec<ThreadTelemetry> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| cell.snapshot(ThreadRole::Worker, i))
+            .collect();
         let mut partials = Vec::with_capacity(worker_results.len());
         for result in worker_results {
             let (pairs, emitted) = result?;
@@ -115,7 +166,7 @@ impl PhoenixRuntime {
         timer.stop(&mut stats);
 
         stats.output_keys = merged.len() as u64;
-        Ok(JobOutput::from_unsorted(merged, stats))
+        Ok((JobOutput::from_unsorted(merged, stats), PhoenixReport { worker_telemetry }))
     }
 }
 
@@ -137,38 +188,63 @@ fn pin_sequence(config: &RuntimeConfig) -> Option<Vec<usize>> {
 
 /// One worker's map-combine loop: pull tasks from the locality-grouped
 /// queues, map, combine inline.
+///
+/// Publishes its [`LocalTelemetry`] into `cell` exactly once on exit (even
+/// on the error path): all task time counts as `busy` — the inline design
+/// has nothing to stall on — and the occupancy histogram records task fill
+/// relative to `task_size`.
 fn map_combine_worker<J: MapReduceJob>(
     job: &J,
     config: &RuntimeConfig,
     input: &[J::Input],
     queues: &crate::tasks::TaskQueues,
     home_group: usize,
+    cell: &TelemetryCell,
 ) -> Result<(phases::Pairs<J>, u64), RuntimeError> {
-    let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
-    let mut emitted = 0u64;
-    let mut first_error: Option<RuntimeError> = None;
-    while let Some(task) = queues.claim(home_group) {
-        {
-            // Phoenix++ semantics: the combine function runs after every
-            // map emission, on the mapping thread, into its local container.
-            let mut sink = |key: J::Key, value: J::Value| {
-                if first_error.is_none() {
-                    if let Err(e) = container.insert(key, value) {
-                        first_error = Some(e);
+    let telemetry = config.telemetry;
+    let mut local = LocalTelemetry::default();
+    let wall_start = telemetry.then(Instant::now);
+    let result = (|| {
+        let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
+        let mut emitted = 0u64;
+        let mut first_error: Option<RuntimeError> = None;
+        while let Some(task) = queues.claim(home_group) {
+            let task_start = telemetry.then(Instant::now);
+            {
+                // Phoenix++ semantics: the combine function runs after every
+                // map emission, on the mapping thread, into its local
+                // container.
+                let mut sink = |key: J::Key, value: J::Value| {
+                    if first_error.is_none() {
+                        if let Err(e) = container.insert(key, value) {
+                            first_error = Some(e);
+                        }
                     }
-                }
-            };
-            let mut emitter = Emitter::new(&mut sink);
-            job.map(&input[task.start..task.end], &mut emitter);
-            emitted += emitter.emitted();
+                };
+                let mut emitter = Emitter::new(&mut sink);
+                job.map(&input[task.start..task.end], &mut emitter);
+                emitted += emitter.emitted();
+            }
+            if let Some(t) = task_start {
+                local.busy += t.elapsed();
+            }
+            local.batches += 1;
+            local.occupancy.record(task.end - task.start, config.task_size);
+            if let Some(e) = first_error {
+                local.items = emitted;
+                return Err(e);
+            }
         }
-        if let Some(e) = first_error {
-            return Err(e);
-        }
+        local.items = emitted;
+        let mut pairs = Vec::new();
+        container.drain_into(&mut pairs);
+        Ok((pairs, emitted))
+    })();
+    if let Some(t) = wall_start {
+        local.wall = t.elapsed();
     }
-    let mut pairs = Vec::new();
-    container.drain_into(&mut pairs);
-    Ok((pairs, emitted))
+    cell.publish(&local);
+    result
 }
 
 #[cfg(test)]
@@ -292,6 +368,42 @@ mod tests {
         let input: Vec<u64> = (0..100).collect(); // 7 distinct keys > capacity 3
         let err = rt.run(&Mod7, &input).unwrap_err();
         assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 3, .. }));
+    }
+
+    #[test]
+    fn report_accounts_emissions_and_wall_clock() {
+        let input: Vec<u64> = (1..=10_000).collect();
+        let rt = PhoenixRuntime::new(config(4, ContainerKind::Hash)).unwrap();
+        let (out, report) = rt.run_with_report(&Mod7, &input).unwrap();
+        assert_eq!(out.pairs, reference(&input));
+        assert_eq!(report.worker_telemetry.len(), 4);
+        let items: u64 = report.worker_telemetry.iter().map(|t| t.items).sum();
+        let tasks: u64 = report.worker_telemetry.iter().map(|t| t.batches).sum();
+        assert_eq!(items, 10_000);
+        assert_eq!(tasks, 10_000u64.div_ceil(13));
+        for t in &report.worker_telemetry {
+            assert_eq!(t.role, ThreadRole::Worker);
+            // Inline map+combine never stalls; busy stays within wall.
+            assert_eq!(t.stalled, std::time::Duration::ZERO);
+            assert!(t.busy <= t.wall + std::time::Duration::from_millis(1));
+            assert_eq!(t.occupancy.total(), t.batches);
+        }
+        assert!(report.worker_throughput().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_toggle_zeroes_timing_but_keeps_counters() {
+        let input: Vec<u64> = (1..=2_000).collect();
+        let mut cfg = config(2, ContainerKind::Hash);
+        cfg.telemetry = false;
+        let (_, report) = PhoenixRuntime::new(cfg).unwrap().run_with_report(&Mod7, &input).unwrap();
+        let items: u64 = report.worker_telemetry.iter().map(|t| t.items).sum();
+        assert_eq!(items, 2_000);
+        for t in &report.worker_telemetry {
+            assert_eq!(t.busy, std::time::Duration::ZERO);
+            assert_eq!(t.wall, std::time::Duration::ZERO);
+        }
+        assert_eq!(report.worker_throughput(), None);
     }
 
     #[test]

@@ -62,7 +62,12 @@ use crossbeam::utils::CachePadded;
 /// two.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BackoffPolicy {
-    /// Spin until space frees up. The paper's original (worse) strategy.
+    /// Spin until space frees up, never sleeping — the paper's original
+    /// (worse) strategy. Yields the OS thread every
+    /// [`BUSY_WAIT_YIELD_EVERY`] failed attempts: without that, a blocked
+    /// producer on a machine with fewer cores than threads burns its whole
+    /// timeslice while the only thread that could free space waits for a
+    /// core, turning back-pressure into minutes-long livelock.
     BusyWait,
     /// Spin `spins` times, then sleep `sleep` between further attempts.
     SpinThenSleep {
@@ -77,6 +82,22 @@ impl Default for BackoffPolicy {
     /// The paper's preferred strategy: a short spin, then sleep.
     fn default() -> Self {
         BackoffPolicy::SpinThenSleep { spins: 64, sleep: Duration::from_micros(50) }
+    }
+}
+
+/// Failed-attempt interval at which [`BackoffPolicy::BusyWait`] yields the
+/// OS thread instead of spinning in place.
+pub const BUSY_WAIT_YIELD_EVERY: u64 = 64;
+
+/// One busy-wait backoff step: a spin-loop hint, except every
+/// [`BUSY_WAIT_YIELD_EVERY`]th failure, where the thread yields so an
+/// oversubscribed peer can run. Never sleeps.
+#[inline]
+fn busy_wait_step(failures: u64) {
+    if failures.is_multiple_of(BUSY_WAIT_YIELD_EVERY) {
+        std::thread::yield_now();
+    } else {
+        std::hint::spin_loop();
     }
 }
 
@@ -218,7 +239,7 @@ impl<T: Send> Producer<T> {
                     value = v;
                     failures += 1;
                     match policy {
-                        BackoffPolicy::BusyWait => std::hint::spin_loop(),
+                        BackoffPolicy::BusyWait => busy_wait_step(failures),
                         BackoffPolicy::SpinThenSleep { sleep, .. } => {
                             if spins_left > 0 {
                                 spins_left -= 1;
@@ -318,7 +339,7 @@ impl<T: Send> Producer<T> {
             }
             failures += 1;
             match policy {
-                BackoffPolicy::BusyWait => std::hint::spin_loop(),
+                BackoffPolicy::BusyWait => busy_wait_step(failures),
                 BackoffPolicy::SpinThenSleep { sleep, .. } => {
                     if spins_left > 0 {
                         spins_left -= 1;

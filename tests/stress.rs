@@ -177,6 +177,76 @@ fn combine_panic_does_not_hang_the_pipeline() {
     );
 }
 
+/// Regression guard for the combiner's discard-drain error path: a mapper
+/// panic AND a combine panic in the same run, while 2-slot busy-wait queues
+/// are saturated. The run must terminate (mappers keep draining against
+/// dead combiners, combiners keep consuming after their first error) and
+/// surface *a* worker panic — which pool loses the race is scheduling-
+/// dependent, so either message is acceptable.
+#[test]
+fn dual_panic_with_full_busywait_queues_terminates() {
+    struct DualFailure;
+    impl MapReduceJob for DualFailure {
+        type Input = u64;
+        type Key = u32;
+        type Value = u64;
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u32, u64>) {
+            for &x in task {
+                if x == 999 {
+                    panic!("mapper exploded mid-stream");
+                }
+                // Fan out to keep the 2-slot queues saturated.
+                for i in 0..8 {
+                    emit.emit(((x + i) % 16) as u32, x);
+                }
+            }
+        }
+        fn combine(&self, acc: &mut u64, v: u64) {
+            if v == 77 {
+                panic!("combine exploded");
+            }
+            *acc = acc.wrapping_add(v);
+        }
+        fn key_space(&self) -> Option<usize> {
+            Some(16)
+        }
+        fn key_index(&self, k: &u32) -> usize {
+            *k as usize
+        }
+    }
+    // Both panic triggers (77 and 999) fire early, so most of the input is
+    // pumped through the combiner's discard-drain path. Termination on a
+    // 1-core host hinges on BusyWait's periodic yield; before that escape
+    // hatch this run took minutes (every 2-slot handoff cost a scheduler
+    // round trip).
+    let input: Vec<u64> = (0..10_000).collect();
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(16)
+        .queue_capacity(2)
+        .batch_size(2)
+        .push_backoff(mr_core::PushBackoff::BusyWait)
+        .build()
+        .unwrap();
+    // Run under a hard timeout: a deadlock here would otherwise hang the
+    // whole suite, which is exactly the regression this test guards.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let result = RamrRuntime::new(cfg).unwrap().run(&DualFailure, &input);
+        let _ = tx.send(result);
+    });
+    let result = rx
+        .recv_timeout(std::time::Duration::from_secs(60))
+        .expect("dual-panic run deadlocked: no result within 60s");
+    let err = result.unwrap_err();
+    assert!(
+        matches!(err, mr_core::RuntimeError::WorkerPanic(ref m)
+            if m.contains("mapper exploded") || m.contains("combine exploded")),
+        "got {err:?}"
+    );
+}
+
 #[test]
 fn hash_container_stress_with_many_keys() {
     struct WideKeys;
