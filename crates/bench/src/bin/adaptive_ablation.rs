@@ -1,0 +1,169 @@
+//! Ablation for the online adaptive controller (ISSUE 3 acceptance
+//! evidence): static mapper:combiner sweeps vs the adaptive runtime started
+//! from a deliberately bad split, on a combine-heavy synthetic workload.
+//!
+//! The scenario is the paper's ratio-tuning problem inverted: instead of
+//! measuring once and re-launching with `suggested_ratio()`, the adaptive
+//! run starts at 8 mappers / 1 combiner — the worst static split for this
+//! workload — and must converge on its own. Success criteria printed at the
+//! end: steady-state combiner count within ±1 of the static throughput
+//! criterion, wall-clock within 10% of the best static split.
+//!
+//! Run with: `cargo run --release -p mr-bench --bin adaptive_ablation`
+
+use std::time::{Duration, Instant};
+
+use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
+use ramr::{AdaptationEvent, RamrRuntime, RunReport};
+
+/// Opaque busy-work whose loop the optimizer cannot elide.
+fn spin_work(iters: u64) -> u64 {
+    let mut acc = iters.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..iters {
+        acc = std::hint::black_box(acc.rotate_left(7) ^ 0xabcd_ef01);
+    }
+    acc
+}
+
+/// A synthetic job with equal per-element map and per-pair combine cost —
+/// the shape whose throughput criterion lands at ratio 1 (a 1:1 split), the
+/// farthest point from the 8:1 bad start.
+struct CombineHeavy {
+    work: u64,
+}
+
+impl MapReduceJob for CombineHeavy {
+    type Input = u64;
+    type Key = u64;
+    type Value = u64;
+
+    fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+        for &x in task {
+            std::hint::black_box(spin_work(self.work));
+            emit.emit(x % 64, 1);
+        }
+    }
+
+    fn combine(&self, acc: &mut u64, v: u64) {
+        std::hint::black_box(spin_work(self.work));
+        *acc += v;
+    }
+
+    fn key_space(&self) -> Option<usize> {
+        Some(64)
+    }
+
+    fn key_index(&self, k: &u64) -> usize {
+        *k as usize
+    }
+
+    fn name(&self) -> &str {
+        "combine-heavy"
+    }
+}
+
+const TOTAL_THREADS: usize = 9; // the paper scenario: 8 mappers + 1 combiner
+const SPIN: u64 = 150;
+const ELEMENTS: u64 = 300_000;
+
+fn base_config(workers: usize, combiners: usize) -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .num_workers(workers)
+        .num_combiners(combiners)
+        .task_size(200)
+        .queue_capacity(1024)
+        .batch_size(64)
+        .build()
+        .expect("valid ablation config")
+}
+
+fn timed_run(cfg: RuntimeConfig, job: &CombineHeavy, input: &[u64]) -> (f64, RunReport) {
+    let rt = RamrRuntime::new(cfg).expect("runtime");
+    let start = Instant::now();
+    let (out, report) = rt.run_with_report(job, input).expect("run");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let total: u64 = out.pairs.iter().map(|&(_, v)| v).sum();
+    assert_eq!(total, input.len() as u64, "correctness check");
+    (ms, report)
+}
+
+fn main() {
+    let job = CombineHeavy { work: SPIN };
+    let input: Vec<u64> = (0..ELEMENTS).collect();
+
+    println!(
+        "ADAPTIVE ABLATION: static split sweep vs adaptive-from-bad-start\n\
+         ({TOTAL_THREADS} threads total, combine-heavy synthetic, {ELEMENTS} elements)\n"
+    );
+
+    // --- Static sweep over the mapper:combiner split --------------------
+    mr_bench::print_header(&["split(m/c)", "time(ms)", "vs-best", "sugg-ratio"]);
+    let mut rows = Vec::new();
+    for combiners in 1..TOTAL_THREADS {
+        let workers = TOTAL_THREADS - combiners;
+        if combiners > workers {
+            // Static configs must respect the paper's combiners ≤ mappers
+            // constraint; only the adaptive runtime may cross it mid-run.
+            break;
+        }
+        let (ms, report) = timed_run(base_config(workers, combiners), &job, &input);
+        rows.push((workers, combiners, ms, report.suggested_ratio()));
+    }
+    let best = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+    for &(m, c, ms, ratio) in &rows {
+        let ratio = ratio.map_or_else(|| "-".to_string(), |r| format!("{r}:1"));
+        println!("{:>10} {ms:>10.1} {:>10.3} {ratio:>10}", format!("{m}/{c}"), ms / best);
+    }
+    let (best_m, best_c, best_ms, _) =
+        *rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("nonempty sweep");
+
+    // The static throughput criterion's combiner target, read from the
+    // best split's own report (ratio r ⇒ combiner share total/(r+1)).
+    let suggested = rows
+        .iter()
+        .find(|r| (r.0, r.1) == (best_m, best_c))
+        .and_then(|r| r.3)
+        .map(|r| (TOTAL_THREADS as f64 / (r as f64 + 1.0)).round() as usize);
+
+    // --- Adaptive run from the bad start ---------------------------------
+    println!("\nadaptive from the bad start (8m/1c), interval 5 ms:\n");
+    let mut cfg = base_config(TOTAL_THREADS - 1, 1);
+    cfg.adaptive = true;
+    cfg.adapt_interval = Duration::from_millis(5);
+    let (adaptive_ms, report) = timed_run(cfg, &job, &input);
+    for event in report.adaptation.iter().filter(|e| e.acted()) {
+        println!("  {}", event.describe());
+    }
+    let mut steady: Vec<usize> = report
+        .adaptation
+        .iter()
+        .skip(report.adaptation.len() / 2)
+        .map(|e: &AdaptationEvent| e.active_combiners)
+        .collect();
+    steady.sort_unstable();
+    let median = steady.get(steady.len() / 2).copied().unwrap_or(1);
+
+    // --- Verdict ----------------------------------------------------------
+    println!("\nbest static split : {best_m}m/{best_c}c at {best_ms:.1} ms");
+    println!(
+        "static bad start  : {:.1} ms (the split the adaptive run begins at)",
+        rows.iter().find(|r| r.1 == 1).map(|r| r.2).unwrap_or(f64::NAN)
+    );
+    println!(
+        "adaptive run      : {adaptive_ms:.1} ms = {:.2}x best static, \
+         steady-state median {median} combiner(s) over {} tick(s)",
+        adaptive_ms / best_ms,
+        report.adaptation.len()
+    );
+    if let Some(target) = suggested {
+        let converged = median.abs_diff(target) <= 1;
+        println!(
+            "throughput criterion target {target} combiner(s): steady state is within ±1 — {}",
+            if converged { "PASS" } else { "FAIL" }
+        );
+    }
+    println!(
+        "within 10% of best static wall-clock: {}",
+        if adaptive_ms <= best_ms * 1.10 { "PASS" } else { "FAIL" }
+    );
+}

@@ -32,6 +32,7 @@ USAGE:
                 [--queue N] [--batch N] [--emit-buffer N]
                 [--container array|hash|fixed-hash]
                 [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
+                [--adaptive 0|1] [--adapt-interval-ms N]
                 [--metrics-json FILE]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
@@ -49,6 +50,12 @@ pool sizes and batch size.
 `run` also prints a per-thread telemetry breakdown (busy/stall shares,
 throughput, batch fullness) and, with --metrics-json FILE, dumps the full
 machine-readable report for offline tuning (see EXPERIMENTS.md).
+
+With --adaptive 1 the ramr runtime re-tunes itself mid-run — an online
+controller samples live telemetry every --adapt-interval-ms (default 5)
+and moves the mapper:combiner split and the batched-read size within
+bounded windows; the decisions are printed as an adaptation trace after
+the per-thread breakdown. See TUNING.md for the full knob cookbook.
 ";
 
 fn parse_app(args: &Args) -> Result<AppKind, String> {
@@ -116,6 +123,14 @@ fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
         let n: usize = raw.parse().map_err(|_| format!("cannot parse --emit-buffer {raw:?}"))?;
         builder = builder.emit_buffer_size(n);
     }
+    if args.get_or("adaptive", 0u8)? != 0 {
+        builder = builder.adaptive(true);
+    }
+    if let Some(raw) = args.get("adapt-interval-ms") {
+        let ms: u64 =
+            raw.parse().map_err(|_| format!("cannot parse --adapt-interval-ms {raw:?}"))?;
+        builder = builder.adapt_interval(std::time::Duration::from_millis(ms));
+    }
     builder.build().map_err(|e| e.to_string())
 }
 
@@ -141,6 +156,7 @@ struct Capture {
     threads: Vec<ThreadTelemetry>,
     consumed: u64,
     suggested_ratio: Option<usize>,
+    adaptation: Vec<ramr::AdaptationEvent>,
 }
 
 /// Executes a job on the selected runtime(s), printing timing, a per-thread
@@ -177,6 +193,7 @@ fn execute<J: MapReduceJob>(
                     threads,
                     consumed: report.consumed_per_combiner.iter().sum(),
                     suggested_ratio: report.suggested_ratio(),
+                    adaptation: report.adaptation.clone(),
                 };
                 (output, capture)
             } else {
@@ -184,8 +201,12 @@ fn execute<J: MapReduceJob>(
                 let (output, report) = rt.run_with_report(job, input).map_err(|e| e.to_string())?;
                 // Inline combine consumes every pair it emits.
                 let consumed = report.worker_telemetry.iter().map(|t| t.items).sum();
-                let capture =
-                    Capture { threads: report.worker_telemetry, consumed, suggested_ratio: None };
+                let capture = Capture {
+                    threads: report.worker_telemetry,
+                    consumed,
+                    suggested_ratio: None,
+                    adaptation: Vec::new(),
+                };
                 (output, capture)
             };
             samples.push(started.elapsed().as_secs_f64() * 1e3);
@@ -206,6 +227,28 @@ fn execute<J: MapReduceJob>(
             print!("{}", breakdown_table(&capture.threads));
             if let Some(ratio) = capture.suggested_ratio {
                 println!("  suggested mapper:combiner ratio {ratio}:1 (throughput criterion)");
+            }
+        }
+        if !capture.adaptation.is_empty() {
+            let acted: Vec<_> = capture.adaptation.iter().filter(|e| e.acted()).collect();
+            println!(
+                "  adaptation trace: {} tick(s), {} acted (holds omitted below)",
+                capture.adaptation.len(),
+                acted.len()
+            );
+            for event in acted {
+                println!("    {}", event.describe());
+            }
+            if let Some(last) = capture.adaptation.last() {
+                println!(
+                    "  final split {}m/{}c, batch {} (started {}m/{}c, batch {})",
+                    last.active_mappers,
+                    last.active_combiners,
+                    last.batch_size,
+                    config.num_workers,
+                    config.num_combiners,
+                    config.batch_size,
+                );
             }
         }
         outputs.push((name, output, capture));

@@ -38,6 +38,8 @@ const RUN_FLAGS: &[&str] = &[
     "input-a",
     "input-b",
     "metrics-json",
+    "adaptive",
+    "adapt-interval-ms",
 ];
 const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];

@@ -75,6 +75,7 @@ mod runtime;
 pub mod tuning;
 
 pub use runtime::{RamrRuntime, ReportedOutput, RunReport};
+pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
 
 // Re-export the configuration surface so downstream users need only this
 // crate for the common path.

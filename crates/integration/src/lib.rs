@@ -3,3 +3,6 @@
 //! See the `[[test]]` entries in this package's `Cargo.toml`: each points at
 //! a file under the repository root's `tests/` directory, spanning every
 //! crate in the workspace.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]

@@ -152,6 +152,23 @@ pub struct RuntimeConfig {
     /// (the default); disable to get the counter-stubbed baseline the
     /// telemetry overhead bound is measured against.
     pub telemetry: bool,
+    /// Whether the runtime adapts itself *during* the run: an online
+    /// controller samples live per-thread telemetry every
+    /// [`adapt_interval`](Self::adapt_interval) and (a) rebalances the
+    /// effective mapper:combiner ratio by re-rolling mapper threads as
+    /// combiners (and back), and (b) nudges the combiner batch size within
+    /// a bounded window. Off by default: the static path is untouched and
+    /// byte-identical to previous releases, so all recorded figures stay
+    /// reproducible. Requires `telemetry` (validated).
+    pub adaptive: bool,
+    /// Sampling period of the online controller when [`adaptive`] is on.
+    /// Shorter intervals react faster but each tick costs one pass over the
+    /// telemetry cells plus at most one thread re-role; the default (5 ms)
+    /// is two orders of magnitude above the sampling cost on commodity
+    /// hosts.
+    ///
+    /// [`adaptive`]: Self::adaptive
+    pub adapt_interval: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -171,6 +188,8 @@ impl Default for RuntimeConfig {
             num_reducers: workers,
             fixed_capacity: None,
             telemetry: true,
+            adaptive: false,
+            adapt_interval: Duration::from_millis(5),
         }
     }
 }
@@ -207,8 +226,10 @@ impl RuntimeConfig {
     /// policy; setting either selects [`PushBackoff::SpinThenSleep`] with
     /// the paper's defaults for the other), `RAMR_CONTAINER`
     /// (`array|hash|fixed-hash`), `RAMR_PINNING`
-    /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS` and
-    /// `RAMR_TELEMETRY` (`0|1|true|false|yes|no`, case-insensitive).
+    /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS`, `RAMR_TELEMETRY`
+    /// and `RAMR_ADAPTIVE` (`0|1|true|false|yes|no`, case-insensitive), and
+    /// `RAMR_ADAPT_INTERVAL_MS` (controller sampling period in
+    /// milliseconds).
     ///
     /// # Errors
     ///
@@ -303,6 +324,12 @@ impl RuntimeConfig {
         if let Some(on) = parse_bool("RAMR_TELEMETRY")? {
             b = b.telemetry(on);
         }
+        if let Some(on) = parse_bool("RAMR_ADAPTIVE")? {
+            b = b.adaptive(on);
+        }
+        if let Some(ms) = parse::<u64>("RAMR_ADAPT_INTERVAL_MS")? {
+            b = b.adapt_interval(Duration::from_millis(ms));
+        }
         b.build()
     }
 
@@ -338,6 +365,20 @@ impl RuntimeConfig {
                 "batch_size ({}) exceeds queue_capacity ({}); a batch could never fill",
                 self.batch_size, self.queue_capacity
             )));
+        }
+        if self.adaptive {
+            if !self.telemetry {
+                return Err(RuntimeError::InvalidConfig(
+                    "adaptive mode requires telemetry: the controller's only input is the \
+                     live per-thread telemetry feed"
+                        .into(),
+                ));
+            }
+            if self.adapt_interval.is_zero() {
+                return Err(RuntimeError::InvalidConfig(
+                    "adapt_interval must be nonzero in adaptive mode".into(),
+                ));
+            }
         }
         if let Some(n) = self.emit_buffer_size {
             nonzero(n, "emit_buffer_size")?;
@@ -435,6 +476,18 @@ impl RuntimeConfigBuilder {
     /// Enables or disables per-thread wall-clock telemetry.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.config.telemetry = on;
+        self
+    }
+
+    /// Enables or disables the online adaptive controller.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.config.adaptive = on;
+        self
+    }
+
+    /// Sets the adaptive controller's sampling period.
+    pub fn adapt_interval(mut self, interval: Duration) -> Self {
+        self.config.adapt_interval = interval;
         self
     }
 
@@ -622,6 +675,52 @@ mod tests {
         let c = RuntimeConfig::from_env().unwrap();
         std::env::remove_var("RAMR_TELEMETRY");
         assert!(!c.telemetry);
+    }
+
+    #[test]
+    fn adaptive_defaults_off_and_validates() {
+        let c = RuntimeConfig::default();
+        assert!(!c.adaptive, "adaptive mode must be opt-in");
+        assert_eq!(c.adapt_interval, Duration::from_millis(5));
+        let c = RuntimeConfig::builder()
+            .adaptive(true)
+            .adapt_interval(Duration::from_millis(2))
+            .build()
+            .unwrap();
+        assert!(c.adaptive);
+        assert_eq!(c.adapt_interval, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn adaptive_requires_telemetry_and_nonzero_interval() {
+        let err = RuntimeConfig::builder().adaptive(true).telemetry(false).build().unwrap_err();
+        assert!(err.to_string().contains("telemetry"));
+        let err = RuntimeConfig::builder()
+            .adaptive(true)
+            .adapt_interval(Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("adapt_interval"));
+        // Off-mode does not care about the interval: the controller never
+        // runs, so a zero period must not invalidate existing configs.
+        RuntimeConfig::builder().adapt_interval(Duration::ZERO).build().unwrap();
+    }
+
+    #[test]
+    fn from_env_reads_adaptive_knobs() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_ADAPTIVE", "on");
+        std::env::set_var("RAMR_ADAPT_INTERVAL_MS", "12");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_ADAPTIVE");
+        std::env::remove_var("RAMR_ADAPT_INTERVAL_MS");
+        assert!(c.adaptive);
+        assert_eq!(c.adapt_interval, Duration::from_millis(12));
+
+        std::env::set_var("RAMR_ADAPT_INTERVAL_MS", "soon");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_ADAPT_INTERVAL_MS");
+        assert!(err.to_string().contains("RAMR_ADAPT_INTERVAL_MS"));
     }
 
     #[test]

@@ -79,6 +79,16 @@ impl TaskQueues {
         let claimed = self.cursors[group].load(Ordering::Relaxed);
         self.groups[group].len().saturating_sub(claimed)
     }
+
+    /// `true` once every group's queue has been fully claimed, i.e. `claim`
+    /// can only return `None` from now on. Claimed tasks may still be
+    /// executing — this signals the end of task *hand-out*, not of map
+    /// work. A worker that stopped claiming (e.g. an adaptive runtime's
+    /// re-rolled mapper) polls this to learn when it may retire its
+    /// emission queue.
+    pub fn is_exhausted(&self) -> bool {
+        (0..self.groups.len()).all(|g| self.remaining_in(g) == 0)
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,16 @@
 //!   instrumentation is `Instant` arithmetic on this struct; nothing is
 //!   shared while a worker runs.
 //! * [`TelemetryCell`] — a bank of atomic counters a thread publishes its
-//!   accumulator into **once, at exit** (the same pattern the runtime
-//!   already uses for its emitted/consumed counters). No locks, no
-//!   hot-path atomics.
+//!   accumulator into (the same pattern the runtime already uses for its
+//!   emitted/consumed counters). No locks, no hot-path atomics. The classic
+//!   protocol publishes **once, at exit**; the adaptive runtime additionally
+//!   republishes **periodically mid-run** (each store overwrites the cell
+//!   with the latest running totals), which is what lets a controller
+//!   observe a run while it executes.
+//! * [`ThreadTelemetry::delta_since`] — the windowed view an online
+//!   controller needs: the work done *between two samples* of the same
+//!   cell, so throughput and stall fractions reflect the current phase of
+//!   the workload rather than the whole run so far.
 //! * [`ThreadTelemetry`] — the snapshot the runtime hands back per thread,
 //!   with derived fractions and per-thread throughput.
 //! * [`suggested_ratio`] — the paper's throughput criterion: how many
@@ -127,6 +134,25 @@ impl BatchHistogram {
             self.buckets[OCCUPANCY_BUCKETS - 1] as f64 / total as f64
         }
     }
+
+    /// Bucket-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// With the live-republish protocol every bucket grows monotonically,
+    /// so the delta is the batches recorded between the two samples.
+    pub fn delta_since(&self, earlier: &BatchHistogram) -> BatchHistogram {
+        let mut out = BatchHistogram::default();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out
+    }
+
+    /// Merges another histogram's counts into this one, bucket-wise.
+    pub fn merge(&mut self, other: &BatchHistogram) {
+        for (slot, &count) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot = slot.saturating_add(count);
+        }
+    }
 }
 
 /// Thread-local accumulator a worker updates while it runs.
@@ -200,6 +226,32 @@ impl ThreadTelemetry {
             None
         }
     }
+
+    /// The work done between two samples of the same live-republished cell:
+    /// field-wise `self - earlier`, saturating at zero.
+    ///
+    /// Every accumulator a worker publishes grows monotonically, so two
+    /// successive [`TelemetryCell::snapshot`]s of a running thread bracket a
+    /// *window*; the delta's derived quantities ([`throughput`],
+    /// [`stalled_fraction`], occupancy) then describe that window only —
+    /// exactly what an online controller wants, since a run's early phase
+    /// must not dilute the signal from its current one.
+    ///
+    /// [`throughput`]: ThreadTelemetry::throughput
+    /// [`stalled_fraction`]: ThreadTelemetry::stalled_fraction
+    pub fn delta_since(&self, earlier: &ThreadTelemetry) -> ThreadTelemetry {
+        ThreadTelemetry {
+            role: self.role,
+            index: self.index,
+            busy: self.busy.saturating_sub(earlier.busy),
+            stalled: self.stalled.saturating_sub(earlier.stalled),
+            wall: self.wall.saturating_sub(earlier.wall),
+            items: self.items.saturating_sub(earlier.items),
+            stall_events: self.stall_events.saturating_sub(earlier.stall_events),
+            batches: self.batches.saturating_sub(earlier.batches),
+            occupancy: self.occupancy.delta_since(&earlier.occupancy),
+        }
+    }
 }
 
 fn fraction(part: Duration, whole: Duration) -> f64 {
@@ -237,13 +289,24 @@ pub fn suggested_ratio(map_throughput: f64, combine_throughput: f64) -> usize {
     ((combine_throughput / map_throughput).round() as usize).max(1)
 }
 
-/// A bank of atomic counters one thread publishes into at exit.
+/// A bank of atomic counters one thread publishes into.
 ///
 /// The cell is shared (`&TelemetryCell`) between the spawning scope and the
-/// worker; the worker calls [`publish`](Self::publish) exactly once, after
-/// its last unit of work, and the scope reads it back with
-/// [`snapshot`](Self::snapshot) after joining. Relaxed ordering suffices:
-/// the thread join is the synchronization point.
+/// worker. Two protocols are supported:
+///
+/// * **Publish at exit** (the classic runtime path): the worker calls
+///   [`publish`](Self::publish) exactly once, after its last unit of work,
+///   and the scope reads it back with [`snapshot`](Self::snapshot) after
+///   joining. Relaxed ordering suffices: the thread join is the
+///   synchronization point.
+/// * **Live republish** (the adaptive path): the worker *also* calls
+///   `publish` periodically mid-run with its running totals; each call
+///   overwrites the cell. A controller thread may then `snapshot` at any
+///   time. Because every field is an independent relaxed atomic, a
+///   concurrent snapshot can mix totals from two publishes (fields are not
+///   read as one unit) — each counter is still individually monotonic,
+///   which is all the windowed [`ThreadTelemetry::delta_since`] arithmetic
+///   needs from an observability feed.
 #[derive(Debug, Default)]
 pub struct TelemetryCell {
     busy_ns: AtomicU64,
@@ -256,7 +319,9 @@ pub struct TelemetryCell {
 }
 
 impl TelemetryCell {
-    /// Publishes a thread's accumulated totals (call once, at thread exit).
+    /// Publishes a thread's accumulated totals. Call at least once at
+    /// thread exit; periodic mid-run calls (live republish) are allowed and
+    /// simply overwrite the cell with the newer, larger totals.
     pub fn publish(&self, local: &LocalTelemetry) {
         self.busy_ns.store(saturating_ns(local.busy), Ordering::Relaxed);
         self.stalled_ns.store(saturating_ns(local.stalled), Ordering::Relaxed);
@@ -387,6 +452,69 @@ mod tests {
         // Degenerate inputs.
         assert_eq!(suggested_ratio(0.0, 1000.0), 1);
         assert_eq!(suggested_ratio(1000.0, 0.0), 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let mk = |busy_ms: u64, items, full_batches| {
+            let mut occupancy = BatchHistogram::default();
+            for _ in 0..full_batches {
+                occupancy.record(8, 8);
+            }
+            ThreadTelemetry {
+                role: ThreadRole::Mapper,
+                index: 2,
+                busy: Duration::from_millis(busy_ms),
+                stalled: Duration::from_millis(busy_ms / 10),
+                wall: Duration::from_millis(busy_ms * 2),
+                items,
+                stall_events: items / 100,
+                batches: full_batches,
+                occupancy,
+            }
+        };
+        let earlier = mk(100, 1000, 4);
+        let later = mk(300, 4000, 10);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.busy, Duration::from_millis(200));
+        assert_eq!(delta.items, 3000);
+        assert_eq!(delta.batches, 6);
+        assert_eq!(delta.occupancy.total(), 6);
+        // Windowed throughput reflects the later, faster phase: 3000 items
+        // over 0.2 busy seconds, not 4000 over 0.3.
+        assert!((delta.throughput().unwrap() - 15_000.0).abs() < 1e-6);
+        // A stale (out-of-order) sample saturates to zero, never underflows.
+        let stale = earlier.delta_since(&later);
+        assert_eq!(stale.items, 0);
+        assert_eq!(stale.busy, Duration::ZERO);
+    }
+
+    #[test]
+    fn live_republish_overwrites_with_newer_totals() {
+        let cell = TelemetryCell::default();
+        let mut local = LocalTelemetry { items: 10, ..Default::default() };
+        cell.publish(&local);
+        let first = cell.snapshot(ThreadRole::Combiner, 1);
+        local.items = 25;
+        local.busy = Duration::from_millis(5);
+        cell.publish(&local);
+        let second = cell.snapshot(ThreadRole::Combiner, 1);
+        assert_eq!(first.items, 10);
+        assert_eq!(second.items, 25);
+        assert_eq!(second.delta_since(&first).items, 15);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets() {
+        let mut a = BatchHistogram::default();
+        a.record(8, 8);
+        let mut b = BatchHistogram::default();
+        b.record(8, 8);
+        b.record(1, 8);
+        a.merge(&b);
+        assert_eq!(a.buckets[OCCUPANCY_BUCKETS - 1], 2);
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.total(), 3);
     }
 
     #[test]

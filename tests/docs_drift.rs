@@ -1,0 +1,100 @@
+//! Docs-drift guard: the documented `RAMR_*` tuning surface must match the
+//! one `RuntimeConfig::from_env` actually reads, in both directions.
+//!
+//! README.md's knob table and TUNING.md's cookbook each list every env var;
+//! `crates/mr-core/src/config.rs` is the source of truth (its `from_env`
+//! reads each var, its tests exercise each, and its doc comment enumerates
+//! them — so a var dropped from the code without updating its own docs also
+//! fails `cargo doc` review, while this test catches the README/TUNING.md
+//! copies). A knob added to any one surface without the others fails here
+//! with the missing names spelled out.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Extracts every `RAMR_<NAME>` token from `text` (maximal runs of
+/// `[A-Z0-9_]` after the prefix). Bare `RAMR_` (as in the prose "`RAMR_*`
+/// variables") is not a token.
+fn ramr_env_tokens(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut found = BTreeSet::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find("RAMR_") {
+        let start = from + at;
+        let mut end = start + "RAMR_".len();
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        // Require at least one character beyond the prefix, and not a
+        // continuation of a longer identifier (e.g. `X_RAMR_Y`).
+        let standalone =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        if end > start + "RAMR_".len() && standalone {
+            found.insert(text[start..end].trim_end_matches('_').to_string());
+        }
+        from = end;
+    }
+    found
+}
+
+fn read(rel: &str) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("cannot read {rel}: {e}"))
+}
+
+fn assert_same_surface(doc_name: &str, documented: &BTreeSet<String>, code: &BTreeSet<String>) {
+    let undocumented: Vec<_> = code.difference(documented).collect();
+    let phantom: Vec<_> = documented.difference(code).collect();
+    assert!(
+        undocumented.is_empty(),
+        "env vars read by RuntimeConfig::from_env but missing from {doc_name}: \
+         {undocumented:?} — add them to the knob table"
+    );
+    assert!(
+        phantom.is_empty(),
+        "env vars documented in {doc_name} but not read by RuntimeConfig::from_env: \
+         {phantom:?} — remove them or wire them up in config.rs"
+    );
+}
+
+#[test]
+fn readme_env_table_matches_config_from_env() {
+    let code = ramr_env_tokens(&read("crates/mr-core/src/config.rs"));
+    assert!(
+        code.contains("RAMR_WORKERS") && code.len() >= 10,
+        "token scan of config.rs looks broken: {code:?}"
+    );
+    assert_same_surface("README.md", &ramr_env_tokens(&read("README.md")), &code);
+}
+
+#[test]
+fn tuning_cookbook_matches_config_from_env() {
+    let code = ramr_env_tokens(&read("crates/mr-core/src/config.rs"));
+    assert_same_surface("TUNING.md", &ramr_env_tokens(&read("TUNING.md")), &code);
+}
+
+#[test]
+fn readme_links_the_tuning_cookbook() {
+    assert!(
+        read("README.md").contains("TUNING.md"),
+        "README.md must link the TUNING.md knob cookbook"
+    );
+    assert!(
+        read("DESIGN.md").contains("TUNING.md"),
+        "DESIGN.md must reference the TUNING.md knob cookbook"
+    );
+}
+
+#[test]
+fn token_scanner_self_test() {
+    let text = "use `RAMR_WORKERS` and RAMR_BATCH_SIZE; the `RAMR_*` family; NOT_RAMR_THIS";
+    let tokens = ramr_env_tokens(text);
+    assert_eq!(
+        tokens.into_iter().collect::<Vec<_>>(),
+        vec!["RAMR_BATCH_SIZE".to_string(), "RAMR_WORKERS".to_string()]
+    );
+}
