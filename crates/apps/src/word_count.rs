@@ -45,6 +45,13 @@ impl MapReduceJob for WordCount {
     fn name(&self) -> &str {
         "word-count"
     }
+
+    /// Word counting is a pure function of the task's lines: a retried
+    /// task re-emits exactly the pairs a discarded attempt staged, so
+    /// re-execution under staged retries cannot change the output.
+    fn is_retry_safe(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

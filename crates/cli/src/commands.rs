@@ -15,7 +15,7 @@ use mr_core::{ContainerKind, MapReduceJob, PhaseKind, PinningPolicyKind, Runtime
 use phoenix_mr::PhoenixRuntime;
 use ramr::RamrRuntime;
 use ramr_telemetry::report::{breakdown_table, MetricsReport};
-use ramr_telemetry::ThreadTelemetry;
+use ramr_telemetry::{FaultMetrics, ThreadTelemetry};
 use ramr_topology::{thrid_to_cpu, MachineModel};
 
 use crate::args::Args;
@@ -33,6 +33,7 @@ USAGE:
                 [--container array|hash|fixed-hash]
                 [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
                 [--adaptive 0|1] [--adapt-interval-ms N]
+                [--task-retries N] [--skip-poison 0|1] [--watchdog-ms N]
                 [--metrics-json FILE]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
@@ -56,6 +57,12 @@ controller samples live telemetry every --adapt-interval-ms (default 5)
 and moves the mapper:combiner split and the batched-read size within
 bounded windows; the decisions are printed as an adaptation trace after
 the per-thread breakdown. See TUNING.md for the full knob cookbook.
+
+Fault tolerance (opt-in, see DESIGN.md): --task-retries N re-executes a
+panicked map task up to N times (jobs must declare is_retry_safe);
+--skip-poison 1 records tasks that still fail and completes the run
+without them; --watchdog-ms N cancels a wedged pipeline and reports a
+per-thread stall diagnosis instead of hanging forever.
 ";
 
 fn parse_app(args: &Args) -> Result<AppKind, String> {
@@ -131,6 +138,17 @@ fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
             raw.parse().map_err(|_| format!("cannot parse --adapt-interval-ms {raw:?}"))?;
         builder = builder.adapt_interval(std::time::Duration::from_millis(ms));
     }
+    if let Some(raw) = args.get("task-retries") {
+        let n: u32 = raw.parse().map_err(|_| format!("cannot parse --task-retries {raw:?}"))?;
+        builder = builder.max_task_retries(n);
+    }
+    if args.get_or("skip-poison", 0u8)? != 0 {
+        builder = builder.skip_poison_tasks(true);
+    }
+    if let Some(raw) = args.get("watchdog-ms") {
+        let ms: u64 = raw.parse().map_err(|_| format!("cannot parse --watchdog-ms {raw:?}"))?;
+        builder = builder.watchdog(std::time::Duration::from_millis(ms));
+    }
     builder.build().map_err(|e| e.to_string())
 }
 
@@ -157,6 +175,7 @@ struct Capture {
     consumed: u64,
     suggested_ratio: Option<usize>,
     adaptation: Vec<ramr::AdaptationEvent>,
+    faults: FaultMetrics,
 }
 
 /// Executes a job on the selected runtime(s), printing timing, a per-thread
@@ -194,6 +213,7 @@ fn execute<J: MapReduceJob>(
                     consumed: report.consumed_per_combiner.iter().sum(),
                     suggested_ratio: report.suggested_ratio(),
                     adaptation: report.adaptation.clone(),
+                    faults: report.faults.clone(),
                 };
                 (output, capture)
             } else {
@@ -206,6 +226,7 @@ fn execute<J: MapReduceJob>(
                     consumed,
                     suggested_ratio: None,
                     adaptation: Vec::new(),
+                    faults: report.faults,
                 };
                 (output, capture)
             };
@@ -223,6 +244,9 @@ fn execute<J: MapReduceJob>(
             output.stats.emitted,
             output.stats.queue_full_events,
         );
+        if let Some(summary) = capture.faults.summary() {
+            println!("  faults: {summary}");
+        }
         if config.telemetry {
             print!("{}", breakdown_table(&capture.threads));
             if let Some(ratio) = capture.suggested_ratio {
@@ -278,6 +302,7 @@ fn execute<J: MapReduceJob>(
             emitted: stats.emitted,
             consumed: capture.consumed,
             threads: capture.threads.clone(),
+            faults: capture.faults.clone(),
         };
         std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("  metrics written to {path}");

@@ -40,6 +40,9 @@ const RUN_FLAGS: &[&str] = &[
     "metrics-json",
     "adaptive",
     "adapt-interval-ms",
+    "task-retries",
+    "skip-poison",
+    "watchdog-ms",
 ];
 const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];

@@ -1,7 +1,7 @@
 //! The decoupled map/combine runtime (paper §III, Fig 2).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -13,7 +13,10 @@ use mr_core::{
 use phoenix_mr::{phases, TaskQueues};
 use ramr_containers::JobContainer;
 use ramr_spsc::{BackoffPolicy, Consumer, Producer, SpscQueue};
-use ramr_telemetry::{pool_throughput, LocalTelemetry, TelemetryCell, ThreadRole, ThreadTelemetry};
+use ramr_telemetry::{
+    pool_throughput, FaultLog, FaultMetrics, LocalTelemetry, ProgressBoard, TelemetryCell,
+    ThreadRole, ThreadTelemetry,
+};
 use ramr_topology::{pin_current_thread, CpuSlot, MachineModel, PlacementPlan};
 
 /// A job's output paired with the run's [`RunReport`].
@@ -164,6 +167,17 @@ impl RamrRuntime {
         let backoff = to_backoff(config.push_backoff);
         let emit_block = config.effective_emit_buffer();
 
+        // Fault-tolerance surfaces — all inert by default: no retries, no
+        // skipping, no watchdog, no extra atomics on the hot paths.
+        let fault_log = FaultLog::new();
+        let cancel = AtomicBool::new(false);
+        let done = AtomicBool::new(false);
+        let board =
+            config.watchdog.map(|_| ProgressBoard::new(config.num_workers + config.num_combiners));
+        let labels = thread_labels(config.num_workers, config.num_combiners);
+        let ctx = FaultCtx::new(config, job.is_retry_safe(), &fault_log, &cancel, board.as_ref());
+        let ctx = &ctx;
+
         // One SPSC queue per mapper; consumers grouped per combiner.
         let mut producers: Vec<Option<PairProducer<J>>> = Vec::with_capacity(config.num_workers);
         let mut consumers_of: Vec<Vec<PairConsumer<J>>> =
@@ -195,74 +209,101 @@ impl RamrRuntime {
         let combiner_cells: Vec<TelemetryCell> =
             (0..config.num_combiners).map(|_| Default::default()).collect();
 
-        let combiner_results: Vec<Result<phases::Pairs<J>, RuntimeError>> =
-            std::thread::scope(|scope| {
-                // Combiner pool (the bottom pool of Fig 2).
-                let combiner_handles: Vec<_> = consumers_of
-                    .into_iter()
-                    .enumerate()
-                    .map(|(c, consumers)| {
-                        let slot = plan.combiner_slot(c);
-                        let pin = config.pin_os_threads;
-                        let cell = &combiner_cells[c];
-                        scope.spawn(move || {
-                            maybe_pin(pin, slot);
-                            combiner_loop(job, config, consumers, cell)
-                        })
+        let (combiner_results, stalled) = std::thread::scope(|scope| {
+            // Combiner pool (the bottom pool of Fig 2).
+            let combiner_handles: Vec<_> = consumers_of
+                .into_iter()
+                .enumerate()
+                .map(|(c, consumers)| {
+                    let slot = plan.combiner_slot(c);
+                    let pin = config.pin_os_threads;
+                    let cell = &combiner_cells[c];
+                    let progress_slot = config.num_workers + c;
+                    scope.spawn(move || {
+                        maybe_pin(pin, slot);
+                        combiner_loop(job, config, consumers, cell, ctx, progress_slot)
                     })
-                    .collect();
+                })
+                .collect();
 
-                // General-purpose pool executing the map tasks.
-                let mapper_handles: Vec<_> = producers
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(m, tx)| {
-                        let tx = tx.take().expect("producer moved once");
-                        let slot = plan.mapper_slot(m);
-                        let home_group = group_of_mapper(m);
-                        let pin = config.pin_os_threads;
-                        let queues = &queues;
-                        let cell = &mapper_cells[m];
-                        let backoff = &backoff;
-                        let telemetry = config.telemetry;
-                        scope.spawn(move || {
-                            maybe_pin(pin, slot);
-                            mapper_loop(
-                                job, input, queues, home_group, tx, backoff, emit_block, cell,
-                                telemetry,
-                            );
-                        })
+            // General-purpose pool executing the map tasks.
+            let mapper_handles: Vec<_> = producers
+                .iter_mut()
+                .enumerate()
+                .map(|(m, tx)| {
+                    let tx = tx.take().expect("producer moved once");
+                    let slot = plan.mapper_slot(m);
+                    let home_group = group_of_mapper(m);
+                    let pin = config.pin_os_threads;
+                    let queues = &queues;
+                    let cell = &mapper_cells[m];
+                    let backoff = &backoff;
+                    let telemetry = config.telemetry;
+                    scope.spawn(move || {
+                        maybe_pin(pin, slot);
+                        mapper_loop(
+                            job, input, queues, home_group, tx, backoff, emit_block, cell,
+                            telemetry, ctx, m,
+                        );
                     })
-                    .collect();
+                })
+                .collect();
 
-                // Join mappers first: dropping each producer closes its
-                // queue, which is the combiners' end-of-map notification.
-                let mut mapper_panic: Option<RuntimeError> = None;
-                for h in mapper_handles {
-                    if let Err(panic) = h.join() {
-                        mapper_panic.get_or_insert(RuntimeError::WorkerPanic(
-                            phases::panic_message(&*panic),
-                        ));
-                    }
-                }
-
-                let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> = combiner_handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join().unwrap_or_else(|panic| {
-                            Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
-                        })
-                    })
-                    .collect();
-                if let Some(e) = mapper_panic {
-                    results.insert(0, Err(e));
-                }
-                results
+            // The watchdog (when armed) samples the progress board and
+            // trips the cooperative cancel flag if the pipeline wedges.
+            let watchdog = config.watchdog.map(|period| {
+                let board = board.as_ref().expect("board exists when watchdog armed");
+                let labels = &labels;
+                let cancel = &cancel;
+                let done = &done;
+                scope.spawn(move || watchdog_loop(period, board, labels, cancel, done))
             });
 
+            // Join mappers first: dropping each producer closes its
+            // queue, which is the combiners' end-of-map notification.
+            let mut mapper_panic: Option<RuntimeError> = None;
+            for h in mapper_handles {
+                if let Err(panic) = h.join() {
+                    mapper_panic
+                        .get_or_insert(RuntimeError::WorkerPanic(phases::panic_message(&*panic)));
+                }
+            }
+
+            let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> = combiner_handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|panic| {
+                        Err(RuntimeError::WorkerPanic(phases::panic_message(&*panic)))
+                    })
+                })
+                .collect();
+            if let Some(e) = mapper_panic {
+                results.insert(0, Err(e));
+            }
+            done.store(true, Ordering::Release);
+            let stalled = watchdog.and_then(|h| h.join().unwrap_or(None));
+            (results, stalled)
+        });
+
         let mut partials = Vec::with_capacity(combiner_results.len());
+        let mut first_error: Option<RuntimeError> = None;
+        let mut suppressed = 0u64;
         for result in combiner_results {
-            partials.push(result?);
+            match result {
+                Ok(pairs) => partials.push(pairs),
+                // First-error containment with the loss made visible: one
+                // error surfaces, the rest are counted onto its message.
+                Err(e) if first_error.is_none() => first_error = Some(e),
+                Err(_) => suppressed += 1,
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e.noting_suppressed(suppressed));
+        }
+        // Worker errors take priority: a stall diagnosis is only the
+        // primary failure when nothing more specific was recorded.
+        if let Some(e) = stalled {
+            return Err(e);
         }
         let mapper_telemetry: Vec<ThreadTelemetry> = mapper_cells
             .iter()
@@ -302,6 +343,7 @@ impl RamrRuntime {
             mapper_telemetry,
             combiner_telemetry,
             adaptation: Vec::new(),
+            faults: fault_log.snapshot(0, false),
         };
         Ok((JobOutput::from_unsorted(merged, stats), report))
     }
@@ -357,6 +399,18 @@ impl RamrRuntime {
         let ctl = AdaptiveCtl::new(config.num_workers, config.batch_size);
         let bounds = AdaptiveBounds::from_config(config);
 
+        // Fault-tolerance surfaces, mirroring the static path: inert unless
+        // configured. Flex threads occupy board slots `0..num_workers`,
+        // dedicated combiners the slots after.
+        let fault_log = FaultLog::new();
+        let cancel = AtomicBool::new(false);
+        let done = AtomicBool::new(false);
+        let board =
+            config.watchdog.map(|_| ProgressBoard::new(config.num_workers + config.num_combiners));
+        let labels = thread_labels(config.num_workers, config.num_combiners);
+        let ctx = FaultCtx::new(config, job.is_retry_safe(), &fault_log, &cancel, board.as_ref());
+        let ctx = &ctx;
+
         let groups = self.machine.sockets.max(1);
         let queues = TaskQueues::new(tasks, groups);
         let group_of_mapper = |m: usize| match plan.mapper_slot(m) {
@@ -381,103 +435,139 @@ impl RamrRuntime {
         let dedicated_cells: Vec<TelemetryCell> =
             (0..config.num_combiners).map(|_| Default::default()).collect();
 
-        let (flex_pairs, dedicated_pairs, trace, join_panic) = std::thread::scope(|scope| {
-            // Dedicated combiner pool: role-fixed (they own no task queue).
-            let dedicated_handles: Vec<_> = (0..config.num_combiners)
-                .map(|c| {
-                    let slot = plan.combiner_slot(c);
-                    let pin = config.pin_os_threads;
-                    let cell = &dedicated_cells[c];
-                    let registry = &registry;
-                    let ctl = &ctl;
-                    let errors = &errors;
-                    scope.spawn(move || {
-                        maybe_pin(pin, slot);
-                        adaptive_combiner_loop(job, config, registry, ctl, errors, cell)
+        let (flex_pairs, dedicated_pairs, trace, join_panic, suppressed_joins, stalled) =
+            std::thread::scope(|scope| {
+                // Dedicated combiner pool: role-fixed (they own no task queue).
+                let dedicated_handles: Vec<_> = (0..config.num_combiners)
+                    .map(|c| {
+                        let slot = plan.combiner_slot(c);
+                        let pin = config.pin_os_threads;
+                        let cell = &dedicated_cells[c];
+                        let registry = &registry;
+                        let ctl = &ctl;
+                        let errors = &errors;
+                        let progress_slot = config.num_workers + c;
+                        scope.spawn(move || {
+                            maybe_pin(pin, slot);
+                            adaptive_combiner_loop(
+                                job,
+                                config,
+                                registry,
+                                ctl,
+                                errors,
+                                cell,
+                                ctx,
+                                progress_slot,
+                            )
+                        })
                     })
-                })
-                .collect();
+                    .collect();
 
-            // Flex pool: mappers the controller may re-roll.
-            let flex_handles: Vec<_> = producers
-                .iter_mut()
-                .enumerate()
-                .map(|(m, tx)| {
-                    let tx = tx.take().expect("producer moved once");
-                    let slot = plan.mapper_slot(m);
-                    let home_group = group_of_mapper(m);
-                    let pin = config.pin_os_threads;
-                    let queues = &queues;
-                    let backoff = &backoff;
+                // Flex pool: mappers the controller may re-roll.
+                let flex_handles: Vec<_> = producers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(m, tx)| {
+                        let tx = tx.take().expect("producer moved once");
+                        let slot = plan.mapper_slot(m);
+                        let home_group = group_of_mapper(m);
+                        let pin = config.pin_os_threads;
+                        let queues = &queues;
+                        let backoff = &backoff;
+                        let registry = &registry;
+                        let ctl = &ctl;
+                        let errors = &errors;
+                        let map_cell = &map_cells[m];
+                        let combine_cell = &flex_combine_cells[m];
+                        scope.spawn(move || {
+                            maybe_pin(pin, slot);
+                            flex_loop(
+                                job,
+                                input,
+                                config,
+                                queues,
+                                home_group,
+                                m,
+                                tx,
+                                backoff,
+                                emit_block,
+                                registry,
+                                ctl,
+                                errors,
+                                map_cell,
+                                combine_cell,
+                                ctx,
+                            )
+                        })
+                    })
+                    .collect();
+
+                let controller = {
                     let registry = &registry;
                     let ctl = &ctl;
-                    let errors = &errors;
-                    let map_cell = &map_cells[m];
-                    let combine_cell = &flex_combine_cells[m];
+                    let map_cells = &map_cells;
+                    let flex_combine_cells = &flex_combine_cells;
+                    let dedicated_cells = &dedicated_cells;
+                    let cancel = &cancel;
                     scope.spawn(move || {
-                        maybe_pin(pin, slot);
-                        flex_loop(
-                            job,
-                            input,
+                        controller_loop(
                             config,
-                            queues,
-                            home_group,
-                            m,
-                            tx,
-                            backoff,
-                            emit_block,
+                            bounds,
                             registry,
                             ctl,
-                            errors,
-                            map_cell,
-                            combine_cell,
+                            map_cells,
+                            flex_combine_cells,
+                            dedicated_cells,
+                            cancel,
                         )
                     })
-                })
-                .collect();
+                };
 
-            let controller = {
-                let registry = &registry;
-                let ctl = &ctl;
-                let map_cells = &map_cells;
-                let flex_combine_cells = &flex_combine_cells;
-                let dedicated_cells = &dedicated_cells;
-                scope.spawn(move || {
-                    controller_loop(
-                        config,
-                        bounds,
-                        registry,
-                        ctl,
-                        map_cells,
-                        flex_combine_cells,
-                        dedicated_cells,
-                    )
-                })
-            };
+                let watchdog = config.watchdog.map(|period| {
+                    let board = board.as_ref().expect("board exists when watchdog armed");
+                    let labels = &labels;
+                    let cancel = &cancel;
+                    let done = &done;
+                    scope.spawn(move || watchdog_loop(period, board, labels, cancel, done))
+                });
 
-            let mut join_panic: Option<RuntimeError> = None;
-            let mut catch = |panic: Box<dyn std::any::Any + Send>| {
-                join_panic.get_or_insert(RuntimeError::WorkerPanic(phases::panic_message(&*panic)));
-            };
-            let flex_pairs: Vec<phases::Pairs<J>> = flex_handles
-                .into_iter()
-                .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
-                .collect();
-            let dedicated_pairs: Vec<phases::Pairs<J>> = dedicated_handles
-                .into_iter()
-                .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
-                .collect();
-            let trace = controller.join().map_err(&mut catch).unwrap_or_default();
-            (flex_pairs, dedicated_pairs, trace, join_panic)
-        });
+                let mut join_panic: Option<RuntimeError> = None;
+                let mut suppressed_joins = 0u64;
+                let mut catch = |panic: Box<dyn std::any::Any + Send>| {
+                    if join_panic.is_none() {
+                        join_panic =
+                            Some(RuntimeError::WorkerPanic(phases::panic_message(&*panic)));
+                    } else {
+                        suppressed_joins += 1;
+                    }
+                };
+                let flex_pairs: Vec<phases::Pairs<J>> = flex_handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
+                    .collect();
+                let dedicated_pairs: Vec<phases::Pairs<J>> = dedicated_handles
+                    .into_iter()
+                    .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
+                    .collect();
+                let trace = controller.join().map_err(&mut catch).unwrap_or_default();
+                done.store(true, Ordering::Release);
+                let stalled = watchdog.and_then(|h| h.join().unwrap_or(None));
+                (flex_pairs, dedicated_pairs, trace, join_panic, suppressed_joins, stalled)
+            });
 
         // A panicking mapper unwinds past its producer, which closes the
         // queue — the pipeline drains and terminates, then the panic
-        // surfaces here exactly as on the static path.
+        // surfaces here exactly as on the static path. Priority: join
+        // panics, then recorded worker errors, then the watchdog's stall
+        // diagnosis; everything behind the surfaced error is counted onto
+        // its message instead of vanishing.
         if let Some(e) = join_panic {
-            return Err(e);
+            return Err(e.noting_suppressed(suppressed_joins + errors.recorded()));
         }
         if let Some(e) = errors.take() {
+            return Err(e.noting_suppressed(errors.suppressed()));
+        }
+        if let Some(e) = stalled {
             return Err(e);
         }
 
@@ -532,6 +622,7 @@ impl RamrRuntime {
             mapper_telemetry,
             combiner_telemetry,
             adaptation: trace,
+            faults: fault_log.snapshot(0, false),
         };
         Ok((JobOutput::from_unsorted(merged, stats), report))
     }
@@ -584,6 +675,13 @@ pub struct RunReport {
     /// [`RuntimeConfig::adaptive`]; empty on static runs. Filter with
     /// [`AdaptationEvent::acted`] for the ticks that moved an actuator.
     pub adaptation: Vec<AdaptationEvent>,
+    /// Fault-tolerance accounting: task retries performed and poison tasks
+    /// skipped under [`RuntimeConfig::max_task_retries`] /
+    /// [`RuntimeConfig::skip_poison_tasks`]. All-zero (see
+    /// [`FaultMetrics::is_clean`]) when fault tolerance is off or nothing
+    /// failed; runs that *fail* report their faults through the returned
+    /// [`RuntimeError`] instead.
+    pub faults: FaultMetrics,
 }
 
 impl RunReport {
@@ -662,6 +760,177 @@ fn maybe_pin(enabled: bool, slot: CpuSlot) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance: per-task retries, poison skipping and the pipeline
+// watchdog, shared by the static and adaptive paths.
+// ---------------------------------------------------------------------------
+
+/// How often the watchdog wakes to sample the progress board. Sleeping in
+/// slices (like the controller) keeps teardown prompt: the watchdog notices
+/// the run's `done` signal within one slice.
+const WATCHDOG_SLICE: Duration = Duration::from_millis(5);
+
+/// Per-run fault-tolerance context shared by every worker thread: the
+/// retry/skip policy, the shared fault log, the cooperative cancel flag the
+/// watchdog trips, and (when a watchdog is armed) the progress board. All
+/// fields are inert at the default configuration, so the hot paths run
+/// unchanged — no staging, no extra atomics, the plain blocking push.
+struct FaultCtx<'a> {
+    /// Panicked-task re-executions allowed per task.
+    retries: u32,
+    /// Whether a task that exhausts its retries is skipped (and recorded)
+    /// instead of failing the run.
+    skip_poison: bool,
+    /// Staged (buffer-then-publish) task execution engages only when the
+    /// job opted in via [`MapReduceJob::is_retry_safe`] *and* retries or
+    /// skipping are configured.
+    staged: bool,
+    faults: &'a FaultLog,
+    cancel: &'a AtomicBool,
+    /// `Some` only when [`RuntimeConfig::watchdog`] armed one.
+    board: Option<&'a ProgressBoard>,
+}
+
+impl<'a> FaultCtx<'a> {
+    fn new(
+        config: &RuntimeConfig,
+        retry_safe: bool,
+        faults: &'a FaultLog,
+        cancel: &'a AtomicBool,
+        board: Option<&'a ProgressBoard>,
+    ) -> Self {
+        Self {
+            retries: config.max_task_retries,
+            skip_poison: config.skip_poison_tasks,
+            staged: retry_safe && (config.max_task_retries > 0 || config.skip_poison_tasks),
+            faults,
+            cancel,
+            board,
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Records one unit of pipeline progress for thread `slot`: a task
+    /// completed, a block flushed, a batch consumed. A no-op without a
+    /// watchdog.
+    fn progress(&self, slot: usize) {
+        if let Some(board) = self.board {
+            board.bump(slot);
+        }
+    }
+
+    /// The cancel flag to thread into blocking SPSC publishes — `Some` only
+    /// when a watchdog is armed (nothing else ever trips the flag), so the
+    /// default path keeps the unconditional blocking push.
+    fn push_cancel(&self) -> Option<&'a AtomicBool> {
+        self.board.map(|_| self.cancel)
+    }
+}
+
+/// Marks a thread live on the progress board for its whole scope. The drop
+/// guard deregisters even on unwind, so a panicking worker never leaves the
+/// watchdog counting a thread that is already gone.
+struct LiveGuard<'a>(Option<&'a ProgressBoard>);
+
+impl<'a> LiveGuard<'a> {
+    fn enter(board: Option<&'a ProgressBoard>) -> Self {
+        if let Some(b) = board {
+            b.thread_started();
+        }
+        Self(board)
+    }
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(b) = self.0 {
+            b.thread_done();
+        }
+    }
+}
+
+/// Publishes one block with the configured backoff. When a watchdog armed
+/// the cancel flag the push aborts on cancellation instead of blocking
+/// forever on a queue nobody will ever drain again.
+fn publish_block<T: Send>(
+    tx: &mut Producer<T>,
+    buf: &mut Vec<T>,
+    backoff: &BackoffPolicy,
+    cancel: Option<&AtomicBool>,
+) -> u64 {
+    match cancel {
+        Some(flag) => tx.push_batch_with_backoff_or_cancel(buf, backoff, flag),
+        None => tx.push_batch_with_backoff(buf, backoff),
+    }
+}
+
+/// Display labels for the watchdog's per-thread diagnostics, matching the
+/// progress-board slot layout (mappers first, then combiners).
+fn thread_labels(num_workers: usize, num_combiners: usize) -> Vec<String> {
+    (0..num_workers)
+        .map(|m| format!("mapper[{m}]"))
+        .chain((0..num_combiners).map(|c| format!("combiner[{c}]")))
+        .collect()
+}
+
+/// The pipeline watchdog: samples the progress board until the run signals
+/// `done`; if the board's total stops advancing for `period` while worker
+/// threads are still live, it trips the cooperative cancel flag and returns
+/// the [`RuntimeError::Stalled`] diagnosis.
+///
+/// Cancellation is *cooperative* — safe Rust cannot kill a thread — so a
+/// wedged run only unwinds if its blocking points poll the flag. The
+/// runtime's own waits all do (SPSC publishes, task claiming, combine
+/// rounds, the controller); user map code can via
+/// [`Emitter::is_cancelled`], which every task's emitter is wired to.
+fn watchdog_loop(
+    period: Duration,
+    board: &ProgressBoard,
+    labels: &[String],
+    cancel: &AtomicBool,
+    done: &AtomicBool,
+) -> Option<RuntimeError> {
+    let mut last_total = board.total();
+    let mut last_change = Instant::now();
+    loop {
+        if done.load(Ordering::Acquire) {
+            return None;
+        }
+        std::thread::sleep(WATCHDOG_SLICE.min(period));
+        let total = board.total();
+        if total != last_total || board.live_threads() == 0 {
+            // Progress — or nothing left to watch (threads between phases).
+            last_total = total;
+            last_change = Instant::now();
+            continue;
+        }
+        let idle = last_change.elapsed();
+        if idle < period {
+            continue;
+        }
+        cancel.store(true, Ordering::Release);
+        let per_thread: Vec<String> = board
+            .snapshot()
+            .iter()
+            .zip(labels)
+            .map(|(count, label)| format!("{label}={count}"))
+            .collect();
+        let diagnostics = format!(
+            "{} live worker thread(s); per-thread progress counts: {}",
+            board.live_threads(),
+            per_thread.join(" ")
+        );
+        return Some(RuntimeError::Stalled {
+            phase: "map-combine".into(),
+            idle_ms: idle.as_millis() as u64,
+            diagnostics,
+        });
+    }
+}
+
 /// One mapper's loop: pull tasks from the locality-grouped queues, map,
 /// accumulate emissions in a thread-local block and publish each full block
 /// to this mapper's SPSC queue with a single tail update. Publishes its
@@ -688,13 +957,20 @@ fn mapper_loop<J: MapReduceJob>(
     emit_block: usize,
     cell: &TelemetryCell,
     telemetry: bool,
+    ctx: &FaultCtx<'_>,
+    slot: usize,
 ) {
+    let _live = LiveGuard::enter(ctx.board);
+    let push_cancel = ctx.push_cancel();
     let wall_start = telemetry.then(Instant::now);
     let mut local = LocalTelemetry::default();
     let mut emitted = 0u64;
     let mut full_events = 0u64;
     let mut buffer: Vec<(J::Key, J::Value)> = Vec::with_capacity(emit_block);
     while let Some(task) = queues.claim(home_group) {
+        if ctx.cancelled() {
+            break;
+        }
         let stalled_before = local.stalled;
         let map_start = telemetry.then(Instant::now);
         {
@@ -711,7 +987,8 @@ fn mapper_loop<J: MapReduceJob>(
                     // block is published, counting zero-progress attempts.
                     let occupied = buffer.len();
                     let flush_start = telemetry.then(Instant::now);
-                    *full_events += tx.push_batch_with_backoff(buffer, backoff);
+                    *full_events += publish_block(tx, buffer, backoff, push_cancel);
+                    ctx.progress(slot);
                     if let Some(t) = flush_start {
                         local.stalled += t.elapsed();
                         local.batches += 1;
@@ -719,10 +996,32 @@ fn mapper_loop<J: MapReduceJob>(
                     }
                 }
             };
-            let mut emitter = Emitter::new(&mut sink);
-            job.map(&input[task.start..task.end], &mut emitter);
-            emitted += emitter.emitted();
+            if ctx.staged {
+                // Fault-tolerant task execution: emissions staged per task
+                // and only published after the map call succeeds, so a
+                // panicked (and retried) attempt publishes nothing.
+                let staged = phases::map_task_staged(
+                    job,
+                    task,
+                    input,
+                    ctx.retries,
+                    ctx.skip_poison,
+                    Some(ctx.cancel),
+                    ctx.faults,
+                );
+                if let Some((pairs, count)) = staged {
+                    for (key, value) in pairs {
+                        sink(key, value);
+                    }
+                    emitted += count;
+                }
+            } else {
+                let mut emitter = Emitter::with_cancel(&mut sink, ctx.cancel);
+                job.map(&input[task.start..task.end], &mut emitter);
+                emitted += emitter.emitted();
+            }
         }
+        ctx.progress(slot);
         if let Some(t) = map_start {
             // Useful map time: the whole call minus the flush/stall time
             // its emissions accrued.
@@ -734,7 +1033,7 @@ fn mapper_loop<J: MapReduceJob>(
     // end-of-stream.
     let occupied = buffer.len();
     let flush_start = telemetry.then(Instant::now);
-    full_events += tx.push_batch_with_backoff(&mut buffer, backoff);
+    full_events += publish_block(&mut tx, &mut buffer, backoff, push_cancel);
     if let Some(t) = flush_start {
         local.stalled += t.elapsed();
         if occupied > 0 {
@@ -770,7 +1069,10 @@ fn combiner_loop<J: MapReduceJob>(
     config: &RuntimeConfig,
     mut consumers: Vec<PairConsumer<J>>,
     cell: &TelemetryCell,
+    ctx: &FaultCtx<'_>,
+    slot: usize,
 ) -> Result<phases::Pairs<J>, RuntimeError> {
+    let _live = LiveGuard::enter(ctx.board);
     let telemetry = config.telemetry;
     let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
     let wall_start = telemetry.then(Instant::now);
@@ -781,6 +1083,11 @@ fn combiner_loop<J: MapReduceJob>(
     let (idle_spins, idle_sleep) = idle_policy(config.push_backoff);
     let mut idle_rounds = 0u32;
     loop {
+        // Watchdog cancellation: abandon the drain — the run is being torn
+        // down and its partial results discarded.
+        if ctx.cancelled() {
+            break;
+        }
         let round_start = telemetry.then(Instant::now);
         let mut progressed = false;
         let mut all_done = true;
@@ -844,6 +1151,7 @@ fn combiner_loop<J: MapReduceJob>(
             if consumed > 0 {
                 total_consumed += consumed as u64;
                 progressed = true;
+                ctx.progress(slot);
                 if telemetry {
                     local.batches += 1;
                     local.occupancy.record(consumed, batch);
@@ -971,12 +1279,20 @@ impl<J: MapReduceJob> QueueRegistry<J> {
 struct ErrorSlot {
     tripped: AtomicBool,
     slot: Mutex<Option<RuntimeError>>,
+    /// Worker errors recorded after the slot was occupied. Kept as a count
+    /// so first-error containment no longer *silently* discards them — the
+    /// surfaced error's message carries the tally.
+    suppressed: AtomicU64,
 }
 
 impl ErrorSlot {
     fn record(&self, err: RuntimeError) {
         let mut slot = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        slot.get_or_insert(err);
+        if slot.is_some() {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            *slot = Some(err);
+        }
         self.tripped.store(true, Ordering::Release);
     }
 
@@ -986,6 +1302,18 @@ impl ErrorSlot {
 
     fn take(&self) -> Option<RuntimeError> {
         self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+    }
+
+    /// Errors recorded behind the first one.
+    fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
+    /// Total errors ever recorded (slot + suppressed) — what hides behind a
+    /// join panic that outranks the slot entirely.
+    fn recorded(&self) -> u64 {
+        let held = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_some();
+        u64::from(held) + self.suppressed()
     }
 }
 
@@ -1148,6 +1476,7 @@ fn drain_container<J: MapReduceJob>(container: Option<JobContainer<'_, J>>) -> p
 /// Publishes telemetry both live (every [`LIVE_PUBLISH_ROUNDS`] rounds, with
 /// `wall` refreshed so the controller's windows see current totals) and once
 /// at exit, like the static path.
+#[allow(clippy::too_many_arguments)] // internal: the adaptive knob list
 fn adaptive_combiner_loop<'j, J: MapReduceJob>(
     job: &'j J,
     config: &RuntimeConfig,
@@ -1155,7 +1484,10 @@ fn adaptive_combiner_loop<'j, J: MapReduceJob>(
     ctl: &AdaptiveCtl,
     errors: &ErrorSlot,
     cell: &TelemetryCell,
+    ctx: &FaultCtx<'_>,
+    slot: usize,
 ) -> phases::Pairs<J> {
+    let _live = LiveGuard::enter(ctx.board);
     let wall_start = Instant::now();
     let mut local = LocalTelemetry::default();
     let mut container: Option<JobContainer<'j, J>> = None;
@@ -1163,12 +1495,16 @@ fn adaptive_combiner_loop<'j, J: MapReduceJob>(
     let mut idle_rounds = 0u32;
     let mut rounds_since_publish = 0u32;
     loop {
+        if ctx.cancelled() {
+            break;
+        }
         let round_start = Instant::now();
         match adaptive_round(job, config, registry, ctl, errors, &mut container, &mut local) {
             Round::Done => break,
             Round::Progress => {
                 idle_rounds = 0;
                 local.busy += round_start.elapsed();
+                ctx.progress(slot);
             }
             Round::Idle => {
                 local.stall_events += 1;
@@ -1199,13 +1535,14 @@ fn flush_block<K: Send, V: Send>(
     emit_block: usize,
     full_events: &mut u64,
     local: &mut LocalTelemetry,
+    cancel: Option<&AtomicBool>,
 ) {
     if buffer.is_empty() {
         return;
     }
     let occupied = buffer.len();
     let flush_start = Instant::now();
-    *full_events += tx.push_batch_with_backoff(buffer, backoff);
+    *full_events += publish_block(tx, buffer, backoff, cancel);
     local.stalled += flush_start.elapsed();
     local.batches += 1;
     local.occupancy.record(occupied, emit_block);
@@ -1252,7 +1589,10 @@ fn flex_loop<'j, J: MapReduceJob>(
     errors: &ErrorSlot,
     map_cell: &TelemetryCell,
     combine_cell: &TelemetryCell,
+    ctx: &FaultCtx<'_>,
 ) -> phases::Pairs<J> {
+    let _live = LiveGuard::enter(ctx.board);
+    let push_cancel = ctx.push_cancel();
     let wall_start = Instant::now();
     let mut map_local = LocalTelemetry::default();
     let mut combine_local = LocalTelemetry::default();
@@ -1266,6 +1606,9 @@ fn flex_loop<'j, J: MapReduceJob>(
 
     // Phase A: map, or help combine while re-rolled.
     loop {
+        if ctx.cancelled() {
+            break;
+        }
         if ctl.combining[index].load(Ordering::Relaxed) {
             // Entering (or continuing) combine help: flush buffered
             // emissions first so no pairs sit unpublished while this thread
@@ -1277,6 +1620,7 @@ fn flex_loop<'j, J: MapReduceJob>(
                 emit_block,
                 &mut full_events,
                 &mut map_local,
+                push_cancel,
             );
             if queues.is_exhausted() {
                 break;
@@ -1295,6 +1639,7 @@ fn flex_loop<'j, J: MapReduceJob>(
                 Round::Progress => {
                     idle_rounds = 0;
                     combine_local.busy += round_start.elapsed();
+                    ctx.progress(index);
                 }
                 Round::Idle => {
                     combine_local.stall_events += 1;
@@ -1324,7 +1669,8 @@ fn flex_loop<'j, J: MapReduceJob>(
                     if buffer.len() >= emit_block {
                         let occupied = buffer.len();
                         let flush_start = Instant::now();
-                        *full_events += tx.push_batch_with_backoff(buffer, backoff);
+                        *full_events += publish_block(tx, buffer, backoff, push_cancel);
+                        ctx.progress(index);
                         local.stalled += flush_start.elapsed();
                         local.batches += 1;
                         local.occupancy.record(occupied, emit_block);
@@ -1338,10 +1684,31 @@ fn flex_loop<'j, J: MapReduceJob>(
                         map_cell.publish(local);
                     }
                 };
-                let mut emitter = Emitter::new(&mut sink);
-                job.map(&input[task.start..task.end], &mut emitter);
-                emitted += emitter.emitted();
+                if ctx.staged {
+                    // Fault-tolerant task execution, as in [`mapper_loop`]:
+                    // stage per task, publish only on success.
+                    let staged = phases::map_task_staged(
+                        job,
+                        task,
+                        input,
+                        ctx.retries,
+                        ctx.skip_poison,
+                        Some(ctx.cancel),
+                        ctx.faults,
+                    );
+                    if let Some((pairs, count)) = staged {
+                        for (key, value) in pairs {
+                            sink(key, value);
+                        }
+                        emitted += count;
+                    }
+                } else {
+                    let mut emitter = Emitter::with_cancel(&mut sink, ctx.cancel);
+                    job.map(&input[task.start..task.end], &mut emitter);
+                    emitted += emitter.emitted();
+                }
             }
+            ctx.progress(index);
             map_local.busy +=
                 map_start.elapsed().saturating_sub(map_local.stalled - stalled_before);
             map_local.items = emitted;
@@ -1354,7 +1721,15 @@ fn flex_loop<'j, J: MapReduceJob>(
     // Map phase over for this thread: publish the partial block, then drop
     // the producer — closing the queue is the retire signal the combine
     // rounds watch for.
-    flush_block(&mut tx, &mut buffer, backoff, emit_block, &mut full_events, &mut map_local);
+    flush_block(
+        &mut tx,
+        &mut buffer,
+        backoff,
+        emit_block,
+        &mut full_events,
+        &mut map_local,
+        push_cancel,
+    );
     map_local.items = emitted;
     map_local.stall_events = full_events;
     map_local.wall = wall_start.elapsed();
@@ -1363,6 +1738,9 @@ fn flex_loop<'j, J: MapReduceJob>(
 
     // Phase B: help drain every remaining pipeline.
     loop {
+        if ctx.cancelled() {
+            break;
+        }
         let round_start = Instant::now();
         match adaptive_round(job, config, registry, ctl, errors, &mut container, &mut combine_local)
         {
@@ -1370,6 +1748,7 @@ fn flex_loop<'j, J: MapReduceJob>(
             Round::Progress => {
                 idle_rounds = 0;
                 combine_local.busy += round_start.elapsed();
+                ctx.progress(index);
             }
             Round::Idle => {
                 combine_local.stall_events += 1;
@@ -1400,6 +1779,7 @@ fn flex_loop<'j, J: MapReduceJob>(
 /// included, so the trace documents why the run stayed put as well as why
 /// it moved. The controller is the only role/batch writer, so its local
 /// `active_combiners` count cannot drift from the flags.
+#[allow(clippy::too_many_arguments)] // internal: the adaptive knob list
 fn controller_loop<J: MapReduceJob>(
     config: &RuntimeConfig,
     bounds: AdaptiveBounds,
@@ -1408,6 +1788,7 @@ fn controller_loop<J: MapReduceJob>(
     map_cells: &[TelemetryCell],
     flex_combine_cells: &[TelemetryCell],
     dedicated_cells: &[TelemetryCell],
+    cancel: &AtomicBool,
 ) -> Vec<AdaptationEvent> {
     let started = Instant::now();
     let mut trace = Vec::new();
@@ -1431,7 +1812,9 @@ fn controller_loop<J: MapReduceJob>(
     loop {
         let deadline = Instant::now() + config.adapt_interval;
         loop {
-            if registry.all_done() {
+            // Watchdog cancellation ends the run without the registry ever
+            // fully retiring — the controller must not out-wait it.
+            if registry.all_done() || cancel.load(Ordering::Relaxed) {
                 return trace;
             }
             let now = Instant::now();
@@ -1492,6 +1875,8 @@ fn controller_loop<J: MapReduceJob>(
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::AtomicU32;
+
     use super::*;
     use mr_core::ContainerKind;
 
@@ -1898,6 +2283,7 @@ mod tests {
             mapper_telemetry: Vec::new(),
             combiner_telemetry: Vec::new(),
             adaptation: Vec::new(),
+            faults: FaultMetrics::default(),
         };
         // 1-combiner-starved placement: all pairs drained by combiner 0.
         assert_eq!(mk(vec![5000, 0]).combiner_imbalance(), Some(f64::INFINITY));
@@ -2090,5 +2476,218 @@ mod tests {
 
     fn trace_lines(report: &RunReport) -> String {
         report.adaptation.iter().map(AdaptationEvent::describe).collect::<Vec<_>>().join("\n")
+    }
+
+    // --- Fault tolerance ---------------------------------------------------
+
+    /// Mod9 with one poison task: the task containing `poison` panics on
+    /// its first `fail_attempts` executions — after emitting, so a broken
+    /// retry path would double-count pairs into the pipeline.
+    struct FlakyMod9 {
+        poison: u64,
+        fail_attempts: u32,
+        attempts: AtomicU32,
+    }
+
+    impl FlakyMod9 {
+        fn new(poison: u64, fail_attempts: u32) -> Self {
+            Self { poison, fail_attempts, attempts: AtomicU32::new(0) }
+        }
+    }
+
+    impl MapReduceJob for FlakyMod9 {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x % 9, x);
+            }
+            if task.contains(&self.poison) {
+                let attempt = 1 + self.attempts.fetch_add(1, Ordering::SeqCst);
+                if attempt <= self.fail_attempts {
+                    panic!("flaky task tripped");
+                }
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(9)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+
+        fn is_retry_safe(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_poison_task_on_both_paths() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected = reference(&input);
+        for adaptive in [false, true] {
+            let mut cfg = if adaptive { adaptive_config(4, 2) } else { config(4, 2) };
+            cfg.max_task_retries = 2;
+            let rt = RamrRuntime::new(cfg).unwrap();
+            let (out, report) = rt.run_with_report(&FlakyMod9::new(40, 2), &input).unwrap();
+            assert_eq!(out.pairs, expected, "adaptive={adaptive}: retried pairs count once");
+            assert_eq!(report.faults.retries, 2, "adaptive={adaptive}");
+            assert!(report.faults.skipped.is_empty(), "adaptive={adaptive}");
+            assert!(report.faults.summary().unwrap().contains("retr"), "adaptive={adaptive}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_without_skip_fail_fast_on_both_paths() {
+        let input: Vec<u64> = (0..1000).collect();
+        for adaptive in [false, true] {
+            let mut cfg = if adaptive { adaptive_config(4, 2) } else { config(4, 2) };
+            cfg.max_task_retries = 1;
+            let err = RamrRuntime::new(cfg)
+                .unwrap()
+                .run(&FlakyMod9::new(40, u32::MAX), &input)
+                .unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("flaky task")),
+                "adaptive={adaptive}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_poison_tasks_completes_with_the_skip_recorded_on_both_paths() {
+        let input: Vec<u64> = (0..1000).collect();
+        // Element 40 sits at index 40 → task [34, 51) at task_size 17.
+        let surviving: Vec<u64> = input.iter().copied().filter(|x| !(34..51).contains(x)).collect();
+        let expected = reference(&surviving);
+        for adaptive in [false, true] {
+            let mut cfg = if adaptive { adaptive_config(4, 2) } else { config(4, 2) };
+            cfg.max_task_retries = 1;
+            cfg.skip_poison_tasks = true;
+            let rt = RamrRuntime::new(cfg).unwrap();
+            let (out, report) = rt.run_with_report(&FlakyMod9::new(40, u32::MAX), &input).unwrap();
+            assert_eq!(out.pairs, expected, "adaptive={adaptive}: only the poison task missing");
+            assert_eq!(report.faults.skipped.len(), 1, "adaptive={adaptive}");
+            let skip = &report.faults.skipped[0];
+            assert_eq!((skip.start, skip.end), (34, 51), "adaptive={adaptive}");
+            assert_eq!(skip.attempts, 2, "adaptive={adaptive}: initial attempt + one retry");
+            assert!(skip.message.contains("flaky task"), "adaptive={adaptive}: {}", skip.message);
+        }
+    }
+
+    #[test]
+    fn retries_are_ignored_for_jobs_that_do_not_opt_in() {
+        struct Unsafe(FlakyMod9);
+        impl MapReduceJob for Unsafe {
+            type Input = u64;
+            type Key = u64;
+            type Value = u64;
+            fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+                self.0.map(task, emit);
+            }
+            fn combine(&self, acc: &mut u64, v: u64) {
+                self.0.combine(acc, v);
+            }
+            fn key_space(&self) -> Option<usize> {
+                Some(9)
+            }
+            fn key_index(&self, k: &u64) -> usize {
+                *k as usize
+            }
+            // is_retry_safe stays at its default: false.
+        }
+        let input: Vec<u64> = (0..1000).collect();
+        let mut cfg = config(4, 2);
+        cfg.max_task_retries = 5;
+        cfg.skip_poison_tasks = true;
+        let err = RamrRuntime::new(cfg)
+            .unwrap()
+            .run(&Unsafe(FlakyMod9::new(40, u32::MAX)), &input)
+            .unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::WorkerPanic(_)),
+            "a non-retry-safe job must keep fail-fast semantics, got {err}"
+        );
+    }
+
+    /// Wedges on the task containing element 40 until cancelled — the
+    /// cooperative never-returning task the watchdog exists for.
+    struct HangsOnPoison;
+
+    impl MapReduceJob for HangsOnPoison {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            if task.contains(&40) {
+                while !emit.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                return;
+            }
+            for &x in task {
+                emit.emit(x % 9, x);
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(9)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_wedged_runs_with_a_stall_diagnosis_on_both_paths() {
+        let input: Vec<u64> = (0..1000).collect();
+        for adaptive in [false, true] {
+            let mut cfg = if adaptive { adaptive_config(2, 1) } else { config(2, 1) };
+            cfg.watchdog = Some(Duration::from_millis(200));
+            let started = Instant::now();
+            let err = RamrRuntime::new(cfg).unwrap().run(&HangsOnPoison, &input).unwrap_err();
+            let elapsed = started.elapsed();
+            match err {
+                RuntimeError::Stalled { ref phase, idle_ms, ref diagnostics } => {
+                    assert_eq!(phase, "map-combine", "adaptive={adaptive}");
+                    assert!(idle_ms >= 200, "adaptive={adaptive}: idle_ms={idle_ms}");
+                    assert!(
+                        diagnostics.contains("mapper[") && diagnostics.contains("live worker"),
+                        "adaptive={adaptive}: diagnostics must name threads: {diagnostics}"
+                    );
+                }
+                other => panic!("adaptive={adaptive}: expected Stalled, got {other}"),
+            }
+            assert!(
+                elapsed < Duration::from_secs(5),
+                "adaptive={adaptive}: watchdog must cancel promptly, took {elapsed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_runs_report_clean_fault_metrics() {
+        let input: Vec<u64> = (0..5000).collect();
+        for adaptive in [false, true] {
+            let cfg = if adaptive { adaptive_config(4, 2) } else { config(4, 2) };
+            let (_, report) =
+                RamrRuntime::new(cfg).unwrap().run_with_report(&Mod9, &input).unwrap();
+            assert!(report.faults.is_clean(), "adaptive={adaptive}: {:?}", report.faults);
+            assert_eq!(report.faults.summary(), None, "adaptive={adaptive}");
+        }
     }
 }

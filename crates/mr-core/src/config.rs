@@ -169,6 +169,32 @@ pub struct RuntimeConfig {
     ///
     /// [`adaptive`]: Self::adaptive
     pub adapt_interval: Duration,
+    /// How many times a panicked map task is re-executed before the run
+    /// gives up on it. The default (0) preserves fail-fast: the first
+    /// panic aborts the run with [`RuntimeError::WorkerPanic`]. Retries
+    /// only take effect for jobs declaring
+    /// [`MapReduceJob::is_retry_safe`](crate::MapReduceJob::is_retry_safe);
+    /// for others the runtime silently keeps fail-fast. When fault
+    /// tolerance is active the runtime buffers each task's full emission
+    /// set and publishes it only after the task succeeds, so a retried
+    /// task's pairs are counted exactly once.
+    pub max_task_retries: u32,
+    /// Whether a task that still fails after [`max_task_retries`] attempts
+    /// is *skipped* — Hadoop-style bad-record skipping at task granularity —
+    /// instead of aborting the run. Skipped tasks are recorded in the run
+    /// report's fault section (task id, input range, attempts, panic
+    /// message). Off by default; like retries, only honoured for
+    /// retry-safe jobs.
+    ///
+    /// [`max_task_retries`]: Self::max_task_retries
+    pub skip_poison_tasks: bool,
+    /// Stall detector period: when set, a watchdog thread samples pipeline
+    /// progress (tasks claimed, pairs published/consumed, retries) and, if
+    /// no counter moves for this long while worker threads are still live,
+    /// cancels the run and returns [`RuntimeError::Stalled`] with a
+    /// per-thread diagnostics snapshot. `None` (the default) disables the
+    /// watchdog entirely. Must be nonzero when set (validated).
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for RuntimeConfig {
@@ -190,6 +216,9 @@ impl Default for RuntimeConfig {
             telemetry: true,
             adaptive: false,
             adapt_interval: Duration::from_millis(5),
+            max_task_retries: 0,
+            skip_poison_tasks: false,
+            watchdog: None,
         }
     }
 }
@@ -227,9 +256,13 @@ impl RuntimeConfig {
     /// the paper's defaults for the other), `RAMR_CONTAINER`
     /// (`array|hash|fixed-hash`), `RAMR_PINNING`
     /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS`, `RAMR_TELEMETRY`
-    /// and `RAMR_ADAPTIVE` (`0|1|true|false|yes|no`, case-insensitive), and
+    /// and `RAMR_ADAPTIVE` (`0|1|true|false|yes|no`, case-insensitive),
     /// `RAMR_ADAPT_INTERVAL_MS` (controller sampling period in
-    /// milliseconds).
+    /// milliseconds), `RAMR_TASK_RETRIES` (re-executions of a panicked map
+    /// task before giving up), `RAMR_SKIP_POISON_TASKS` (boolean: complete
+    /// the run without tasks whose retries are exhausted, recording them in
+    /// the fault report), and `RAMR_WATCHDOG_MS` (stall-detector period in
+    /// milliseconds; must be nonzero).
     ///
     /// # Errors
     ///
@@ -330,6 +363,15 @@ impl RuntimeConfig {
         if let Some(ms) = parse::<u64>("RAMR_ADAPT_INTERVAL_MS")? {
             b = b.adapt_interval(Duration::from_millis(ms));
         }
+        if let Some(n) = parse::<u32>("RAMR_TASK_RETRIES")? {
+            b = b.max_task_retries(n);
+        }
+        if let Some(on) = parse_bool("RAMR_SKIP_POISON_TASKS")? {
+            b = b.skip_poison_tasks(on);
+        }
+        if let Some(ms) = parse::<u64>("RAMR_WATCHDOG_MS")? {
+            b = b.watchdog(Duration::from_millis(ms));
+        }
         b.build()
     }
 
@@ -379,6 +421,13 @@ impl RuntimeConfig {
                     "adapt_interval must be nonzero in adaptive mode".into(),
                 ));
             }
+        }
+        if self.watchdog == Some(Duration::ZERO) {
+            return Err(RuntimeError::InvalidConfig(
+                "watchdog period must be nonzero when set (a zero period would fire \
+                 immediately); use None to disable the watchdog"
+                    .into(),
+            ));
         }
         if let Some(n) = self.emit_buffer_size {
             nonzero(n, "emit_buffer_size")?;
@@ -488,6 +537,24 @@ impl RuntimeConfigBuilder {
     /// Sets the adaptive controller's sampling period.
     pub fn adapt_interval(mut self, interval: Duration) -> Self {
         self.config.adapt_interval = interval;
+        self
+    }
+
+    /// Sets how many times a panicked map task is retried (0 = fail-fast).
+    pub fn max_task_retries(mut self, n: u32) -> Self {
+        self.config.max_task_retries = n;
+        self
+    }
+
+    /// Enables or disables skipping of tasks whose retries are exhausted.
+    pub fn skip_poison_tasks(mut self, on: bool) -> Self {
+        self.config.skip_poison_tasks = on;
+        self
+    }
+
+    /// Enables the pipeline stall watchdog with the given period.
+    pub fn watchdog(mut self, period: Duration) -> Self {
+        self.config.watchdog = Some(period);
         self
     }
 
@@ -721,6 +788,58 @@ mod tests {
         let err = RuntimeConfig::from_env().unwrap_err();
         std::env::remove_var("RAMR_ADAPT_INTERVAL_MS");
         assert!(err.to_string().contains("RAMR_ADAPT_INTERVAL_MS"));
+    }
+
+    #[test]
+    fn fault_tolerance_defaults_off() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.max_task_retries, 0, "retries must default to fail-fast");
+        assert!(!c.skip_poison_tasks, "poison skipping must be opt-in");
+        assert_eq!(c.watchdog, None, "watchdog must be opt-in");
+    }
+
+    #[test]
+    fn builder_round_trips_fault_tolerance_knobs() {
+        let c = RuntimeConfig::builder()
+            .max_task_retries(3)
+            .skip_poison_tasks(true)
+            .watchdog(Duration::from_millis(200))
+            .build()
+            .unwrap();
+        assert_eq!(c.max_task_retries, 3);
+        assert!(c.skip_poison_tasks);
+        assert_eq!(c.watchdog, Some(Duration::from_millis(200)));
+    }
+
+    #[test]
+    fn rejects_zero_watchdog_period() {
+        let err = RuntimeConfig::builder().watchdog(Duration::ZERO).build().unwrap_err();
+        assert!(err.to_string().contains("watchdog"), "{err}");
+    }
+
+    #[test]
+    fn from_env_reads_fault_tolerance_knobs() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_TASK_RETRIES", "2");
+        std::env::set_var("RAMR_SKIP_POISON_TASKS", "yes");
+        std::env::set_var("RAMR_WATCHDOG_MS", "250");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_TASK_RETRIES");
+        std::env::remove_var("RAMR_SKIP_POISON_TASKS");
+        std::env::remove_var("RAMR_WATCHDOG_MS");
+        assert_eq!(c.max_task_retries, 2);
+        assert!(c.skip_poison_tasks);
+        assert_eq!(c.watchdog, Some(Duration::from_millis(250)));
+
+        std::env::set_var("RAMR_WATCHDOG_MS", "0");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_WATCHDOG_MS");
+        assert!(err.to_string().contains("watchdog"), "{err}");
+
+        std::env::set_var("RAMR_TASK_RETRIES", "lots");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_TASK_RETRIES");
+        assert!(err.to_string().contains("RAMR_TASK_RETRIES"), "{err}");
     }
 
     #[test]

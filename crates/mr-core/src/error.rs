@@ -23,6 +23,43 @@ pub enum RuntimeError {
     WorkerPanic(String),
     /// The placement plan could not be computed for the machine model.
     Placement(String),
+    /// The watchdog detected a wedged pipeline: no task-queue, SPSC or
+    /// retry progress for the configured period while worker threads were
+    /// still live, so the run was cancelled instead of hanging forever.
+    Stalled {
+        /// The phase that stalled (e.g. `map-combine`).
+        phase: String,
+        /// How long the pipeline made no progress before the watchdog
+        /// fired, in milliseconds.
+        idle_ms: u64,
+        /// Human-readable per-thread progress/busy/stall snapshot taken at
+        /// the moment the watchdog fired.
+        diagnostics: String,
+    },
+}
+
+impl RuntimeError {
+    /// Annotates this error with the number of *further* worker errors that
+    /// were suppressed behind it. First-error containment keeps exactly one
+    /// error per run; when more workers failed, the count is appended to
+    /// this error's message so the loss is visible instead of silent.
+    /// A zero count returns the error unchanged.
+    #[must_use]
+    pub fn noting_suppressed(mut self, suppressed: u64) -> Self {
+        if suppressed == 0 {
+            return self;
+        }
+        let note = format!("; {suppressed} further worker error(s) suppressed");
+        match &mut self {
+            RuntimeError::InvalidConfig(m)
+            | RuntimeError::UnsupportedContainer(m)
+            | RuntimeError::WorkerPanic(m)
+            | RuntimeError::Placement(m) => m.push_str(&note),
+            RuntimeError::ContainerOverflow { detail, .. } => detail.push_str(&note),
+            RuntimeError::Stalled { diagnostics, .. } => diagnostics.push_str(&note),
+        }
+        self
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -37,6 +74,13 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
             RuntimeError::Placement(msg) => write!(f, "cannot compute placement: {msg}"),
+            RuntimeError::Stalled { phase, idle_ms, diagnostics } => {
+                write!(
+                    f,
+                    "pipeline stalled in {phase} phase: no progress for {idle_ms} ms; \
+                     {diagnostics}"
+                )
+            }
         }
     }
 }
@@ -59,6 +103,34 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = RuntimeError::Placement("zero cpus".into());
         assert!(e.to_string().contains("placement"));
+        let e = RuntimeError::Stalled {
+            phase: "map-combine".into(),
+            idle_ms: 200,
+            diagnostics: "mapper[0] busy".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("stalled"), "{text}");
+        assert!(text.contains("map-combine"), "{text}");
+        assert!(text.contains("200 ms"), "{text}");
+        assert!(text.contains("mapper[0] busy"), "{text}");
+    }
+
+    #[test]
+    fn noting_suppressed_appends_to_every_variant_and_zero_is_identity() {
+        let e = RuntimeError::WorkerPanic("boom".into());
+        assert_eq!(e.clone().noting_suppressed(0), e);
+        let text = e.noting_suppressed(3).to_string();
+        assert!(text.contains("boom; 3 further worker error(s) suppressed"), "{text}");
+        let e = RuntimeError::ContainerOverflow { capacity: 8, detail: "index 9".into() }
+            .noting_suppressed(1);
+        assert!(e.to_string().contains("index 9; 1 further worker error(s) suppressed"));
+        let e = RuntimeError::Stalled {
+            phase: "map-combine".into(),
+            idle_ms: 7,
+            diagnostics: "idle".into(),
+        }
+        .noting_suppressed(2);
+        assert!(e.to_string().contains("idle; 2 further worker error(s) suppressed"));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl<T> MrValue for T where T: Clone + Send + Sync + Debug + 'static {}
 pub struct Emitter<'a, K, V> {
     sink: &'a mut dyn FnMut(K, V),
     emitted: u64,
+    cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 impl<K, V> Debug for Emitter<'_, K, V> {
@@ -61,7 +62,18 @@ impl<'a, K, V> Emitter<'a, K, V> {
     /// Runtimes construct one emitter per map task; applications only consume
     /// the emitter they are handed.
     pub fn new(sink: &'a mut dyn FnMut(K, V)) -> Self {
-        Self { sink, emitted: 0 }
+        Self { sink, emitted: 0, cancel: None }
+    }
+
+    /// Creates an emitter that also carries the runtime's cancellation
+    /// token, so cooperative long-running map functions can poll
+    /// [`is_cancelled`](Self::is_cancelled) and bail out early when the
+    /// watchdog (or any other supervisor) cancels the run.
+    pub fn with_cancel(
+        sink: &'a mut dyn FnMut(K, V),
+        cancel: &'a std::sync::atomic::AtomicBool,
+    ) -> Self {
+        Self { sink, emitted: 0, cancel: Some(cancel) }
     }
 
     /// Emits one intermediate key-value pair.
@@ -75,6 +87,18 @@ impl<'a, K, V> Emitter<'a, K, V> {
     #[inline]
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Whether the runtime has asked this task to stop early.
+    ///
+    /// Always `false` for emitters built with [`new`](Self::new). Map
+    /// functions are free to ignore this — cancellation is cooperative —
+    /// but long-running or potentially-wedged tasks should poll it and
+    /// return promptly when it flips, so the watchdog can unwind the run
+    /// instead of waiting on them forever.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
     }
 }
 
@@ -215,6 +239,25 @@ pub trait MapReduceJob: Sync {
     fn name(&self) -> &str {
         "unnamed-job"
     }
+
+    /// Whether a map task of this job may be re-executed after a panic.
+    ///
+    /// Returning `true` opts the job into the fault-tolerance layer
+    /// ([`RuntimeConfig::max_task_retries`] /
+    /// [`RuntimeConfig::skip_poison_tasks`]): runtimes then buffer each
+    /// task's emissions and publish them only on success, so a retried task
+    /// contributes its pairs exactly once. A job is retry-safe when its
+    /// `map` has no side effects beyond emitting (or only side effects that
+    /// tolerate re-execution, like statistics counters). The default is
+    /// `false`, which keeps fail-fast semantics for the job regardless of
+    /// the configured retry knobs — the conservative choice for jobs with
+    /// external side effects.
+    ///
+    /// [`RuntimeConfig::max_task_retries`]: crate::RuntimeConfig::max_task_retries
+    /// [`RuntimeConfig::skip_poison_tasks`]: crate::RuntimeConfig::skip_poison_tasks
+    fn is_retry_safe(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -270,5 +313,26 @@ mod tests {
         let mut sink = |_: u32, _: u64| {};
         let emitter = Emitter::new(&mut sink);
         assert!(format!("{emitter:?}").contains("Emitter"));
+    }
+
+    #[test]
+    fn default_is_retry_safe_is_false() {
+        assert!(!Sum.is_retry_safe(), "retry safety must be an explicit opt-in");
+    }
+
+    #[test]
+    fn emitter_cancellation_is_observable() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut sink = |_: u32, _: u64| {};
+        assert!(!Emitter::new(&mut sink).is_cancelled(), "plain emitters never cancel");
+        let cancel = AtomicBool::new(false);
+        let mut sink = |_: u32, _: u64| {};
+        let mut emitter = Emitter::with_cancel(&mut sink, &cancel);
+        assert!(!emitter.is_cancelled());
+        cancel.store(true, Ordering::Relaxed);
+        assert!(emitter.is_cancelled());
+        // Cancellation does not block emission: tasks may finish a tail.
+        emitter.emit(1, 1);
+        assert_eq!(emitter.emitted(), 1);
     }
 }

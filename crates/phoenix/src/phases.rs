@@ -5,8 +5,11 @@
 //! runtimes therefore call into this module for everything downstream of the
 //! per-thread containers.
 
-use mr_core::{MapReduceJob, RuntimeError};
+use std::sync::atomic::AtomicBool;
+
+use mr_core::{Emitter, MapReduceJob, RuntimeError, TaskRange};
 use ramr_containers::{fnv1a_hash, HashContainer};
+use ramr_telemetry::{FaultLog, SkippedTask};
 
 /// The intermediate pairs one worker/combiner/bucket contributes.
 pub type Pairs<J> = Vec<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
@@ -141,15 +144,94 @@ fn merge_two<K: Ord, V>(a: Vec<(K, V)>, b: Vec<(K, V)>) -> Vec<(K, V)> {
     out
 }
 
+/// Executes one map task under fault tolerance, shared by the baseline and
+/// the RAMR runtime.
+///
+/// The task's emissions are staged in a task-local buffer inside
+/// `catch_unwind` and returned only after the map call completes, so a
+/// panicking attempt publishes *nothing* and a successful retry publishes
+/// exactly once — re-execution can never double-count pairs. A panicked
+/// attempt is re-executed up to `max_retries` times (each retry recorded in
+/// `faults`); once retries are exhausted the task is either skipped (when
+/// `skip_poison` is set: the skip lands in the fault log and `None` is
+/// returned) or the original panic is resumed, surfacing through the
+/// caller's existing join-based [`RuntimeError::WorkerPanic`] path.
+///
+/// `cancel`, when present, is threaded into the task's [`Emitter`] so
+/// cooperative jobs can observe a watchdog cancellation mid-task.
+pub fn map_task_staged<J: MapReduceJob>(
+    job: &J,
+    task: &TaskRange,
+    input: &[J::Input],
+    max_retries: u32,
+    skip_poison: bool,
+    cancel: Option<&AtomicBool>,
+    faults: &FaultLog,
+) -> Option<(Pairs<J>, u64)> {
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut staged: Pairs<J> = Vec::new();
+            let count = {
+                let mut sink = |key: J::Key, value: J::Value| staged.push((key, value));
+                let mut emitter = match cancel {
+                    Some(flag) => Emitter::with_cancel(&mut sink, flag),
+                    None => Emitter::new(&mut sink),
+                };
+                job.map(&input[task.start..task.end], &mut emitter);
+                emitter.emitted()
+            };
+            (staged, count)
+        }));
+        match outcome {
+            Ok(result) => return Some(result),
+            Err(panic) => {
+                if attempt <= max_retries {
+                    faults.record_retry();
+                    continue;
+                }
+                if skip_poison {
+                    faults.record_skip(SkippedTask {
+                        task_id: task.id.0,
+                        start: task.start,
+                        end: task.end,
+                        attempts: attempt,
+                        message: panic_message(&*panic),
+                    });
+                    return None;
+                }
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
 /// Extracts a readable message from a thread panic payload.
+///
+/// `panic!` payloads are `&str`/`String`; `std::panic::panic_any` can carry
+/// any type. Common primitive payloads are rendered with their value and
+/// type; anything else gets a typed placeholder naming the payload's
+/// `TypeId`, so a non-string panic is still attributable instead of
+/// collapsing to an anonymous message.
 pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = panic.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! try_primitive {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = panic.downcast_ref::<$ty>() {
+                return format!("non-string panic payload: {v} ({})", stringify!($ty));
+            })*
+        };
+    }
+    try_primitive!(
+        i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char
+    );
+    format!("non-string panic payload of type {:?}", panic.type_id())
 }
 
 #[cfg(test)]
@@ -247,13 +329,113 @@ mod tests {
         assert_eq!(merged.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [10, 20, 30, 40]);
     }
 
+    /// Panics the next `failures` map calls (emitting first each time),
+    /// then succeeds — the canonical transient poison task.
+    struct Flaky {
+        failures: std::sync::atomic::AtomicU32,
+    }
+
+    impl Flaky {
+        fn failing(n: u32) -> Self {
+            Self { failures: std::sync::atomic::AtomicU32::new(n) }
+        }
+    }
+
+    impl MapReduceJob for Flaky {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            // Emissions land BEFORE the panic: a broken retry path would
+            // double-count them.
+            for &x in task {
+                emit.emit(x, 1);
+            }
+            let left = self.failures.load(std::sync::atomic::Ordering::SeqCst);
+            if left > 0 {
+                self.failures.store(left - 1, std::sync::atomic::Ordering::SeqCst);
+                panic!("transient fault");
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn is_retry_safe(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn staged_retry_publishes_exactly_once_after_transient_panics() {
+        let task = mr_core::task_ranges(3, 10).pop().unwrap();
+        let faults = FaultLog::new();
+        let (staged, emitted) =
+            map_task_staged(&Flaky::failing(2), &task, &[7, 8, 9], 2, false, None, &faults)
+                .expect("two retries cover two failures");
+        // Three map calls ran, but only the successful attempt's emissions
+        // survive: staging is what makes retries exactly-once.
+        assert_eq!(staged, [(7, 1), (8, 1), (9, 1)]);
+        assert_eq!(emitted, 3);
+        assert_eq!(faults.retries(), 2);
+    }
+
+    #[test]
+    fn staged_retry_skips_poison_tasks_and_records_them() {
+        let task = mr_core::task_ranges(3, 10).pop().unwrap();
+        let faults = FaultLog::new();
+        let out =
+            map_task_staged(&Flaky::failing(u32::MAX), &task, &[1, 2, 3], 1, true, None, &faults);
+        assert!(out.is_none(), "a poison task must be skipped, not retried forever");
+        let metrics = faults.snapshot(0, false);
+        assert_eq!(metrics.retries, 1);
+        assert_eq!(metrics.skipped.len(), 1);
+        let skip = &metrics.skipped[0];
+        assert_eq!((skip.task_id, skip.start, skip.end), (0, 0, 3));
+        assert_eq!(skip.attempts, 2, "initial attempt + one retry");
+        assert!(skip.message.contains("transient fault"), "{}", skip.message);
+    }
+
+    #[test]
+    fn staged_retry_without_skip_resumes_the_original_panic() {
+        let task = mr_core::task_ranges(1, 10).pop().unwrap();
+        let faults = FaultLog::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_task_staged(&Flaky::failing(u32::MAX), &task, &[5], 0, false, None, &faults)
+        }));
+        let panic = outcome.expect_err("exhausted retries without skip must resume the panic");
+        assert_eq!(panic_message(&*panic), "transient fault");
+        assert_eq!(faults.retries(), 0, "max_retries = 0 records no retry");
+    }
+
     #[test]
     fn panic_message_extracts_strings() {
         let p: Box<dyn std::any::Any + Send> = Box::new("boom");
         assert_eq!(panic_message(&*p), "boom");
         let p: Box<dyn std::any::Any + Send> = Box::new(String::from("kaboom"));
         assert_eq!(panic_message(&*p), "kaboom");
+    }
+
+    #[test]
+    fn panic_message_renders_non_string_payloads_with_their_type() {
+        // panic_any can carry any type; primitives render value + type.
         let p: Box<dyn std::any::Any + Send> = Box::new(42u8);
-        assert_eq!(panic_message(&*p), "opaque panic payload");
+        assert_eq!(panic_message(&*p), "non-string panic payload: 42 (u8)");
+        let p: Box<dyn std::any::Any + Send> = Box::new(-7i32);
+        assert_eq!(panic_message(&*p), "non-string panic payload: -7 (i32)");
+        let p: Box<dyn std::any::Any + Send> = Box::new(true);
+        assert_eq!(panic_message(&*p), "non-string panic payload: true (bool)");
+        // Arbitrary types still get a typed, non-empty placeholder.
+        #[derive(Debug)]
+        struct Custom;
+        let p: Box<dyn std::any::Any + Send> = Box::new(Custom);
+        let text = panic_message(&*p);
+        assert!(text.starts_with("non-string panic payload of type"), "{text}");
+
+        // End to end: a real panic_any(42) crossing a thread boundary.
+        let err = std::thread::spawn(|| std::panic::panic_any(42i32)).join().unwrap_err();
+        assert_eq!(panic_message(&*err), "non-string panic payload: 42 (i32)");
     }
 }

@@ -7,7 +7,9 @@ use mr_core::{
     PinningPolicyKind, RuntimeConfig, RuntimeError,
 };
 use ramr_containers::JobContainer;
-use ramr_telemetry::{LocalTelemetry, TelemetryCell, ThreadRole, ThreadTelemetry};
+use ramr_telemetry::{
+    FaultLog, FaultMetrics, LocalTelemetry, TelemetryCell, ThreadRole, ThreadTelemetry,
+};
 use ramr_topology::{pin_current_thread, thrid_to_cpu, MachineModel};
 
 use crate::phases;
@@ -27,6 +29,11 @@ pub struct PhoenixReport {
     /// `items` counts map emissions; the occupancy histogram records how
     /// full each claimed task was relative to `task_size`.
     pub worker_telemetry: Vec<ThreadTelemetry>,
+    /// Fault-tolerance accounting for the run: task retries performed and
+    /// poison tasks skipped (see [`mr_core::RuntimeConfig::max_task_retries`]
+    /// and [`mr_core::RuntimeConfig::skip_poison_tasks`]). All-zero when
+    /// fault tolerance is off or nothing failed.
+    pub faults: FaultMetrics,
 }
 
 impl PhoenixReport {
@@ -114,6 +121,7 @@ impl PhoenixRuntime {
         let groups = MachineModel::host().sockets.max(1);
         let queues = crate::tasks::TaskQueues::new(tasks, groups);
         let pin_seq = pin_sequence(config);
+        let faults = FaultLog::new();
         let cells: Vec<TelemetryCell> =
             (0..config.num_workers).map(|_| TelemetryCell::default()).collect();
         let worker_results: Vec<Result<(phases::Pairs<J>, u64), RuntimeError>> =
@@ -123,12 +131,21 @@ impl PhoenixRuntime {
                         let queues = &queues;
                         let pin_seq = &pin_seq;
                         let cell = &cells[worker_id];
+                        let faults = &faults;
                         scope.spawn(move || {
                             if let Some(seq) = pin_seq {
                                 // Best-effort: a missing CPU is not fatal.
                                 let _ = pin_current_thread(seq[worker_id % seq.len()]);
                             }
-                            map_combine_worker(job, config, input, queues, worker_id % groups, cell)
+                            map_combine_worker(
+                                job,
+                                config,
+                                input,
+                                queues,
+                                worker_id % groups,
+                                cell,
+                                faults,
+                            )
                         })
                     })
                     .collect();
@@ -147,10 +164,22 @@ impl PhoenixRuntime {
             .map(|(i, cell)| cell.snapshot(ThreadRole::Worker, i))
             .collect();
         let mut partials = Vec::with_capacity(worker_results.len());
+        let mut first_error: Option<RuntimeError> = None;
+        let mut suppressed = 0u64;
         for result in worker_results {
-            let (pairs, emitted) = result?;
-            stats.emitted += emitted;
-            partials.push(pairs);
+            match result {
+                Ok((pairs, emitted)) => {
+                    stats.emitted += emitted;
+                    partials.push(pairs);
+                }
+                // First-error containment: one error surfaces, the rest are
+                // counted and noted on it instead of vanishing.
+                Err(e) if first_error.is_none() => first_error = Some(e),
+                Err(_) => suppressed += 1,
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e.noting_suppressed(suppressed));
         }
         timer.stop(&mut stats);
 
@@ -166,7 +195,8 @@ impl PhoenixRuntime {
         timer.stop(&mut stats);
 
         stats.output_keys = merged.len() as u64;
-        Ok((JobOutput::from_unsorted(merged, stats), PhoenixReport { worker_telemetry }))
+        let report = PhoenixReport { worker_telemetry, faults: faults.snapshot(0, false) };
+        Ok((JobOutput::from_unsorted(merged, stats), report))
     }
 }
 
@@ -189,6 +219,16 @@ fn pin_sequence(config: &RuntimeConfig) -> Option<Vec<usize>> {
 /// One worker's map-combine loop: pull tasks from the locality-grouped
 /// queues, map, combine inline.
 ///
+/// With fault tolerance enabled (the job is retry-safe and retries or
+/// poison-skipping are configured) each task runs through
+/// [`phases::map_task_staged`]: emissions are staged per task and only
+/// combined into the container after the map call succeeds, so panicked
+/// attempts contribute nothing. Container insert errors are *not* retried
+/// in either mode — by the time an insert fails the container has already
+/// absorbed part of the task, so re-execution would double-count; this
+/// mirrors the RAMR runtime, where inserts happen downstream of the
+/// pipeline and task identity is gone.
+///
 /// Publishes its [`LocalTelemetry`] into `cell` exactly once on exit (even
 /// on the error path): all task time counts as `busy` — the inline design
 /// has nothing to stall on — and the occupancy histogram records task fill
@@ -200,8 +240,11 @@ fn map_combine_worker<J: MapReduceJob>(
     queues: &crate::tasks::TaskQueues,
     home_group: usize,
     cell: &TelemetryCell,
+    faults: &FaultLog,
 ) -> Result<(phases::Pairs<J>, u64), RuntimeError> {
     let telemetry = config.telemetry;
+    let fault_tolerant =
+        job.is_retry_safe() && (config.max_task_retries > 0 || config.skip_poison_tasks);
     let mut local = LocalTelemetry::default();
     let wall_start = telemetry.then(Instant::now);
     let result = (|| {
@@ -221,9 +264,27 @@ fn map_combine_worker<J: MapReduceJob>(
                         }
                     }
                 };
-                let mut emitter = Emitter::new(&mut sink);
-                job.map(&input[task.start..task.end], &mut emitter);
-                emitted += emitter.emitted();
+                if fault_tolerant {
+                    let staged = phases::map_task_staged(
+                        job,
+                        task,
+                        input,
+                        config.max_task_retries,
+                        config.skip_poison_tasks,
+                        None,
+                        faults,
+                    );
+                    if let Some((pairs, count)) = staged {
+                        for (key, value) in pairs {
+                            sink(key, value);
+                        }
+                        emitted += count;
+                    }
+                } else {
+                    let mut emitter = Emitter::new(&mut sink);
+                    job.map(&input[task.start..task.end], &mut emitter);
+                    emitted += emitter.emitted();
+                }
             }
             if let Some(t) = task_start {
                 local.busy += t.elapsed();
@@ -404,6 +465,124 @@ mod tests {
             assert_eq!(t.wall, std::time::Duration::ZERO);
         }
         assert_eq!(report.worker_throughput(), None);
+    }
+
+    /// Mod7 with one poison task: the task containing `poison` panics on
+    /// its first `fail_attempts` executions — *after* emitting, so a broken
+    /// retry path would double-count. Keyed by task content, which makes
+    /// the fault deterministic regardless of which worker claims the task.
+    struct FlakyMod7 {
+        poison: u64,
+        fail_attempts: u32,
+        attempts: std::sync::atomic::AtomicU32,
+        retry_safe: bool,
+    }
+
+    impl FlakyMod7 {
+        fn new(poison: u64, fail_attempts: u32) -> Self {
+            Self {
+                poison,
+                fail_attempts,
+                attempts: std::sync::atomic::AtomicU32::new(0),
+                retry_safe: true,
+            }
+        }
+    }
+
+    impl MapReduceJob for FlakyMod7 {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+
+        fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+            for &x in task {
+                emit.emit(x % 7, x);
+            }
+            if task.contains(&self.poison) {
+                let attempt = 1 + self.attempts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if attempt <= self.fail_attempts {
+                    panic!("poison task hit {poison}", poison = self.poison);
+                }
+            }
+        }
+
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+
+        fn key_space(&self) -> Option<usize> {
+            Some(7)
+        }
+
+        fn key_index(&self, k: &u64) -> usize {
+            *k as usize
+        }
+
+        fn is_retry_safe(&self) -> bool {
+            self.retry_safe
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_poison_task_with_exact_output() {
+        let input: Vec<u64> = (1..=100).collect();
+        let mut cfg = config(2, ContainerKind::Hash);
+        cfg.max_task_retries = 2;
+        let rt = PhoenixRuntime::new(cfg).unwrap();
+        let (out, report) = rt.run_with_report(&FlakyMod7::new(20, 2), &input).unwrap();
+        assert_eq!(out.pairs, reference(&input), "retried emissions must count exactly once");
+        assert_eq!(report.faults.retries, 2);
+        assert!(report.faults.skipped.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_without_skip_fail_fast() {
+        let input: Vec<u64> = (1..=100).collect();
+        let mut cfg = config(2, ContainerKind::Hash);
+        cfg.max_task_retries = 1;
+        let rt = PhoenixRuntime::new(cfg).unwrap();
+        let err = rt.run(&FlakyMod7::new(20, u32::MAX), &input).unwrap_err();
+        assert!(matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("poison task")));
+    }
+
+    #[test]
+    fn skip_poison_tasks_completes_and_records_the_skip() {
+        let input: Vec<u64> = (1..=100).collect();
+        let mut cfg = config(2, ContainerKind::Hash);
+        cfg.max_task_retries = 1;
+        cfg.skip_poison_tasks = true;
+        let rt = PhoenixRuntime::new(cfg).unwrap();
+        let (out, report) = rt.run_with_report(&FlakyMod7::new(20, u32::MAX), &input).unwrap();
+        // Element 20 sits at index 19, i.e. in task [13, 26) at task_size
+        // 13 — exactly that slice's contribution is missing.
+        let surviving: Vec<u64> = input
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(13..26).contains(i))
+            .map(|(_, &x)| x)
+            .collect();
+        assert_eq!(out.pairs, reference(&surviving));
+        assert_eq!(report.faults.skipped.len(), 1);
+        let skip = &report.faults.skipped[0];
+        assert_eq!((skip.start, skip.end), (13, 26));
+        assert_eq!(skip.attempts, 2, "initial attempt + one retry");
+        assert!(skip.message.contains("poison task hit 20"), "{}", skip.message);
+        assert!(report.faults.summary().unwrap().contains("poison task"));
+    }
+
+    #[test]
+    fn non_retry_safe_jobs_keep_fail_fast_even_with_retries_configured() {
+        let input: Vec<u64> = (1..=100).collect();
+        let mut cfg = config(2, ContainerKind::Hash);
+        cfg.max_task_retries = 3;
+        cfg.skip_poison_tasks = true;
+        let mut job = FlakyMod7::new(20, u32::MAX);
+        job.retry_safe = false;
+        let err = PhoenixRuntime::new(cfg).unwrap().run(&job, &input).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::WorkerPanic(_)),
+            "retries must never re-execute a job that does not opt in"
+        );
     }
 
     #[test]

@@ -353,6 +353,63 @@ impl<T: Send> Producer<T> {
         failures
     }
 
+    /// Cancellation-aware variant of
+    /// [`push_batch_with_backoff`](Self::push_batch_with_backoff): blocks
+    /// per `policy` while the queue is full, but gives up and returns as
+    /// soon as `cancel` is observed `true`, leaving the unpublished
+    /// elements in `buf`.
+    ///
+    /// This is what lets a supervisor (the runtime's stall watchdog)
+    /// unwedge a mapper that is blocked on a queue whose combiner will
+    /// never drain it: without a cancellation point, the producer would
+    /// sleep-retry forever and the run could not be torn down.
+    ///
+    /// Returns the number of failed (zero-progress) attempts, exactly like
+    /// the unconditional variant.
+    pub fn push_batch_with_backoff_or_cancel(
+        &mut self,
+        buf: &mut Vec<T>,
+        policy: &BackoffPolicy,
+        cancel: &AtomicBool,
+    ) -> u64 {
+        let fresh_spins = match policy {
+            BackoffPolicy::BusyWait => u32::MAX,
+            BackoffPolicy::SpinThenSleep { spins, .. } => *spins,
+        };
+        let mut failures = 0u64;
+        let mut spins_left = fresh_spins;
+        while !buf.is_empty() {
+            if self.push_batch_drain(buf) > 0 {
+                spins_left = fresh_spins;
+                continue;
+            }
+            // Checked only on the failure path: an uncontended push stays
+            // exactly as cheap as the unconditional variant.
+            if cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            failures += 1;
+            match policy {
+                BackoffPolicy::BusyWait => busy_wait_step(failures),
+                BackoffPolicy::SpinThenSleep { sleep, .. } => {
+                    if spins_left > 0 {
+                        spins_left -= 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::sleep(*sleep);
+                    }
+                }
+            }
+        }
+        failures
+    }
+
+    /// Monotonic count of elements ever published to the queue — the
+    /// producer-side progress counter a stall watchdog samples.
+    pub fn pushed(&self) -> u64 {
+        self.inner.tail.load(Ordering::Relaxed) as u64
+    }
+
     /// Returns `(tail, free)` where `free` is the run of writable slots
     /// starting at `tail`. Refreshes the cached head cursor whenever the
     /// *apparent* free space cannot satisfy `wanted` — not only when the
@@ -510,6 +567,12 @@ impl<T: Send> Consumer<T> {
     /// observing `is_closed` to avoid racing the producer's final pushes).
     pub fn is_closed(&self) -> bool {
         self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Monotonic count of elements ever consumed from the queue — the
+    /// consumer-side progress counter a stall watchdog samples.
+    pub fn popped(&self) -> u64 {
+        self.inner.head.load(Ordering::Relaxed) as u64
     }
 
     /// Number of elements currently buffered (approximate under concurrency).
@@ -847,6 +910,61 @@ mod tests {
         assert!(buf.is_empty(), "backoff push must drain the whole buffer");
         assert!(failures > 0, "a 4-slot queue receiving 100 elements must hit full");
         assert_eq!(consumer.join().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellable_push_aborts_on_a_full_queue_and_keeps_the_rest() {
+        let (mut tx, rx) = SpscQueue::with_capacity(4).split();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let policy = BackoffPolicy::SpinThenSleep { spins: 2, sleep: Duration::from_micros(10) };
+        let mut buf: Vec<u32> = (0..10).collect();
+        // Nobody drains rx, so without cancellation this would block forever.
+        let pusher = std::thread::spawn({
+            let cancel = Arc::clone(&cancel);
+            move || {
+                let failures = tx.push_batch_with_backoff_or_cancel(&mut buf, &policy, &cancel);
+                (tx, buf, failures)
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        cancel.store(true, Ordering::Relaxed);
+        let (tx, buf, failures) = pusher.join().unwrap();
+        assert_eq!(tx.len(), 4, "the free capacity must have been published");
+        assert_eq!(buf, vec![4, 5, 6, 7, 8, 9], "unpublished elements stay in the buffer");
+        assert!(failures > 0);
+        drop((tx, rx));
+    }
+
+    #[test]
+    fn cancellable_push_with_room_behaves_like_the_unconditional_variant() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(16).split();
+        let cancel = AtomicBool::new(false);
+        let mut buf: Vec<u32> = (0..10).collect();
+        let failures =
+            tx.push_batch_with_backoff_or_cancel(&mut buf, &BackoffPolicy::default(), &cancel);
+        assert_eq!(failures, 0);
+        assert!(buf.is_empty());
+        let mut got = Vec::new();
+        rx.pop_batch(16, |v| got.push(v));
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn progress_counters_are_monotonic_pushed_and_popped_totals() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        assert_eq!(tx.pushed(), 0);
+        assert_eq!(rx.popped(), 0);
+        for round in 1..=3u64 {
+            // Wrap the ring several times: the counters must keep growing
+            // past the capacity instead of wrapping with the slot index.
+            for i in 0..4u32 {
+                tx.try_push(i).unwrap();
+            }
+            assert_eq!(tx.pushed(), round * 4);
+            let consumed = rx.pop_batch(4, |_| {});
+            assert_eq!(consumed, 4);
+            assert_eq!(rx.popped(), round * 4);
+        }
     }
 
     #[test]

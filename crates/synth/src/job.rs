@@ -73,6 +73,14 @@ impl MapReduceJob for SynthJob {
     fn name(&self) -> &str {
         "synthetic"
     }
+
+    /// Emissions are a pure function of the task's seeds, so staged
+    /// retries keep the pair stream exact. The xor checksum is advisory
+    /// (a kernel-execution tracer, not part of the output) and tolerates
+    /// the extra kernel runs a retried attempt contributes.
+    fn is_retry_safe(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,14 @@ impl Value {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -399,5 +407,13 @@ mod tests {
         assert_eq!(Value::Num(3.5).as_u64(), None);
         assert_eq!(Value::Num(-3.0).as_u64(), None);
         assert_eq!(Value::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn as_bool_only_accepts_booleans() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Num(1.0).as_bool(), None);
+        assert_eq!(Value::Str("true".into()).as_bool(), None);
     }
 }

@@ -36,9 +36,11 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod json;
 pub mod report;
 
+pub use faults::{FaultLog, FaultMetrics, ProgressBoard, SkippedTask};
 pub use report::MetricsReport;
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use crate::faults::{FaultMetrics, SkippedTask};
 use crate::json::{self, Value};
 use crate::{pool_throughput, BatchHistogram, ThreadRole, ThreadTelemetry, OCCUPANCY_BUCKETS};
 
@@ -37,6 +38,10 @@ pub struct MetricsReport {
     /// Per-thread telemetry, mappers first, then combiners (or baseline
     /// workers).
     pub threads: Vec<ThreadTelemetry>,
+    /// Fault accounting (retries, skipped poison tasks, suppressed errors,
+    /// watchdog firings). All-zero/empty on a clean run; reports written
+    /// before fault tolerance existed parse as clean.
+    pub faults: FaultMetrics,
 }
 
 impl MetricsReport {
@@ -80,6 +85,7 @@ impl MetricsReport {
         obj.insert("emitted".into(), num(self.emitted));
         obj.insert("consumed".into(), num(self.consumed));
         obj.insert("threads".into(), Value::Arr(self.threads.iter().map(thread_json).collect()));
+        obj.insert("faults".into(), faults_json(&self.faults));
         // Derived values are included for human readers / external tools;
         // from_json ignores them (they re-derive from the threads).
         if let Some(tp) = self.map_throughput() {
@@ -114,6 +120,11 @@ impl MetricsReport {
             .iter()
             .map(thread_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Reports predating fault tolerance have no faults section: clean.
+        let faults = match root.get("faults") {
+            Some(v) => faults_from_json(v)?,
+            None => FaultMetrics::default(),
+        };
         Ok(MetricsReport {
             app: field_str(&root, "app")?,
             runtime: field_str(&root, "runtime")?,
@@ -126,8 +137,58 @@ impl MetricsReport {
             emitted: field_u64(&root, "emitted")?,
             consumed: field_u64(&root, "consumed")?,
             threads,
+            faults,
         })
     }
+}
+
+fn faults_json(faults: &FaultMetrics) -> Value {
+    let mut obj = BTreeMap::new();
+    obj.insert("retries".into(), num(faults.retries));
+    obj.insert("suppressed_errors".into(), num(faults.suppressed_errors));
+    obj.insert("watchdog_fired".into(), Value::Bool(faults.watchdog_fired));
+    let skipped = faults
+        .skipped
+        .iter()
+        .map(|s| {
+            let mut t = BTreeMap::new();
+            t.insert("task_id".into(), num(s.task_id as u64));
+            t.insert("start".into(), num(s.start as u64));
+            t.insert("end".into(), num(s.end as u64));
+            t.insert("attempts".into(), num(u64::from(s.attempts)));
+            t.insert("message".into(), Value::Str(s.message.clone()));
+            Value::Obj(t)
+        })
+        .collect();
+    obj.insert("skipped".into(), Value::Arr(skipped));
+    Value::Obj(obj)
+}
+
+fn faults_from_json(v: &Value) -> Result<FaultMetrics, String> {
+    let skipped = v
+        .get("skipped")
+        .and_then(Value::as_arr)
+        .ok_or("missing or non-array faults.skipped")?
+        .iter()
+        .map(|s| {
+            Ok(SkippedTask {
+                task_id: field_u64(s, "task_id")? as usize,
+                start: field_u64(s, "start")? as usize,
+                end: field_u64(s, "end")? as usize,
+                attempts: field_u64(s, "attempts")? as u32,
+                message: field_str(s, "message")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(FaultMetrics {
+        retries: field_u64(v, "retries")?,
+        suppressed_errors: field_u64(v, "suppressed_errors")?,
+        watchdog_fired: v
+            .get("watchdog_fired")
+            .and_then(Value::as_bool)
+            .ok_or("missing or non-boolean faults.watchdog_fired")?,
+        skipped,
+    })
 }
 
 fn num(n: u64) -> Value {
@@ -267,6 +328,7 @@ mod tests {
                 thread(ThreadRole::Mapper, 1, 40, 15_000),
                 thread(ThreadRole::Combiner, 0, 60, 30_000),
             ],
+            faults: FaultMetrics::default(),
         }
     }
 
@@ -298,6 +360,44 @@ mod tests {
         report.threads.clear();
         let text = report.to_json().replace("\"emitted\":30000,", "");
         assert!(MetricsReport::from_json(&text).unwrap_err().contains("emitted"));
+    }
+
+    #[test]
+    fn faults_section_round_trips() {
+        let mut report = sample();
+        report.faults = FaultMetrics {
+            retries: 4,
+            suppressed_errors: 1,
+            watchdog_fired: true,
+            skipped: vec![SkippedTask {
+                task_id: 3,
+                start: 300,
+                end: 400,
+                attempts: 3,
+                message: "synthetic panic: task 3".into(),
+            }],
+        };
+        let back = MetricsReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back, report);
+        assert_eq!(back.faults.skipped[0].message, "synthetic panic: task 3");
+    }
+
+    #[test]
+    fn reports_without_faults_section_parse_as_clean() {
+        // A pre-fault-tolerance dump must still load (forward compat).
+        let report = sample();
+        let text = report.to_json();
+        assert!(text.contains("\"faults\""), "faults section must always be serialized");
+        let legacy = text.replacen(
+            "\"faults\":{\"retries\":0,\"skipped\":[],\"suppressed_errors\":0,\
+             \"watchdog_fired\":false},",
+            "",
+            1,
+        );
+        assert_ne!(legacy, text, "the faults section should have been stripped");
+        let back = MetricsReport::from_json(&legacy).expect("legacy dump parses");
+        assert!(back.faults.is_clean());
+        assert_eq!(back, report);
     }
 
     #[test]

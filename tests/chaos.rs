@@ -1,0 +1,264 @@
+//! Chaos suite: deterministic fault injection against the fault-tolerance
+//! machinery of both runtimes.
+//!
+//! Faults come from `ramr-faultinject`: each word-count line carries its
+//! index as a leading token, the fingerprint function maps it to a task
+//! ordinal, and a `FaultPlan` decides which tasks panic, hang or dawdle.
+//! Expected outputs are computed from the same plan, so every assertion is
+//! exact — no "mostly works" tolerances. Every run sits behind a hard
+//! test-side deadline so a fault-tolerance regression shows up as a failed
+//! assertion, not a wedged CI job.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use mr_apps::WordCount;
+use mr_core::{ContainerKind, MapReduceJob, RuntimeConfig, RuntimeError};
+use phoenix_mr::PhoenixRuntime;
+use ramr::RamrRuntime;
+use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
+
+/// Lines per task; the fingerprint function divides by this, so keep the
+/// two in lockstep.
+const TASK: usize = 32;
+const LINES: usize = 400;
+
+fn lines() -> Vec<String> {
+    (0..LINES).map(|i| format!("t{i} alpha beta w{} v{}", i % 7, i % 13)).collect()
+}
+
+/// Task ordinal of a line: the leading `t<index>` token over [`TASK`].
+/// `&String` (not `&str`): must match `FaultyJob`'s `fn(&J::Input) -> u64`.
+#[allow(clippy::ptr_arg)]
+fn ordinal_of(line: &String) -> u64 {
+    let token = line.split_ascii_whitespace().next().expect("nonempty line");
+    let index: u64 = token[1..].parse().expect("t<index> token");
+    index / TASK as u64
+}
+
+/// Word counts of `input` with the tasks in `dropped` (by ordinal) removed
+/// — the exact output of a skip-poison run.
+fn reference(input: &[String], dropped: &[u64]) -> Vec<(String, u64)> {
+    let mut counts = BTreeMap::new();
+    for (i, line) in input.iter().enumerate() {
+        if dropped.contains(&((i / TASK) as u64)) {
+            continue;
+        }
+        for word in line.split_ascii_whitespace() {
+            *counts.entry(word.to_ascii_lowercase()).or_insert(0u64) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+fn config(retries: u32, skip: bool, watchdog_ms: Option<u64>, adaptive: bool) -> RuntimeConfig {
+    let mut builder = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(TASK)
+        .queue_capacity(256)
+        .batch_size(16)
+        .container(ContainerKind::Hash)
+        .max_task_retries(retries)
+        .skip_poison_tasks(skip);
+    if let Some(ms) = watchdog_ms {
+        builder = builder.watchdog(Duration::from_millis(ms));
+    }
+    if adaptive {
+        builder = builder.adaptive(true).adapt_interval(Duration::from_millis(2));
+    }
+    builder.build().unwrap()
+}
+
+fn faulty(plan: FaultPlan) -> FaultyJob<WordCount> {
+    FaultyJob::new(WordCount, plan, ordinal_of)
+}
+
+/// Runs `f` on a helper thread and panics if it outruns `secs` — chaos
+/// tests must never hang the suite, even when fault tolerance regresses.
+fn with_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(_) => panic!("chaos run exceeded the {secs}s deadline"),
+    }
+}
+
+/// The engines the matrix drives; phoenix has no adaptive path.
+const ENGINES: &[(&str, bool)] = &[("ramr", false), ("ramr-adaptive", true), ("phoenix", false)];
+
+fn run_engine(
+    engine: &str,
+    cfg: &RuntimeConfig,
+    job: &FaultyJob<WordCount>,
+    input: &[String],
+) -> Result<(Vec<(String, u64)>, ramr_telemetry::FaultMetrics), RuntimeError> {
+    if engine == "phoenix" {
+        let (out, report) = PhoenixRuntime::new(cfg.clone())?.run_with_report(job, input)?;
+        Ok((out.pairs, report.faults))
+    } else {
+        let (out, report) = RamrRuntime::new(cfg.clone())?.run_with_report(job, input)?;
+        Ok((out.pairs, report.faults))
+    }
+}
+
+#[test]
+fn transient_faults_recover_with_exact_output_across_engines() {
+    for &(engine, adaptive) in ENGINES {
+        let (pairs, faults, attempts) = with_deadline(60, move || {
+            let input = lines();
+            let plan =
+                FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: 2 }]);
+            let job = faulty(plan);
+            let cfg = config(2, false, None, adaptive);
+            let (pairs, faults) = run_engine(engine, &cfg, &job, &input).unwrap();
+            (pairs, faults, job.attempts_for(3))
+        });
+        assert_eq!(pairs, reference(&lines(), &[]), "{engine}: retried output must be exact");
+        assert_eq!(attempts, 3, "{engine}: two failures then one success");
+        assert_eq!(faults.retries, 2, "{engine}");
+        assert!(faults.skipped.is_empty(), "{engine}");
+    }
+}
+
+#[test]
+fn exhausted_retries_abort_with_the_injected_panic_across_engines() {
+    for &(engine, adaptive) in ENGINES {
+        let err = with_deadline(60, move || {
+            let input = lines();
+            let plan = FaultPlan::with_faults(vec![FaultKind::PanicOnTask {
+                key: 3,
+                fail_attempts: u32::MAX,
+            }]);
+            let cfg = config(1, false, None, adaptive);
+            run_engine(engine, &cfg, &faulty(plan), &input).unwrap_err()
+        });
+        assert!(
+            matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("injected fault")),
+            "{engine}: got {err}"
+        );
+    }
+}
+
+#[test]
+fn skip_poison_completes_with_the_poison_task_recorded_across_engines() {
+    for &(engine, adaptive) in ENGINES {
+        let (pairs, faults) = with_deadline(60, move || {
+            let input = lines();
+            let plan = FaultPlan::with_faults(vec![FaultKind::PanicOnTask {
+                key: 3,
+                fail_attempts: u32::MAX,
+            }]);
+            let cfg = config(1, true, None, adaptive);
+            run_engine(engine, &cfg, &faulty(plan), &input).unwrap()
+        });
+        assert_eq!(pairs, reference(&lines(), &[3]), "{engine}: exactly one task dropped");
+        assert_eq!(faults.skipped.len(), 1, "{engine}");
+        let skip = &faults.skipped[0];
+        assert_eq!((skip.start, skip.end), (3 * TASK, 4 * TASK), "{engine}");
+        assert_eq!(skip.attempts, 2, "{engine}: initial attempt + one retry");
+        assert!(skip.message.contains("injected fault"), "{engine}: {}", skip.message);
+        assert!(faults.summary().unwrap().contains("skipped"), "{engine}");
+    }
+}
+
+#[test]
+fn watchdog_cancels_a_hung_task_on_both_ramr_paths() {
+    for adaptive in [false, true] {
+        let err = with_deadline(30, move || {
+            let input = lines();
+            let plan = FaultPlan::with_faults(vec![FaultKind::HangOnTask { key: 5 }]);
+            let cfg = config(0, false, Some(200), adaptive);
+            RamrRuntime::new(cfg).unwrap().run(&faulty(plan), &input).unwrap_err()
+        });
+        match err {
+            RuntimeError::Stalled { idle_ms, ref diagnostics, .. } => {
+                assert!(idle_ms >= 200, "adaptive={adaptive}: idle_ms={idle_ms}");
+                assert!(!diagnostics.is_empty(), "adaptive={adaptive}");
+            }
+            other => panic!("adaptive={adaptive}: expected Stalled, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn slow_but_progressing_tasks_do_not_trip_the_watchdog() {
+    for adaptive in [false, true] {
+        let pairs = with_deadline(60, move || {
+            let input = lines();
+            let plan = FaultPlan::with_faults(vec![
+                FaultKind::DelayTask { key: 2, micros: 20_000 },
+                FaultKind::DelayTask { key: 7, micros: 20_000 },
+            ]);
+            let cfg = config(0, false, Some(500), adaptive);
+            let (out, _) =
+                RamrRuntime::new(cfg).unwrap().run_with_report(&faulty(plan), &input).unwrap();
+            out.pairs
+        });
+        assert_eq!(pairs, reference(&lines(), &[]), "adaptive={adaptive}");
+    }
+}
+
+#[test]
+fn seeded_chaos_plans_replay_to_the_exact_output_across_engines() {
+    // Seeded transient panics (1–3 failing attempts each); retries = 3
+    // covers the worst draw, so every engine must converge to the full
+    // reference output — and do so identically for the same seed.
+    let tasks = LINES.div_ceil(TASK) as u64;
+    for seed in [11u64, 97, 2026] {
+        let plan = FaultPlan::seeded_panics(seed, tasks, 4);
+        assert_eq!(plan.faults(), FaultPlan::seeded_panics(seed, tasks, 4).faults());
+        for &(engine, adaptive) in ENGINES {
+            let plan = plan.clone();
+            let (pairs, faults) = with_deadline(120, move || {
+                let input = lines();
+                let cfg = config(3, false, Some(5_000), adaptive);
+                run_engine(engine, &cfg, &faulty(plan), &input).unwrap()
+            });
+            assert_eq!(pairs, reference(&lines(), &[]), "{engine} seed={seed}");
+            assert!(faults.retries >= 1, "{engine} seed={seed}: plans always hold faults");
+            assert!(faults.skipped.is_empty(), "{engine} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn non_retry_safe_jobs_fail_fast_regardless_of_budget() {
+    /// WordCount minus the retry-safety declaration.
+    struct Undeclared;
+    impl MapReduceJob for Undeclared {
+        type Input = String;
+        type Key = String;
+        type Value = u64;
+        fn map(&self, task: &[String], emit: &mut mr_core::Emitter<'_, String, u64>) {
+            WordCount.map(task, emit);
+        }
+        fn combine(&self, acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+    }
+
+    for &(engine, adaptive) in ENGINES {
+        let err = with_deadline(60, move || {
+            let input = lines();
+            let plan =
+                FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: 1 }]);
+            let job = FaultyJob::new(Undeclared, plan, ordinal_of);
+            let cfg = config(5, true, None, adaptive);
+            if engine == "phoenix" {
+                PhoenixRuntime::new(cfg).unwrap().run(&job, &input).unwrap_err()
+            } else {
+                RamrRuntime::new(cfg).unwrap().run(&job, &input).unwrap_err()
+            }
+        });
+        assert!(matches!(err, RuntimeError::WorkerPanic(_)), "{engine}: got {err}");
+    }
+}

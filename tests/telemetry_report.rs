@@ -65,6 +65,7 @@ fn report_from_run(input: &[u64]) -> MetricsReport {
         emitted: stats.emitted,
         consumed: run.consumed_per_combiner.iter().sum(),
         threads,
+        faults: run.faults.clone(),
     }
 }
 
