@@ -1,13 +1,14 @@
-//! End-to-end runtime benchmarks: Phoenix++-style versus RAMR on real
-//! (scaled) workloads. Absolute numbers depend on this machine's core
-//! count; the modeled figures in `src/bin/` carry the paper comparison.
+//! End-to-end runtime benchmarks: every backend behind the unified
+//! [`Engine`] front door on real (scaled) workloads, plus pooled-session
+//! versus spawn-per-job submission. Absolute numbers depend on this
+//! machine's core count; the modeled figures in `src/bin/` carry the
+//! paper comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mr_apps::inputs::{hg_input, wc_input, InputFlavor, InputSpec, Platform};
 use mr_apps::{AppKind, Histogram, WordCount};
 use mr_core::RuntimeConfig;
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 
 fn config(app: AppKind) -> RuntimeConfig {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -27,14 +28,16 @@ fn bench_word_count(c: &mut Criterion) {
     let lines = wc_input(&spec, 20_000);
     let mut group = c.benchmark_group("runtimes/word-count");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("phoenix", lines.len()), &lines, |b, lines| {
-        let rt = PhoenixRuntime::new(config(AppKind::WordCount)).unwrap();
-        b.iter(|| rt.run(&WordCount, lines).unwrap().len())
-    });
-    group.bench_with_input(BenchmarkId::new("ramr", lines.len()), &lines, |b, lines| {
-        let rt = RamrRuntime::new(config(AppKind::WordCount)).unwrap();
-        b.iter(|| rt.run(&WordCount, lines).unwrap().len())
-    });
+    for backend in Backend::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(backend.as_str(), lines.len()),
+            &lines,
+            |b, lines| {
+                let engine = backend.engine(config(AppKind::WordCount)).unwrap();
+                b.iter(|| engine.run_job(&WordCount, lines).unwrap().len())
+            },
+        );
+    }
     group.finish();
 }
 
@@ -43,16 +46,47 @@ fn bench_histogram(c: &mut Criterion) {
     let pixels = hg_input(&spec, 2_000);
     let mut group = c.benchmark_group("runtimes/histogram");
     group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("phoenix", pixels.len()), &pixels, |b, px| {
-        let rt = PhoenixRuntime::new(config(AppKind::Histogram)).unwrap();
-        b.iter(|| rt.run(&Histogram, px).unwrap().len())
+    for backend in Backend::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(backend.as_str(), pixels.len()),
+            &pixels,
+            |b, px| {
+                let engine = backend.engine(config(AppKind::Histogram)).unwrap();
+                b.iter(|| engine.run_job(&Histogram, px).unwrap().len())
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short-job submission: one parked pool taking a stream of submits
+/// versus spawning a fresh engine per job. The session amortizes thread
+/// creation and queue allocation; the gap is the pooling win measured by
+/// `cargo run -p mr-bench --bin job_stream`.
+fn bench_job_stream(c: &mut Criterion) {
+    // Scale divides the Table I quantity: 20 000 keeps each job around a
+    // millisecond, short enough that spawn-per-run overhead is visible.
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
+    let lines = wc_input(&spec, 20_000);
+    let mut group = c.benchmark_group("runtimes/job-stream");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("fresh-per-job", lines.len()), &lines, |b, lines| {
+        b.iter(|| {
+            Backend::RamrStatic
+                .engine(config(AppKind::WordCount))
+                .unwrap()
+                .run_job(&WordCount, lines)
+                .unwrap()
+                .len()
+        })
     });
-    group.bench_with_input(BenchmarkId::new("ramr", pixels.len()), &pixels, |b, px| {
-        let rt = RamrRuntime::new(config(AppKind::Histogram)).unwrap();
-        b.iter(|| rt.run(&Histogram, px).unwrap().len())
+    group.bench_with_input(BenchmarkId::new("pooled", lines.len()), &lines, |b, lines| {
+        let mut session =
+            Backend::RamrStatic.session::<WordCount>(config(AppKind::WordCount)).unwrap();
+        b.iter(|| session.submit(&WordCount, lines).unwrap().len())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_word_count, bench_histogram);
+criterion_group!(benches, bench_word_count, bench_histogram, bench_job_stream);
 criterion_main!(benches);

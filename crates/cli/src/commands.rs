@@ -11,11 +11,9 @@ use mr_apps::{
     AppKind, Histogram, KmeansState, LinearRegression, MatrixMultiply, PcaCovJob, PcaMeanJob,
     WordCount,
 };
-use mr_core::{ContainerKind, MapReduceJob, PhaseKind, PinningPolicyKind, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use mr_core::{ContainerKind, MapReduceJob, PhaseKind, RuntimeConfig};
+use ramr::{Backend, Engine, EngineReport};
 use ramr_telemetry::report::{breakdown_table, MetricsReport};
-use ramr_telemetry::{FaultMetrics, ThreadTelemetry};
 use ramr_topology::{thrid_to_cpu, MachineModel};
 
 use crate::args::Args;
@@ -25,16 +23,18 @@ pub const HELP: &str = "\
 ramr — Resource-Aware MapReduce runtime driver (DATE 2020 reproduction)
 
 USAGE:
-  ramr run      --app <wc|hg|lr|km|pca|mm> [--runtime ramr|phoenix|both]
+  ramr run      --app <wc|hg|lr|km|pca|mm>
+                [--runtime ramr|ramr-static|ramr-adaptive|phoenix|both]
                 [--input FILE] [--input-a FILE --input-b FILE (mm)]
                 [--flavor small|medium|large] [--platform hwl|phi]
-                [--scale N] [--workers N] [--combiners N] [--task N]
-                [--queue N] [--batch N] [--emit-buffer N]
-                [--container array|hash|fixed-hash]
-                [--pinning ramr|round-robin|os-default] [--pin 0|1] [--runs N]
-                [--adaptive 0|1] [--adapt-interval-ms N]
-                [--task-retries N] [--skip-poison 0|1] [--watchdog-ms N]
-                [--metrics-json FILE]
+                [--scale N] [--runs N] [--metrics-json FILE]
+                [--workers N] [--combiners N] [--task N] [--queue N]
+                [--batch N] [--emit-buffer N] [--reducers N]
+                [--fixed-capacity N] [--container array|hash|fixed-hash]
+                [--pinning ramr|round-robin|os-default] [--pin 0|1]
+                [--push-spins N] [--push-sleep-us US] [--telemetry 0|1]
+                [--adaptive 0|1] [--adapt-interval-ms MS]
+                [--task-retries N] [--skip-poison 0|1] [--watchdog-ms MS]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
   ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
@@ -47,6 +47,10 @@ USAGE:
 --scale, default 2000); `simulate` prices the full-size workload on the
 paper's machine models; `tune` measures map/combine throughput and suggests
 pool sizes and batch size.
+
+Every knob flag above mirrors a RAMR_* environment variable one-to-one
+(see TUNING.md); both surfaces parse through the same shared table, so a
+knob cannot exist in one and be missing from the other.
 
 `run` also prints a per-thread telemetry breakdown (busy/stall shares,
 throughput, batch fullness) and, with --metrics-json FILE, dumps the full
@@ -104,50 +108,26 @@ fn parse_container(raw: &str) -> Result<ContainerKind, String> {
 }
 
 fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
+    // CLI-specific defaults (the run command targets short interactive
+    // experiments, not the library's paper defaults): half the threads as
+    // combiners, a smaller task size, the app's preferred container.
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let workers = args.get_or("workers", threads.max(2))?;
-    let combiners = args.get_or("combiners", (workers / 2).max(1))?;
-    let container = match args.get("container") {
-        Some(raw) => parse_container(raw)?,
-        None => app.default_container(),
-    };
-    let pinning = match args.get("pinning").unwrap_or("ramr") {
-        "ramr" => PinningPolicyKind::Ramr,
-        "round-robin" => PinningPolicyKind::RoundRobin,
-        "os-default" => PinningPolicyKind::OsDefault,
-        other => return Err(format!("unknown --pinning {other:?}")),
-    };
     let mut builder = RuntimeConfig::builder()
         .num_workers(workers)
-        .num_combiners(combiners)
-        .task_size(args.get_or("task", 1024)?)
-        .queue_capacity(args.get_or("queue", 5000)?)
-        .batch_size(args.get_or("batch", 1000)?)
-        .container(container)
-        .pinning(pinning)
-        .pin_os_threads(args.get_or("pin", 0u8)? != 0);
-    if let Some(raw) = args.get("emit-buffer") {
-        let n: usize = raw.parse().map_err(|_| format!("cannot parse --emit-buffer {raw:?}"))?;
-        builder = builder.emit_buffer_size(n);
-    }
-    if args.get_or("adaptive", 0u8)? != 0 {
-        builder = builder.adaptive(true);
-    }
-    if let Some(raw) = args.get("adapt-interval-ms") {
-        let ms: u64 =
-            raw.parse().map_err(|_| format!("cannot parse --adapt-interval-ms {raw:?}"))?;
-        builder = builder.adapt_interval(std::time::Duration::from_millis(ms));
-    }
-    if let Some(raw) = args.get("task-retries") {
-        let n: u32 = raw.parse().map_err(|_| format!("cannot parse --task-retries {raw:?}"))?;
-        builder = builder.max_task_retries(n);
-    }
-    if args.get_or("skip-poison", 0u8)? != 0 {
-        builder = builder.skip_poison_tasks(true);
-    }
-    if let Some(raw) = args.get("watchdog-ms") {
-        let ms: u64 = raw.parse().map_err(|_| format!("cannot parse --watchdog-ms {raw:?}"))?;
-        builder = builder.watchdog(std::time::Duration::from_millis(ms));
+        .num_combiners((workers / 2).max(1))
+        .task_size(1024)
+        .queue_capacity(5000)
+        .batch_size(1000)
+        .container(app.default_container());
+    // Every knob present on the command line is applied through the shared
+    // mr_core::ENV_KNOBS table — the exact parse/apply path that
+    // RuntimeConfig::from_env uses for the knob's RAMR_* twin.
+    for knob in mr_core::ENV_KNOBS {
+        if let Some(raw) = args.get(knob.cli) {
+            let source = format!("--{}", knob.cli);
+            builder = (knob.apply)(builder, raw, &source).map_err(|e| e.to_string())?;
+        }
     }
     builder.build().map_err(|e| e.to_string())
 }
@@ -155,33 +135,39 @@ fn build_config(args: &Args, app: AppKind) -> Result<RuntimeConfig, String> {
 /// Which runtimes a `run` invocation exercises.
 enum RuntimeChoice {
     Ramr,
-    Phoenix,
     Both,
+    /// A backend named exactly (`ramr-static`, `ramr-adaptive`, `phoenix`).
+    Exact(Backend),
 }
 
 fn parse_runtime(args: &Args) -> Result<RuntimeChoice, String> {
-    match args.get("runtime").unwrap_or("both") {
+    let raw = args.get("runtime").unwrap_or("both");
+    match raw {
         "ramr" => Ok(RuntimeChoice::Ramr),
-        "phoenix" => Ok(RuntimeChoice::Phoenix),
         "both" => Ok(RuntimeChoice::Both),
-        other => Err(format!("unknown --runtime {other:?} (ramr|phoenix|both)")),
+        other => other.parse::<Backend>().map(RuntimeChoice::Exact).map_err(|_| {
+            format!("unknown --runtime {other:?} (ramr|ramr-static|ramr-adaptive|phoenix|both)")
+        }),
     }
 }
 
-/// Per-runtime telemetry captured from the last of the timed runs, in the
-/// shape [`MetricsReport`] wants.
-struct Capture {
-    threads: Vec<ThreadTelemetry>,
-    consumed: u64,
-    suggested_ratio: Option<usize>,
-    adaptation: Vec<ramr::AdaptationEvent>,
-    faults: FaultMetrics,
+/// The backends a `run` invocation exercises: `--runtime ramr` resolves to
+/// static or adaptive RAMR depending on `--adaptive`, while a backend named
+/// in full is taken literally (its `engine()` normalizes the config).
+fn backends_for(choice: &RuntimeChoice, config: &RuntimeConfig) -> Vec<Backend> {
+    let ramr = Backend::of_ramr_config(config);
+    match choice {
+        RuntimeChoice::Ramr => vec![ramr],
+        RuntimeChoice::Both => vec![ramr, Backend::Phoenix],
+        RuntimeChoice::Exact(backend) => vec![*backend],
+    }
 }
 
-/// Executes a job on the selected runtime(s), printing timing, a per-thread
-/// telemetry breakdown, and agreement. When `metrics_json` is set, the last
-/// run's full [`MetricsReport`] (preferring ramr when both ran) is written
-/// there as JSON.
+/// Executes a job on the selected backend(s) through the unified [`Engine`]
+/// interface, printing timing, a per-thread telemetry breakdown, and
+/// agreement. When `metrics_json` is set, the last run's full
+/// [`MetricsReport`] (preferring a RAMR backend when several ran) is
+/// written there as JSON.
 fn execute<J: MapReduceJob>(
     job: &J,
     input: &[J::Input],
@@ -191,79 +177,49 @@ fn execute<J: MapReduceJob>(
     app: AppKind,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
-    let mut outputs = Vec::new();
-    for (name, enabled) in [
-        ("ramr", matches!(choice, RuntimeChoice::Ramr | RuntimeChoice::Both)),
-        ("phoenix", matches!(choice, RuntimeChoice::Phoenix | RuntimeChoice::Both)),
-    ] {
-        if !enabled {
-            continue;
-        }
+    let mut outputs: Vec<(Backend, _, EngineReport)> = Vec::new();
+    for backend in backends_for(choice, config) {
+        let engine = backend.engine(config.clone()).map_err(|e| e.to_string())?;
         let mut samples = Vec::new();
         let mut last = None;
         for _ in 0..runs.max(1) {
             let started = Instant::now();
-            let (output, capture) = if name == "ramr" {
-                let rt = RamrRuntime::new(config.clone()).map_err(|e| e.to_string())?;
-                let (output, report) = rt.run_with_report(job, input).map_err(|e| e.to_string())?;
-                let mut threads = report.mapper_telemetry.clone();
-                threads.extend(report.combiner_telemetry.iter().cloned());
-                let capture = Capture {
-                    threads,
-                    consumed: report.consumed_per_combiner.iter().sum(),
-                    suggested_ratio: report.suggested_ratio(),
-                    adaptation: report.adaptation.clone(),
-                    faults: report.faults.clone(),
-                };
-                (output, capture)
-            } else {
-                let rt = PhoenixRuntime::new(config.clone()).map_err(|e| e.to_string())?;
-                let (output, report) = rt.run_with_report(job, input).map_err(|e| e.to_string())?;
-                // Inline combine consumes every pair it emits.
-                let consumed = report.worker_telemetry.iter().map(|t| t.items).sum();
-                let capture = Capture {
-                    threads: report.worker_telemetry,
-                    consumed,
-                    suggested_ratio: None,
-                    adaptation: Vec::new(),
-                    faults: report.faults,
-                };
-                (output, capture)
-            };
+            let reported = engine.run_job_reported(job, input).map_err(|e| e.to_string())?;
             samples.push(started.elapsed().as_secs_f64() * 1e3);
-            last = Some((output, capture));
+            last = Some(reported);
         }
-        let (output, capture) = last.expect("at least one run");
+        let (output, report) = last.expect("at least one run");
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(
-            "{name:>8}: {mean:8.2} ms over {} run(s) | {} keys | map-combine {:.0}% | \
+            "{:>13}: {mean:8.2} ms over {} run(s) | {} keys | map-combine {:.0}% | \
              emitted {} | queue-full {}",
+            backend.as_str(),
             samples.len(),
             output.len(),
             100.0 * output.stats.fraction(PhaseKind::MapCombine),
             output.stats.emitted,
             output.stats.queue_full_events,
         );
-        if let Some(summary) = capture.faults.summary() {
+        if let Some(summary) = report.faults.summary() {
             println!("  faults: {summary}");
         }
-        if config.telemetry {
-            print!("{}", breakdown_table(&capture.threads));
-            if let Some(ratio) = capture.suggested_ratio {
+        if engine.config().telemetry {
+            print!("{}", breakdown_table(&report.threads));
+            if let Some(ratio) = report.suggested_ratio {
                 println!("  suggested mapper:combiner ratio {ratio}:1 (throughput criterion)");
             }
         }
-        if !capture.adaptation.is_empty() {
-            let acted: Vec<_> = capture.adaptation.iter().filter(|e| e.acted()).collect();
+        if !report.adaptation.is_empty() {
+            let acted: Vec<_> = report.adaptation.iter().filter(|e| e.acted()).collect();
             println!(
                 "  adaptation trace: {} tick(s), {} acted (holds omitted below)",
-                capture.adaptation.len(),
+                report.adaptation.len(),
                 acted.len()
             );
             for event in acted {
                 println!("    {}", event.describe());
             }
-            if let Some(last) = capture.adaptation.last() {
+            if let Some(last) = report.adaptation.last() {
                 println!(
                     "  final split {}m/{}c, batch {} (started {}m/{}c, batch {})",
                     last.active_mappers,
@@ -275,19 +231,19 @@ fn execute<J: MapReduceJob>(
                 );
             }
         }
-        outputs.push((name, output, capture));
+        outputs.push((backend, output, report));
     }
     if let Some(path) = metrics_json {
-        let (name, output, capture) = outputs
+        let (backend, output, report) = outputs
             .iter()
-            .find(|(n, ..)| *n == "ramr")
+            .find(|(b, ..)| *b != Backend::Phoenix)
             .or(outputs.first())
             .ok_or("--metrics-json requires at least one runtime to run")?;
         let stats = &output.stats;
         let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-        let report = MetricsReport {
+        let metrics = MetricsReport {
             app: app.abbrev().to_string(),
-            runtime: name.to_string(),
+            runtime: backend.as_str().to_string(),
             workers: config.num_workers as u64,
             combiners: config.num_combiners as u64,
             batch_size: config.batch_size as u64,
@@ -300,11 +256,11 @@ fn execute<J: MapReduceJob>(
                 ns(stats.merge),
             ],
             emitted: stats.emitted,
-            consumed: capture.consumed,
-            threads: capture.threads.clone(),
-            faults: capture.faults.clone(),
+            consumed: report.consumed,
+            threads: report.threads.clone(),
+            faults: report.faults.clone(),
         };
-        std::fs::write(path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("write {path}: {e}"))?;
         println!("  metrics written to {path}");
     }
     if outputs.len() == 2 {
@@ -388,10 +344,10 @@ pub fn run(args: &Args) -> Result<(), String> {
             let tasks = mean_job.tasks();
             // The mean pass is tiny; run it inline, then time the cov pass.
             let means = {
-                let out = RamrRuntime::new(config.clone())
-                    .map_err(|e| e.to_string())?
-                    .run(&mean_job, &tasks)
+                let engine = Backend::of_ramr_config(&config)
+                    .engine(config.clone())
                     .map_err(|e| e.to_string())?;
+                let out = engine.run_job(&mean_job, &tasks).map_err(|e| e.to_string())?;
                 Arc::new(mean_job.means(&out.pairs))
             };
             let cov_job = PcaCovJob::new(matrix, means);

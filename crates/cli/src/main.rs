@@ -18,32 +18,28 @@ mod commands;
 
 use args::Args;
 
-const RUN_FLAGS: &[&str] = &[
+/// `run` flags that are not runtime knobs (input selection, repetition,
+/// output). The knob flags are not listed anywhere in the CLI: they come
+/// from `mr_core::ENV_KNOBS`, the same table `RuntimeConfig::from_env`
+/// parses, so the two surfaces cannot drift apart.
+const RUN_BASE_FLAGS: &[&str] = &[
     "app",
     "runtime",
     "flavor",
     "platform",
     "scale",
-    "workers",
-    "combiners",
-    "task",
-    "queue",
-    "batch",
-    "emit-buffer",
-    "container",
-    "pinning",
     "runs",
-    "pin",
     "input",
     "input-a",
     "input-b",
     "metrics-json",
-    "adaptive",
-    "adapt-interval-ms",
-    "task-retries",
-    "skip-poison",
-    "watchdog-ms",
 ];
+
+fn run_flags() -> Vec<&'static str> {
+    let mut flags = RUN_BASE_FLAGS.to_vec();
+    flags.extend(mr_core::ENV_KNOBS.iter().map(|k| k.cli));
+    flags
+}
 const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "out-b"];
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];
 const TUNE_FLAGS: &[&str] = &["app", "scale", "workers", "container"];
@@ -60,7 +56,7 @@ fn main() {
     };
     let outcome = match command.as_str() {
         "run" => {
-            Args::parse(rest, RUN_FLAGS).and_then(no_positionals).and_then(|a| commands::run(&a))
+            Args::parse(rest, &run_flags()).and_then(no_positionals).and_then(|a| commands::run(&a))
         }
         "simulate" => Args::parse(rest, SIM_FLAGS)
             .and_then(no_positionals)

@@ -1,0 +1,410 @@
+//! One front door for the three execution backends.
+//!
+//! The CLI, the differential tests and the benches all used to maintain
+//! parallel per-backend call paths (`if ramr { ... } else if phoenix
+//! { ... }`), each re-deriving the same telemetry summary from a different
+//! report type. This module collapses that: pick a [`Backend`], obtain an
+//! [`AnyEngine`] (or a pooled [`EngineSession`]), and consume the
+//! backend-independent [`EngineReport`].
+//!
+//! ```
+//! use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
+//! use ramr::{Backend, Engine};
+//!
+//! struct Count;
+//! impl MapReduceJob for Count {
+//!     type Input = u64;
+//!     type Key = u64;
+//!     type Value = u64;
+//!     fn map(&self, task: &[u64], emit: &mut Emitter<'_, u64, u64>) {
+//!         for &x in task {
+//!             emit.emit(x % 5, 1);
+//!         }
+//!     }
+//!     fn combine(&self, acc: &mut u64, v: u64) {
+//!         *acc += v;
+//!     }
+//!     fn key_space(&self) -> Option<usize> {
+//!         Some(5)
+//!     }
+//!     fn key_index(&self, k: &u64) -> usize {
+//!         *k as usize
+//!     }
+//! }
+//!
+//! let config = RuntimeConfig::builder().num_workers(2).num_combiners(1).build()?;
+//! let input: Vec<u64> = (0..100).collect();
+//! for backend in Backend::ALL {
+//!     let engine = backend.engine(config.clone())?;
+//!     let (output, report) = engine.run_job_reported(&Count, &input)?;
+//!     assert_eq!(output.pairs.iter().map(|&(_, v)| v).sum::<u64>(), 100);
+//!     assert_eq!(report.backend, backend);
+//! }
+//! # Ok::<(), mr_core::RuntimeError>(())
+//! ```
+
+use mr_core::{JobOutput, MapReduceJob, RuntimeConfig, RuntimeError};
+use phoenix_mr::{PhoenixReport, PhoenixRuntime};
+use ramr_telemetry::{FaultMetrics, ThreadTelemetry};
+use ramr_topology::PlacementPlan;
+
+use crate::runtime::{RamrRuntime, RunReport};
+use crate::session::RamrSession;
+use crate::tuning::AdaptationEvent;
+
+/// The three execution backends the workspace ships.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// RAMR with the static mapper/combiner split (the paper's §III
+    /// decoupled pools, roles fixed for the whole run).
+    RamrStatic,
+    /// RAMR with the online adaptive controller re-rolling mapper↔combiner
+    /// roles from live telemetry.
+    RamrAdaptive,
+    /// The Phoenix++-style baseline: every worker maps and combines
+    /// inline, no pipeline decoupling.
+    Phoenix,
+}
+
+impl Backend {
+    /// Every backend, in the canonical comparison order.
+    pub const ALL: [Backend; 3] = [Backend::RamrStatic, Backend::RamrAdaptive, Backend::Phoenix];
+
+    /// The canonical lowercase name (`ramr-static` / `ramr-adaptive` /
+    /// `phoenix`), as accepted by [`FromStr`](std::str::FromStr).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::RamrStatic => "ramr-static",
+            Backend::RamrAdaptive => "ramr-adaptive",
+            Backend::Phoenix => "phoenix",
+        }
+    }
+
+    /// The backend a `RuntimeConfig` selects when the caller asked for
+    /// "ramr" without naming a flavor: adaptive when
+    /// [`RuntimeConfig::adaptive`] is set, static otherwise.
+    pub fn of_ramr_config(config: &RuntimeConfig) -> Backend {
+        if config.adaptive {
+            Backend::RamrAdaptive
+        } else {
+            Backend::RamrStatic
+        }
+    }
+
+    /// Builds the engine for this backend, normalizing `config` so the
+    /// backend choice always wins: `RamrStatic` clears
+    /// [`RuntimeConfig::adaptive`], `RamrAdaptive` sets it (and turns on
+    /// the telemetry the controller samples), `Phoenix` ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when the normalized
+    /// configuration fails validation.
+    pub fn engine(self, mut config: RuntimeConfig) -> Result<AnyEngine, RuntimeError> {
+        match self {
+            Backend::RamrStatic => {
+                config.adaptive = false;
+                Ok(AnyEngine { backend: self, inner: Inner::Ramr(RamrRuntime::new(config)?) })
+            }
+            Backend::RamrAdaptive => {
+                config.adaptive = true;
+                config.telemetry = true;
+                Ok(AnyEngine { backend: self, inner: Inner::Ramr(RamrRuntime::new(config)?) })
+            }
+            Backend::Phoenix => {
+                config.adaptive = false;
+                Ok(AnyEngine { backend: self, inner: Inner::Phoenix(PhoenixRuntime::new(config)?) })
+            }
+        }
+    }
+
+    /// Opens a pooled session for this backend (see [`EngineSession`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Backend::engine`].
+    pub fn session<J: MapReduceJob + 'static>(
+        self,
+        mut config: RuntimeConfig,
+    ) -> Result<EngineSession<J>, RuntimeError> {
+        match self {
+            Backend::RamrStatic => {
+                config.adaptive = false;
+                Ok(EngineSession::Pooled(Box::new(RamrSession::new(config)?)))
+            }
+            Backend::RamrAdaptive => {
+                config.adaptive = true;
+                config.telemetry = true;
+                Ok(EngineSession::Pooled(Box::new(RamrSession::new(config)?)))
+            }
+            Backend::Phoenix => {
+                config.adaptive = false;
+                Ok(EngineSession::Fresh(PhoenixRuntime::new(config)?))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ramr-static" | "static" => Ok(Backend::RamrStatic),
+            "ramr-adaptive" | "adaptive" => Ok(Backend::RamrAdaptive),
+            "phoenix" => Ok(Backend::Phoenix),
+            other => Err(format!(
+                "unknown backend '{other}' (expected ramr-static, ramr-adaptive or phoenix)"
+            )),
+        }
+    }
+}
+
+/// A backend-independent summary of one run's report — the fields every
+/// consumer (CLI tables, metrics JSON, benches, differential tests) needs,
+/// derived identically no matter which backend produced them.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The backend that produced this report.
+    pub backend: Backend,
+    /// Per-thread telemetry: mappers then combiners for the RAMR backends
+    /// (flex threads that combined appear in both halves, as in
+    /// [`RunReport`]), workers for Phoenix.
+    pub threads: Vec<ThreadTelemetry>,
+    /// Total pairs consumed by combiner-role work. For Phoenix (inline
+    /// combine) this equals the pairs emitted.
+    pub consumed: u64,
+    /// The throughput-derived mapper:combiner ratio suggestion
+    /// ([`RunReport::suggested_ratio`]); `None` for Phoenix, whose workers
+    /// have no role split to tune.
+    pub suggested_ratio: Option<usize>,
+    /// The adaptive controller's decision trace; empty for static RAMR and
+    /// Phoenix.
+    pub adaptation: Vec<AdaptationEvent>,
+    /// Fault-tolerance accounting for the run.
+    pub faults: FaultMetrics,
+    /// The thread placement plan; `None` for Phoenix, which delegates
+    /// pinning to the OS scheduler.
+    pub plan: Option<PlacementPlan>,
+}
+
+impl EngineReport {
+    fn from_ramr(backend: Backend, report: RunReport) -> Self {
+        let consumed = report.consumed_per_combiner.iter().sum();
+        let suggested_ratio = report.suggested_ratio();
+        let mut threads = report.mapper_telemetry;
+        threads.extend(report.combiner_telemetry);
+        EngineReport {
+            backend,
+            threads,
+            consumed,
+            suggested_ratio,
+            adaptation: report.adaptation,
+            faults: report.faults,
+            plan: Some(report.plan),
+        }
+    }
+
+    fn from_phoenix(report: PhoenixReport) -> Self {
+        let consumed = report.worker_telemetry.iter().map(|t| t.items).sum();
+        EngineReport {
+            backend: Backend::Phoenix,
+            threads: report.worker_telemetry,
+            consumed,
+            suggested_ratio: None,
+            adaptation: Vec::new(),
+            faults: report.faults,
+            plan: None,
+        }
+    }
+}
+
+/// A job's output paired with the backend-independent [`EngineReport`] —
+/// what [`Engine::run_job_reported`] and
+/// [`EngineSession::submit_with_report`] return.
+pub type EngineOutput<J> =
+    (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, EngineReport);
+
+/// The unified execution interface over the three backends.
+///
+/// Generic over the job at the *method* level (like the runtimes
+/// themselves), so one engine value can run heterogeneous jobs; the trait
+/// is therefore not object-safe — dispatch through [`AnyEngine`], which
+/// implements it by enum dispatch.
+pub trait Engine {
+    /// Which backend this engine executes on.
+    fn backend(&self) -> Backend;
+
+    /// The engine's (normalized) configuration.
+    fn config(&self) -> &RuntimeConfig;
+
+    /// Executes `job` over `input`, returning the key-sorted reduced
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`RuntimeError`].
+    fn run_job<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError>;
+
+    /// Like [`run_job`](Engine::run_job), additionally returning the
+    /// backend-independent [`EngineReport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`RuntimeError`].
+    fn run_job_reported<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<EngineOutput<J>, RuntimeError>;
+}
+
+enum Inner {
+    Ramr(RamrRuntime),
+    Phoenix(PhoenixRuntime),
+}
+
+/// An [`Engine`] for any [`Backend`], selected at runtime — the value the
+/// CLI, benches and differential tests dispatch through instead of
+/// hand-rolled per-backend arms.
+pub struct AnyEngine {
+    backend: Backend,
+    inner: Inner,
+}
+
+impl std::fmt::Debug for AnyEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyEngine").field("backend", &self.backend).finish_non_exhaustive()
+    }
+}
+
+impl Engine for AnyEngine {
+    fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    fn config(&self) -> &RuntimeConfig {
+        match &self.inner {
+            Inner::Ramr(rt) => rt.config(),
+            Inner::Phoenix(rt) => rt.config(),
+        }
+    }
+
+    fn run_job<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        match &self.inner {
+            Inner::Ramr(rt) => rt.run(job, input),
+            Inner::Phoenix(rt) => rt.run(job, input),
+        }
+    }
+
+    fn run_job_reported<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<EngineOutput<J>, RuntimeError> {
+        match &self.inner {
+            Inner::Ramr(rt) => {
+                let (output, report) = rt.run_with_report(job, input)?;
+                Ok((output, EngineReport::from_ramr(self.backend, report)))
+            }
+            Inner::Phoenix(rt) => {
+                let (output, report) = rt.run_with_report(job, input)?;
+                Ok((output, EngineReport::from_phoenix(report)))
+            }
+        }
+    }
+}
+
+/// A pooled submission channel for any backend: the RAMR backends submit
+/// through a persistent [`RamrSession`] (threads and queues reused across
+/// jobs), while Phoenix — whose scoped-thread design has no job-independent
+/// state to pool — runs each submit fresh. Either way the caller sees one
+/// `submit` interface, which is what lets the differential tests compare
+/// pooled against fresh execution uniformly across backends.
+pub enum EngineSession<J: MapReduceJob + 'static> {
+    /// A persistent RAMR worker-pool session.
+    Pooled(Box<RamrSession<J>>),
+    /// A per-submit Phoenix runtime.
+    Fresh(PhoenixRuntime),
+}
+
+impl<J: MapReduceJob + 'static> std::fmt::Debug for EngineSession<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineSession::Pooled(s) => f.debug_tuple("Pooled").field(s).finish(),
+            EngineSession::Fresh(_) => f.debug_tuple("Fresh").finish(),
+        }
+    }
+}
+
+impl<J: MapReduceJob + 'static> EngineSession<J> {
+    /// Which backend this session executes on.
+    pub fn backend(&self) -> Backend {
+        match self {
+            EngineSession::Pooled(s) => Backend::of_ramr_config(s.config()),
+            EngineSession::Fresh(_) => Backend::Phoenix,
+        }
+    }
+
+    /// The session's (normalized) configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        match self {
+            EngineSession::Pooled(s) => s.config(),
+            EngineSession::Fresh(rt) => rt.config(),
+        }
+    }
+
+    /// Executes one job from the stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`RuntimeError`]; a failed submit leaves
+    /// the session usable for the next one.
+    pub fn submit(
+        &mut self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        match self {
+            EngineSession::Pooled(s) => s.submit(job, input),
+            EngineSession::Fresh(rt) => rt.run(job, input),
+        }
+    }
+
+    /// Executes one job from the stream, with its [`EngineReport`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](EngineSession::submit).
+    pub fn submit_with_report(
+        &mut self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<EngineOutput<J>, RuntimeError> {
+        match self {
+            EngineSession::Pooled(s) => {
+                let backend = Backend::of_ramr_config(s.config());
+                let (output, report) = s.submit_with_report(job, input)?;
+                Ok((output, EngineReport::from_ramr(backend, report)))
+            }
+            EngineSession::Fresh(rt) => {
+                let (output, report) = rt.run_with_report(job, input)?;
+                Ok((output, EngineReport::from_phoenix(report)))
+            }
+        }
+    }
+}

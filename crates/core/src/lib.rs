@@ -71,10 +71,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod runtime;
+mod session;
 pub mod tuning;
 
+pub use engine::{AnyEngine, Backend, Engine, EngineOutput, EngineReport, EngineSession};
 pub use runtime::{RamrRuntime, ReportedOutput, RunReport};
+pub use session::RamrSession;
 pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
 
 // Re-export the configuration surface so downstream users need only this

@@ -24,16 +24,16 @@ pub type ReportedOutput<J> =
     (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, RunReport);
 
 /// The write half of one mapper's pipeline queue.
-type PairProducer<J> = Producer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+pub(crate) type PairProducer<J> = Producer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
 /// The read half of one mapper's pipeline queue.
-type PairConsumer<J> = Consumer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+pub(crate) type PairConsumer<J> = Consumer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
 
 /// An idle combiner's waiting policy, derived from the configured
 /// producer-side backoff so both ends of each pipeline degrade
 /// symmetrically: `(spin rounds after the last progress, sleep once
 /// exhausted)`. `BusyWait` maps to pure spinning (no sleep), matching what
 /// it asks of the producers.
-fn idle_policy(backoff: PushBackoff) -> (u32, Option<Duration>) {
+pub(crate) fn idle_policy(backoff: PushBackoff) -> (u32, Option<Duration>) {
     match backoff {
         PushBackoff::BusyWait => (u32::MAX, None),
         PushBackoff::SpinThenSleep { spins, sleep } => (spins, Some(sleep)),
@@ -46,6 +46,14 @@ fn idle_policy(backoff: PushBackoff) -> (u32, Option<Duration>) {
 /// host machine) or [`RamrRuntime::with_machine`] to compute placements for
 /// an explicit [`MachineModel`] — useful for inspecting the pinning policy
 /// on machines you do not have.
+///
+/// **Soft-deprecated**: new code should go through the unified front door
+/// instead — [`Backend::engine`](crate::Backend::engine) for one job
+/// (`Backend::RamrStatic.engine(cfg)?.run_job(&job, input)`) or
+/// [`Backend::session`](crate::Backend::session) /
+/// [`RamrSession`](crate::RamrSession) for a stream of jobs on persistent
+/// pools. This type remains as a thin per-run shim over the same
+/// internals (see DESIGN.md §6e for the migration table).
 ///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
@@ -214,14 +222,14 @@ impl RamrRuntime {
             let combiner_handles: Vec<_> = consumers_of
                 .into_iter()
                 .enumerate()
-                .map(|(c, consumers)| {
+                .map(|(c, mut consumers)| {
                     let slot = plan.combiner_slot(c);
                     let pin = config.pin_os_threads;
                     let cell = &combiner_cells[c];
                     let progress_slot = config.num_workers + c;
                     scope.spawn(move || {
                         maybe_pin(pin, slot);
-                        combiner_loop(job, config, consumers, cell, ctx, progress_slot)
+                        combiner_loop(job, config, &mut consumers, cell, ctx, progress_slot)
                     })
                 })
                 .collect();
@@ -231,7 +239,7 @@ impl RamrRuntime {
                 .iter_mut()
                 .enumerate()
                 .map(|(m, tx)| {
-                    let tx = tx.take().expect("producer moved once");
+                    let mut tx = tx.take().expect("producer moved once");
                     let slot = plan.mapper_slot(m);
                     let home_group = group_of_mapper(m);
                     let pin = config.pin_os_threads;
@@ -242,7 +250,7 @@ impl RamrRuntime {
                     scope.spawn(move || {
                         maybe_pin(pin, slot);
                         mapper_loop(
-                            job, input, queues, home_group, tx, backoff, emit_block, cell,
+                            job, input, queues, home_group, &mut tx, backoff, emit_block, cell,
                             telemetry, ctx, m,
                         );
                     })
@@ -468,7 +476,7 @@ impl RamrRuntime {
                     .iter_mut()
                     .enumerate()
                     .map(|(m, tx)| {
-                        let tx = tx.take().expect("producer moved once");
+                        let mut tx = tx.take().expect("producer moved once");
                         let slot = plan.mapper_slot(m);
                         let home_group = group_of_mapper(m);
                         let pin = config.pin_os_threads;
@@ -488,7 +496,7 @@ impl RamrRuntime {
                                 queues,
                                 home_group,
                                 m,
-                                tx,
+                                &mut tx,
                                 backoff,
                                 emit_block,
                                 registry,
@@ -741,7 +749,7 @@ impl RunReport {
     }
 }
 
-fn to_backoff(backoff: PushBackoff) -> BackoffPolicy {
+pub(crate) fn to_backoff(backoff: PushBackoff) -> BackoffPolicy {
     match backoff {
         PushBackoff::BusyWait => BackoffPolicy::BusyWait,
         PushBackoff::SpinThenSleep { spins, sleep } => {
@@ -750,7 +758,7 @@ fn to_backoff(backoff: PushBackoff) -> BackoffPolicy {
     }
 }
 
-fn maybe_pin(enabled: bool, slot: CpuSlot) {
+pub(crate) fn maybe_pin(enabled: bool, slot: CpuSlot) {
     if enabled {
         if let CpuSlot::Pinned(cpu) = slot {
             // Best-effort: the plan may target a machine model larger than
@@ -775,7 +783,7 @@ const WATCHDOG_SLICE: Duration = Duration::from_millis(5);
 /// watchdog trips, and (when a watchdog is armed) the progress board. All
 /// fields are inert at the default configuration, so the hot paths run
 /// unchanged — no staging, no extra atomics, the plain blocking push.
-struct FaultCtx<'a> {
+pub(crate) struct FaultCtx<'a> {
     /// Panicked-task re-executions allowed per task.
     retries: u32,
     /// Whether a task that exhausts its retries is skipped (and recorded)
@@ -792,7 +800,7 @@ struct FaultCtx<'a> {
 }
 
 impl<'a> FaultCtx<'a> {
-    fn new(
+    pub(crate) fn new(
         config: &RuntimeConfig,
         retry_safe: bool,
         faults: &'a FaultLog,
@@ -869,7 +877,7 @@ fn publish_block<T: Send>(
 
 /// Display labels for the watchdog's per-thread diagnostics, matching the
 /// progress-board slot layout (mappers first, then combiners).
-fn thread_labels(num_workers: usize, num_combiners: usize) -> Vec<String> {
+pub(crate) fn thread_labels(num_workers: usize, num_combiners: usize) -> Vec<String> {
     (0..num_workers)
         .map(|m| format!("mapper[{m}]"))
         .chain((0..num_combiners).map(|c| format!("combiner[{c}]")))
@@ -886,7 +894,7 @@ fn thread_labels(num_workers: usize, num_combiners: usize) -> Vec<String> {
 /// runtime's own waits all do (SPSC publishes, task claiming, combine
 /// rounds, the controller); user map code can via
 /// [`Emitter::is_cancelled`], which every task's emitter is wired to.
-fn watchdog_loop(
+pub(crate) fn watchdog_loop(
     period: Duration,
     board: &ProgressBoard,
     labels: &[String],
@@ -947,12 +955,12 @@ fn watchdog_loop(
 /// time accrued inside the map call; `stalled` is the flush time itself,
 /// which is dominated by waiting whenever the queue is full.
 #[allow(clippy::too_many_arguments)] // internal: mirrors the paper's knob list
-fn mapper_loop<J: MapReduceJob>(
+pub(crate) fn mapper_loop<J: MapReduceJob>(
     job: &J,
     input: &[J::Input],
     queues: &TaskQueues,
     home_group: usize,
-    mut tx: PairProducer<J>,
+    tx: &mut PairProducer<J>,
     backoff: &BackoffPolicy,
     emit_block: usize,
     cell: &TelemetryCell,
@@ -975,7 +983,7 @@ fn mapper_loop<J: MapReduceJob>(
         let map_start = telemetry.then(Instant::now);
         {
             let local = &mut local;
-            let tx = &mut tx;
+            let tx = &mut *tx;
             let buffer = &mut buffer;
             let full_events = &mut full_events;
             let mut sink = |key: J::Key, value: J::Value| {
@@ -1028,12 +1036,13 @@ fn mapper_loop<J: MapReduceJob>(
             local.busy += t.elapsed().saturating_sub(local.stalled - stalled_before);
         }
     }
-    // Final drain-flush: publish the partial block *before* `tx` drops —
-    // dropping closes the queue, and the combiner treats closed+empty as
-    // end-of-stream.
+    // Final drain-flush: publish the partial block *before* closing the
+    // queue — the combiner treats closed+empty as end-of-stream. `finish`
+    // (rather than relying on drop) keeps the producer handle alive for
+    // session reuse; per-run callers drop it right after anyway.
     let occupied = buffer.len();
     let flush_start = telemetry.then(Instant::now);
-    full_events += publish_block(&mut tx, &mut buffer, backoff, push_cancel);
+    full_events += publish_block(tx, &mut buffer, backoff, push_cancel);
     if let Some(t) = flush_start {
         local.stalled += t.elapsed();
         if occupied > 0 {
@@ -1041,6 +1050,7 @@ fn mapper_loop<J: MapReduceJob>(
             local.occupancy.record(occupied, emit_block);
         }
     }
+    tx.finish();
     local.items = emitted;
     local.stall_events = full_events;
     if let Some(t) = wall_start {
@@ -1064,10 +1074,10 @@ fn mapper_loop<J: MapReduceJob>(
 /// queues, never per pair. A round that consumed anything counts as
 /// `busy`; a zero-progress round (including its spin/sleep backoff) counts
 /// as `stalled` idle time.
-fn combiner_loop<J: MapReduceJob>(
+pub(crate) fn combiner_loop<J: MapReduceJob>(
     job: &J,
     config: &RuntimeConfig,
-    mut consumers: Vec<PairConsumer<J>>,
+    consumers: &mut [PairConsumer<J>],
     cell: &TelemetryCell,
     ctx: &FaultCtx<'_>,
     slot: usize,
@@ -1091,7 +1101,7 @@ fn combiner_loop<J: MapReduceJob>(
         let round_start = telemetry.then(Instant::now);
         let mut progressed = false;
         let mut all_done = true;
-        for rx in &mut consumers {
+        for rx in consumers.iter_mut() {
             // Read the close flag BEFORE consuming: a queue observed closed
             // and then drained to empty can never produce again (the
             // producer's pushes all happen before its drop).
@@ -1233,17 +1243,25 @@ const CONTROLLER_SLICE: Duration = Duration::from_micros(500);
 /// back in. A consumer observed closed and drained is retired instead, and
 /// `live` reaching zero is the global end-of-stream signal (replacing the
 /// static path's per-combiner closed-queue detection).
-struct QueueRegistry<J: MapReduceJob> {
+pub(crate) struct QueueRegistry<J: MapReduceJob> {
     pool: Mutex<VecDeque<PairConsumer<J>>>,
+    /// Read-ends observed closed and drained: out of circulation for this
+    /// run, but *kept* — a persistent session reclaims and re-arms them for
+    /// the next job instead of reallocating the queues.
+    retired: Mutex<Vec<PairConsumer<J>>>,
     /// Pipelines not yet retired. Starts at `num_workers`, strictly
     /// decreasing; zero means every pair ever emitted has been consumed.
     live: AtomicUsize,
 }
 
 impl<J: MapReduceJob> QueueRegistry<J> {
-    fn new(consumers: Vec<PairConsumer<J>>) -> Self {
+    pub(crate) fn new(consumers: Vec<PairConsumer<J>>) -> Self {
         let live = AtomicUsize::new(consumers.len());
-        Self { pool: Mutex::new(consumers.into_iter().collect()), live }
+        Self {
+            pool: Mutex::new(consumers.into_iter().collect()),
+            retired: Mutex::new(Vec::new()),
+            live,
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<PairConsumer<J>>> {
@@ -1260,12 +1278,28 @@ impl<J: MapReduceJob> QueueRegistry<J> {
         self.lock().push_back(rx);
     }
 
-    fn retire(&self) {
+    fn retire(&self, rx: PairConsumer<J>) {
+        self.retired.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(rx);
         self.live.fetch_sub(1, Ordering::AcqRel);
     }
 
-    fn all_done(&self) -> bool {
+    pub(crate) fn all_done(&self) -> bool {
         self.live.load(Ordering::Acquire) == 0
+    }
+
+    /// Tears the registry down, returning every consumer it ever held —
+    /// pooled and retired alike. Only meaningful once the run is over (all
+    /// combining threads quiescent); the session uses this to carry the
+    /// read-ends into the next job.
+    pub(crate) fn into_consumers(self) -> Vec<PairConsumer<J>> {
+        let mut all: Vec<PairConsumer<J>> = self
+            .pool
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .into_iter()
+            .collect();
+        all.extend(self.retired.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner));
+        all
     }
 }
 
@@ -1276,7 +1310,7 @@ impl<J: MapReduceJob> QueueRegistry<J> {
 /// rounds drain the pipelines in discard mode so blocked mappers still
 /// terminate — the same invariant [`combiner_loop`] maintains per thread.
 #[derive(Default)]
-struct ErrorSlot {
+pub(crate) struct ErrorSlot {
     tripped: AtomicBool,
     slot: Mutex<Option<RuntimeError>>,
     /// Worker errors recorded after the slot was occupied. Kept as a count
@@ -1286,7 +1320,7 @@ struct ErrorSlot {
 }
 
 impl ErrorSlot {
-    fn record(&self, err: RuntimeError) {
+    pub(crate) fn record(&self, err: RuntimeError) {
         let mut slot = self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if slot.is_some() {
             self.suppressed.fetch_add(1, Ordering::Relaxed);
@@ -1300,12 +1334,12 @@ impl ErrorSlot {
         self.tripped.load(Ordering::Acquire)
     }
 
-    fn take(&self) -> Option<RuntimeError> {
+    pub(crate) fn take(&self) -> Option<RuntimeError> {
         self.slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
     }
 
     /// Errors recorded behind the first one.
-    fn suppressed(&self) -> u64 {
+    pub(crate) fn suppressed(&self) -> u64 {
         self.suppressed.load(Ordering::Relaxed)
     }
 
@@ -1321,7 +1355,7 @@ impl ErrorSlot {
 /// shared batched-read size. All accesses are relaxed — a worker acting on a
 /// stale role or batch size for a few rounds is still correct, just briefly
 /// suboptimal, and the controller is the only writer.
-struct AdaptiveCtl {
+pub(crate) struct AdaptiveCtl {
     /// `combining[m]` re-rolls flex thread `m` from mapping to combine help;
     /// clearing it sends the thread back to the task queues.
     combining: Vec<AtomicBool>,
@@ -1330,7 +1364,7 @@ struct AdaptiveCtl {
 }
 
 impl AdaptiveCtl {
-    fn new(num_flex: usize, batch: usize) -> Self {
+    pub(crate) fn new(num_flex: usize, batch: usize) -> Self {
         Self {
             combining: (0..num_flex).map(|_| AtomicBool::new(false)).collect(),
             batch: AtomicUsize::new(batch),
@@ -1432,9 +1466,9 @@ fn adaptive_round<'j, J: MapReduceJob>(
     };
     if closed && rx.is_empty() {
         // Close observed before the final drain: this pipeline can never
-        // produce again. Drop the consumer and count it out.
-        drop(rx);
-        registry.retire();
+        // produce again *this run*. Park the consumer on the retired list
+        // and count it out of circulation.
+        registry.retire(rx);
     } else {
         registry.checkin(rx);
     }
@@ -1477,7 +1511,7 @@ fn drain_container<J: MapReduceJob>(container: Option<JobContainer<'_, J>>) -> p
 /// `wall` refreshed so the controller's windows see current totals) and once
 /// at exit, like the static path.
 #[allow(clippy::too_many_arguments)] // internal: the adaptive knob list
-fn adaptive_combiner_loop<'j, J: MapReduceJob>(
+pub(crate) fn adaptive_combiner_loop<'j, J: MapReduceJob>(
     job: &'j J,
     config: &RuntimeConfig,
     registry: &QueueRegistry<J>,
@@ -1574,14 +1608,14 @@ fn flush_block<K: Send, V: Send>(
 /// `combine_cell`. A re-rolled thread therefore never pollutes the map
 /// pool's throughput estimate.
 #[allow(clippy::too_many_arguments)] // internal: the adaptive knob list
-fn flex_loop<'j, J: MapReduceJob>(
+pub(crate) fn flex_loop<'j, J: MapReduceJob>(
     job: &'j J,
     input: &[J::Input],
     config: &RuntimeConfig,
     queues: &TaskQueues,
     home_group: usize,
     index: usize,
-    mut tx: PairProducer<J>,
+    tx: &mut PairProducer<J>,
     backoff: &BackoffPolicy,
     emit_block: usize,
     registry: &QueueRegistry<J>,
@@ -1614,7 +1648,7 @@ fn flex_loop<'j, J: MapReduceJob>(
             // emissions first so no pairs sit unpublished while this thread
             // stops producing.
             flush_block(
-                &mut tx,
+                &mut *tx,
                 &mut buffer,
                 backoff,
                 emit_block,
@@ -1660,7 +1694,7 @@ fn flex_loop<'j, J: MapReduceJob>(
             let map_start = Instant::now();
             {
                 let local = &mut map_local;
-                let tx = &mut tx;
+                let tx = &mut *tx;
                 let buffer = &mut buffer;
                 let full_events = &mut full_events;
                 let wall_start = &wall_start;
@@ -1718,11 +1752,12 @@ fn flex_loop<'j, J: MapReduceJob>(
         }
     }
 
-    // Map phase over for this thread: publish the partial block, then drop
-    // the producer — closing the queue is the retire signal the combine
-    // rounds watch for.
+    // Map phase over for this thread: publish the partial block, then close
+    // the queue with `finish` — the close is the retire signal the combine
+    // rounds watch for, and keeping the handle alive (vs dropping it) lets
+    // a persistent session re-arm the same queue for the next job.
     flush_block(
-        &mut tx,
+        &mut *tx,
         &mut buffer,
         backoff,
         emit_block,
@@ -1734,7 +1769,7 @@ fn flex_loop<'j, J: MapReduceJob>(
     map_local.stall_events = full_events;
     map_local.wall = wall_start.elapsed();
     map_cell.publish(&map_local);
-    drop(tx);
+    tx.finish();
 
     // Phase B: help drain every remaining pipeline.
     loop {
@@ -1780,7 +1815,7 @@ fn flex_loop<'j, J: MapReduceJob>(
 /// it moved. The controller is the only role/batch writer, so its local
 /// `active_combiners` count cannot drift from the flags.
 #[allow(clippy::too_many_arguments)] // internal: the adaptive knob list
-fn controller_loop<J: MapReduceJob>(
+pub(crate) fn controller_loop<J: MapReduceJob>(
     config: &RuntimeConfig,
     bounds: AdaptiveBounds,
     registry: &QueueRegistry<J>,

@@ -270,107 +270,10 @@ impl RuntimeConfig {
     /// unparsable, or when the resulting configuration is inconsistent.
     pub fn from_env() -> Result<Self, RuntimeError> {
         let mut b = Self::builder();
-        fn parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, RuntimeError> {
-            match std::env::var(name) {
-                Ok(s) => s
-                    .parse::<T>()
-                    .map(Some)
-                    .map_err(|_| RuntimeError::InvalidConfig(format!("cannot parse {name}={s}"))),
-                Err(_) => Ok(None),
+        for k in ENV_KNOBS {
+            if let Ok(raw) = std::env::var(k.env) {
+                b = (k.apply)(b, &raw, k.env)?;
             }
-        }
-        fn parse_bool(name: &str) -> Result<Option<bool>, RuntimeError> {
-            match std::env::var(name) {
-                Ok(s) => match s.to_ascii_lowercase().as_str() {
-                    "1" | "true" | "yes" | "on" => Ok(Some(true)),
-                    "0" | "false" | "no" | "off" => Ok(Some(false)),
-                    _ => Err(RuntimeError::InvalidConfig(format!(
-                        "cannot parse {name}={s} (expected 0|1|true|false|yes|no)"
-                    ))),
-                },
-                Err(_) => Ok(None),
-            }
-        }
-        if let Some(n) = parse::<usize>("RAMR_WORKERS")? {
-            b = b.num_workers(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_COMBINERS")? {
-            b = b.num_combiners(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_TASK_SIZE")? {
-            b = b.task_size(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_QUEUE_CAPACITY")? {
-            b = b.queue_capacity(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_BATCH_SIZE")? {
-            b = b.batch_size(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_EMIT_BUFFER")? {
-            b = b.emit_buffer_size(n);
-        }
-        if let Some(s) = parse::<String>("RAMR_CONTAINER")? {
-            b = b.container(match s.as_str() {
-                "array" => ContainerKind::Array,
-                "hash" => ContainerKind::Hash,
-                "fixed-hash" => ContainerKind::FixedHash,
-                other => {
-                    return Err(RuntimeError::InvalidConfig(format!(
-                        "unknown container kind {other:?}"
-                    )))
-                }
-            });
-        }
-        if let Some(s) = parse::<String>("RAMR_PINNING")? {
-            b = b.pinning(match s.as_str() {
-                "ramr" => PinningPolicyKind::Ramr,
-                "round-robin" => PinningPolicyKind::RoundRobin,
-                "os-default" => PinningPolicyKind::OsDefault,
-                other => {
-                    return Err(RuntimeError::InvalidConfig(format!(
-                        "unknown pinning policy {other:?}"
-                    )))
-                }
-            });
-        }
-        if let Some(n) = parse::<usize>("RAMR_REDUCERS")? {
-            b = b.num_reducers(n);
-        }
-        if let Some(n) = parse::<usize>("RAMR_FIXED_CAPACITY")? {
-            b = b.fixed_capacity(n);
-        }
-        let push_spins = parse::<u32>("RAMR_PUSH_SPINS")?;
-        let push_sleep_us = parse::<u64>("RAMR_PUSH_SLEEP_US")?;
-        if push_spins.is_some() || push_sleep_us.is_some() {
-            let (default_spins, default_sleep) = match PushBackoff::default_sleep() {
-                PushBackoff::SpinThenSleep { spins, sleep } => (spins, sleep),
-                PushBackoff::BusyWait => unreachable!("default_sleep is SpinThenSleep"),
-            };
-            b = b.push_backoff(PushBackoff::SpinThenSleep {
-                spins: push_spins.unwrap_or(default_spins),
-                sleep: push_sleep_us.map(Duration::from_micros).unwrap_or(default_sleep),
-            });
-        }
-        if let Some(pin) = parse_bool("RAMR_PIN_THREADS")? {
-            b = b.pin_os_threads(pin);
-        }
-        if let Some(on) = parse_bool("RAMR_TELEMETRY")? {
-            b = b.telemetry(on);
-        }
-        if let Some(on) = parse_bool("RAMR_ADAPTIVE")? {
-            b = b.adaptive(on);
-        }
-        if let Some(ms) = parse::<u64>("RAMR_ADAPT_INTERVAL_MS")? {
-            b = b.adapt_interval(Duration::from_millis(ms));
-        }
-        if let Some(n) = parse::<u32>("RAMR_TASK_RETRIES")? {
-            b = b.max_task_retries(n);
-        }
-        if let Some(on) = parse_bool("RAMR_SKIP_POISON_TASKS")? {
-            b = b.skip_poison_tasks(on);
-        }
-        if let Some(ms) = parse::<u64>("RAMR_WATCHDOG_MS")? {
-            b = b.watchdog(Duration::from_millis(ms));
         }
         b.build()
     }
@@ -568,6 +471,241 @@ impl RuntimeConfigBuilder {
         Ok(self.config)
     }
 }
+
+/// One row of the runtime's tuning surface: a knob's environment variable,
+/// its CLI flag, and the shared parse/apply behaviour.
+///
+/// Every consumer of the knob surface — [`RuntimeConfig::from_env`], the
+/// CLI's flag table and help text, and the docs-drift tests — derives its
+/// view from [`ENV_KNOBS`], so a knob can no longer exist in one surface
+/// and be silently missing from another (the drift class PR 2 had to fix
+/// retroactively).
+#[derive(Clone, Copy)]
+pub struct EnvKnob {
+    /// The environment variable name (`RAMR_*`).
+    pub env: &'static str,
+    /// The CLI flag name, without the leading `--`.
+    pub cli: &'static str,
+    /// Placeholder for the knob's value in help text (`N`, `MS`, `0|1`,
+    /// an enumeration, ...).
+    pub value: &'static str,
+    /// One-line description for help text and docs.
+    pub help: &'static str,
+    /// Parses `raw` and applies it to the builder. `source` names where the
+    /// value came from (the env var or the CLI flag) for error messages.
+    pub apply: fn(RuntimeConfigBuilder, &str, &str) -> Result<RuntimeConfigBuilder, RuntimeError>,
+}
+
+impl std::fmt::Debug for EnvKnob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnvKnob")
+            .field("env", &self.env)
+            .field("cli", &self.cli)
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+fn knob<T: std::str::FromStr>(raw: &str, source: &str) -> Result<T, RuntimeError> {
+    raw.parse::<T>()
+        .map_err(|_| RuntimeError::InvalidConfig(format!("cannot parse {source}={raw}")))
+}
+
+fn knob_bool(raw: &str, source: &str) -> Result<bool, RuntimeError> {
+    match raw.to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "0" | "false" | "no" | "off" => Ok(false),
+        _ => Err(RuntimeError::InvalidConfig(format!(
+            "cannot parse {source}={raw} (expected 0|1|true|false|yes|no)"
+        ))),
+    }
+}
+
+/// The current spin/sleep halves of a backoff policy, substituting the
+/// paper's defaults when the policy is `BusyWait` — so setting either half
+/// alone selects sleep-on-failed-push with the canonical other half, and
+/// setting both (in either order) composes.
+fn spin_sleep_halves(backoff: PushBackoff) -> (u32, Duration) {
+    let policy = match backoff {
+        PushBackoff::SpinThenSleep { .. } => backoff,
+        PushBackoff::BusyWait => PushBackoff::default_sleep(),
+    };
+    match policy {
+        PushBackoff::SpinThenSleep { spins, sleep } => (spins, sleep),
+        PushBackoff::BusyWait => unreachable!("default_sleep is SpinThenSleep"),
+    }
+}
+
+/// The runtime's complete tuning surface, one [`EnvKnob`] row per knob.
+///
+/// This is the *only* place a knob's env-var and CLI names are written
+/// down; see [`EnvKnob`] for the consumers that derive from it.
+pub const ENV_KNOBS: &[EnvKnob] = &[
+    EnvKnob {
+        env: "RAMR_WORKERS",
+        cli: "workers",
+        value: "N",
+        help: "general-purpose (mapper) pool size",
+        apply: |b, raw, src| Ok(b.num_workers(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_COMBINERS",
+        cli: "combiners",
+        value: "N",
+        help: "combiner pool size (must be <= workers)",
+        apply: |b, raw, src| Ok(b.num_combiners(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_TASK_SIZE",
+        cli: "task",
+        value: "N",
+        help: "input elements per map task",
+        apply: |b, raw, src| Ok(b.task_size(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_QUEUE_CAPACITY",
+        cli: "queue",
+        value: "N",
+        help: "per-mapper SPSC queue capacity, in elements",
+        apply: |b, raw, src| Ok(b.queue_capacity(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_BATCH_SIZE",
+        cli: "batch",
+        value: "N",
+        help: "combiner batched-read size, in elements",
+        apply: |b, raw, src| Ok(b.batch_size(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_EMIT_BUFFER",
+        cli: "emit-buffer",
+        value: "N",
+        help: "mapper emit-buffer block size (default: follows batch)",
+        apply: |b, raw, src| Ok(b.emit_buffer_size(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_CONTAINER",
+        cli: "container",
+        value: "array|hash|fixed-hash",
+        help: "intermediate container kind",
+        apply: |b, raw, _| {
+            Ok(b.container(match raw {
+                "array" => ContainerKind::Array,
+                "hash" => ContainerKind::Hash,
+                "fixed-hash" => ContainerKind::FixedHash,
+                other => {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "unknown container kind {other:?}"
+                    )))
+                }
+            }))
+        },
+    },
+    EnvKnob {
+        env: "RAMR_PINNING",
+        cli: "pinning",
+        value: "ramr|round-robin|os-default",
+        help: "thread placement policy",
+        apply: |b, raw, _| {
+            Ok(b.pinning(match raw {
+                "ramr" => PinningPolicyKind::Ramr,
+                "round-robin" => PinningPolicyKind::RoundRobin,
+                "os-default" => PinningPolicyKind::OsDefault,
+                other => {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "unknown pinning policy {other:?}"
+                    )))
+                }
+            }))
+        },
+    },
+    EnvKnob {
+        env: "RAMR_REDUCERS",
+        cli: "reducers",
+        value: "N",
+        help: "reduce partitions (default: workers)",
+        apply: |b, raw, src| Ok(b.num_reducers(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_FIXED_CAPACITY",
+        cli: "fixed-capacity",
+        value: "N",
+        help: "capacity for fixed-size containers (default: job key space)",
+        apply: |b, raw, src| Ok(b.fixed_capacity(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_PUSH_SPINS",
+        cli: "push-spins",
+        value: "N",
+        help: "spins before a mapper sleeps on a full queue",
+        apply: |mut b, raw, src| {
+            let (_, sleep) = spin_sleep_halves(b.config.push_backoff);
+            b.config.push_backoff = PushBackoff::SpinThenSleep { spins: knob(raw, src)?, sleep };
+            Ok(b)
+        },
+    },
+    EnvKnob {
+        env: "RAMR_PUSH_SLEEP_US",
+        cli: "push-sleep-us",
+        value: "US",
+        help: "sleep between full-queue retries, in microseconds",
+        apply: |mut b, raw, src| {
+            let (spins, _) = spin_sleep_halves(b.config.push_backoff);
+            b.config.push_backoff =
+                PushBackoff::SpinThenSleep { spins, sleep: Duration::from_micros(knob(raw, src)?) };
+            Ok(b)
+        },
+    },
+    EnvKnob {
+        env: "RAMR_PIN_THREADS",
+        cli: "pin",
+        value: "0|1",
+        help: "actually invoke sched_setaffinity (plan is computed either way)",
+        apply: |b, raw, src| Ok(b.pin_os_threads(knob_bool(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_TELEMETRY",
+        cli: "telemetry",
+        value: "0|1",
+        help: "per-thread wall-clock telemetry (on by default)",
+        apply: |b, raw, src| Ok(b.telemetry(knob_bool(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_ADAPTIVE",
+        cli: "adaptive",
+        value: "0|1",
+        help: "online adaptive controller (requires telemetry)",
+        apply: |b, raw, src| Ok(b.adaptive(knob_bool(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_ADAPT_INTERVAL_MS",
+        cli: "adapt-interval-ms",
+        value: "MS",
+        help: "adaptive controller sampling period, in milliseconds",
+        apply: |b, raw, src| Ok(b.adapt_interval(Duration::from_millis(knob(raw, src)?))),
+    },
+    EnvKnob {
+        env: "RAMR_TASK_RETRIES",
+        cli: "task-retries",
+        value: "N",
+        help: "re-executions of a panicked map task (0 = fail-fast)",
+        apply: |b, raw, src| Ok(b.max_task_retries(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_SKIP_POISON_TASKS",
+        cli: "skip-poison",
+        value: "0|1",
+        help: "skip tasks whose retries are exhausted instead of aborting",
+        apply: |b, raw, src| Ok(b.skip_poison_tasks(knob_bool(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_WATCHDOG_MS",
+        cli: "watchdog-ms",
+        value: "MS",
+        help: "stall watchdog period, in milliseconds (unset = off)",
+        apply: |b, raw, src| Ok(b.watchdog(Duration::from_millis(knob(raw, src)?))),
+    },
+];
 
 #[cfg(test)]
 mod tests {
@@ -840,6 +978,62 @@ mod tests {
         let err = RuntimeConfig::from_env().unwrap_err();
         std::env::remove_var("RAMR_TASK_RETRIES");
         assert!(err.to_string().contains("RAMR_TASK_RETRIES"), "{err}");
+    }
+
+    #[test]
+    fn knob_table_names_are_unique_and_well_formed() {
+        let mut envs = std::collections::HashSet::new();
+        let mut clis = std::collections::HashSet::new();
+        for k in ENV_KNOBS {
+            assert!(k.env.starts_with("RAMR_"), "{} must be namespaced", k.env);
+            assert!(!k.cli.starts_with('-'), "cli name {} is flag-prefixed", k.cli);
+            assert!(!k.help.is_empty() && !k.value.is_empty(), "{} lacks help text", k.env);
+            assert!(envs.insert(k.env), "duplicate env var {}", k.env);
+            assert!(clis.insert(k.cli), "duplicate cli flag {}", k.cli);
+        }
+    }
+
+    fn by_cli(cli: &str) -> &'static EnvKnob {
+        ENV_KNOBS.iter().find(|k| k.cli == cli).expect("knob exists")
+    }
+
+    #[test]
+    fn push_backoff_halves_compose_in_either_order() {
+        // The two halves of sleep-on-failed-push are separate knobs; applying
+        // either alone keeps the paper's default for the other, and applying
+        // both composes regardless of order.
+        for (first, second) in [("push-spins", "push-sleep-us"), ("push-sleep-us", "push-spins")] {
+            let mut b = RuntimeConfig::builder();
+            let raw = |cli: &str| if cli == "push-spins" { "17" } else { "250" };
+            b = (by_cli(first).apply)(b, raw(first), first).unwrap();
+            b = (by_cli(second).apply)(b, raw(second), second).unwrap();
+            let c = b.build().unwrap();
+            assert_eq!(
+                c.push_backoff,
+                PushBackoff::SpinThenSleep { spins: 17, sleep: Duration::from_micros(250) },
+                "order {first} then {second}"
+            );
+        }
+    }
+
+    #[test]
+    fn knob_apply_reports_its_source() {
+        let err =
+            (by_cli("workers").apply)(RuntimeConfig::builder(), "many", "--workers").unwrap_err();
+        assert!(err.to_string().contains("--workers=many"), "{err}");
+    }
+
+    #[test]
+    fn every_knob_applies_a_parseable_value() {
+        for k in ENV_KNOBS {
+            let raw = match k.value {
+                "N" | "MS" | "US" => "3",
+                "0|1" => "1",
+                v => v.split('|').next().unwrap(),
+            };
+            (k.apply)(RuntimeConfig::builder(), raw, k.env)
+                .unwrap_or_else(|e| panic!("{} rejected sample value {raw}: {e}", k.env));
+        }
     }
 
     #[test]

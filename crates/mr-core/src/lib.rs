@@ -57,7 +57,8 @@ mod split;
 mod stats;
 
 pub use config::{
-    ContainerKind, PinningPolicyKind, PushBackoff, RuntimeConfig, RuntimeConfigBuilder,
+    ContainerKind, EnvKnob, PinningPolicyKind, PushBackoff, RuntimeConfig, RuntimeConfigBuilder,
+    ENV_KNOBS,
 };
 pub use error::RuntimeError;
 pub use job::{Emitter, MapReduceJob, MrKey, MrValue};

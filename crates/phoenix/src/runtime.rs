@@ -54,6 +54,11 @@ impl PhoenixReport {
 /// validated but have no effect here — there are no mapper→combiner queues
 /// to tune.
 ///
+/// **Soft-deprecated as a direct entry point**: new code should dispatch
+/// through `ramr::Backend::Phoenix.engine(cfg)` so the same call sites
+/// cover every backend; this type remains as the per-run shim behind it
+/// (see DESIGN.md §6e for the migration table).
+///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct PhoenixRuntime {

@@ -410,6 +410,26 @@ impl<T: Send> Producer<T> {
         self.inner.tail.load(Ordering::Relaxed) as u64
     }
 
+    /// Marks the queue closed **without** giving up the producer handle —
+    /// the reusable form of the end-of-stream signal that dropping the
+    /// producer sends.
+    ///
+    /// A persistent executor that keeps its pipelines across jobs calls
+    /// this at the end of each job's map phase; the consumer side observes
+    /// `closed` exactly as if the producer had been dropped, and a later
+    /// [`Consumer::reopen`] re-arms the same queue for the next job.
+    /// Idempotent; elements must not be pushed again until the queue has
+    /// been reopened.
+    pub fn finish(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether this producer has marked the queue closed (via
+    /// [`finish`](Self::finish) — a dropped producer cannot be asked).
+    pub fn is_finished(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
     /// Returns `(tail, free)` where `free` is the run of writable slots
     /// starting at `tail`. Refreshes the cached head cursor whenever the
     /// *apparent* free space cannot satisfy `wanted` — not only when the
@@ -560,13 +580,36 @@ impl<T: Send> Consumer<T> {
         true
     }
 
-    /// Whether the producer has been dropped.
+    /// Whether the producer has been dropped or has called
+    /// [`Producer::finish`].
     ///
     /// A `true` result combined with a subsequent empty pop means no element
-    /// will ever arrive again (consumers must re-check emptiness *after*
-    /// observing `is_closed` to avoid racing the producer's final pushes).
+    /// will ever arrive again *this job* (consumers must re-check emptiness
+    /// *after* observing `is_closed` to avoid racing the producer's final
+    /// pushes).
     pub fn is_closed(&self) -> bool {
         self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Re-arms a queue that was closed with [`Producer::finish`] so the same
+    /// allocation serves the next job — the "reset, not realloc" half of
+    /// queue reuse in a persistent session.
+    ///
+    /// The ring indices are monotonic and never reset; reopening only clears
+    /// the end-of-stream flag.
+    ///
+    /// # Contract
+    ///
+    /// Callers must guarantee the producer thread is **quiescent** (parked
+    /// between jobs, not pushing and not about to call `finish` for the
+    /// previous job) when this runs, and must publish the reopen to the
+    /// producer with an external happens-before edge (the session's epoch
+    /// barrier) before the producer pushes again. Calling this while the
+    /// producer half has been *dropped* would resurrect a queue whose
+    /// producer can never close it again; sessions keep their producers
+    /// alive precisely so this cannot happen.
+    pub fn reopen(&mut self) {
+        self.inner.closed.store(false, Ordering::Release);
     }
 
     /// Monotonic count of elements ever consumed from the queue — the
@@ -1032,6 +1075,55 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn finish_closes_without_consuming_the_producer() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        tx.try_push(1).unwrap();
+        assert!(!tx.is_finished());
+        tx.finish();
+        tx.finish(); // idempotent
+        assert!(tx.is_finished());
+        assert!(rx.is_closed(), "finish must look like a producer drop to the consumer");
+        assert_eq!(rx.try_pop(), Some(1), "buffered elements survive finish");
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn reopen_rearms_a_finished_queue_for_the_next_job() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(3).split();
+        // Several back-to-back "jobs" through one queue, wrapping the ring.
+        for job in 0..5u32 {
+            for i in 0..3 {
+                tx.try_push(job * 3 + i).unwrap();
+            }
+            tx.finish();
+            let mut seen = Vec::new();
+            while !(rx.is_closed() && rx.is_empty()) {
+                rx.pop_batch(8, |v| seen.push(v));
+            }
+            rx.pop_batch(8, |v| seen.push(v));
+            assert_eq!(seen, (job * 3..job * 3 + 3).collect::<Vec<_>>());
+            rx.reopen();
+            assert!(!rx.is_closed());
+            assert!(!tx.is_finished());
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_monotonic_progress_counters() {
+        let (mut tx, mut rx) = SpscQueue::with_capacity(4).split();
+        for round in 1..=3u64 {
+            for i in 0..4u32 {
+                tx.try_push(i).unwrap();
+            }
+            tx.finish();
+            assert_eq!(rx.pop_batch(8, |_| {}), 4);
+            rx.reopen();
+            assert_eq!(tx.pushed(), round * 4, "indices must not reset across reopen");
+            assert_eq!(rx.popped(), round * 4);
+        }
     }
 
     #[test]

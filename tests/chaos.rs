@@ -16,8 +16,7 @@ use std::time::Duration;
 
 use mr_apps::WordCount;
 use mr_core::{ContainerKind, MapReduceJob, RuntimeConfig, RuntimeError};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine, RamrRuntime};
 use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
 
 /// Lines per task; the fingerprint function divides by this, so keep the
@@ -92,46 +91,45 @@ fn with_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 's
     }
 }
 
-/// The engines the matrix drives; phoenix has no adaptive path.
-const ENGINES: &[(&str, bool)] = &[("ramr", false), ("ramr-adaptive", true), ("phoenix", false)];
+/// Whether `config` should arm the fast controller interval for a backend.
+fn is_adaptive(backend: Backend) -> bool {
+    backend == Backend::RamrAdaptive
+}
 
 fn run_engine(
-    engine: &str,
+    backend: Backend,
     cfg: &RuntimeConfig,
     job: &FaultyJob<WordCount>,
     input: &[String],
 ) -> Result<(Vec<(String, u64)>, ramr_telemetry::FaultMetrics), RuntimeError> {
-    if engine == "phoenix" {
-        let (out, report) = PhoenixRuntime::new(cfg.clone())?.run_with_report(job, input)?;
-        Ok((out.pairs, report.faults))
-    } else {
-        let (out, report) = RamrRuntime::new(cfg.clone())?.run_with_report(job, input)?;
-        Ok((out.pairs, report.faults))
-    }
+    let (out, report) = backend.engine(cfg.clone())?.run_job_reported(job, input)?;
+    Ok((out.pairs, report.faults))
 }
 
 #[test]
 fn transient_faults_recover_with_exact_output_across_engines() {
-    for &(engine, adaptive) in ENGINES {
+    for backend in Backend::ALL {
+        let adaptive = is_adaptive(backend);
         let (pairs, faults, attempts) = with_deadline(60, move || {
             let input = lines();
             let plan =
                 FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: 2 }]);
             let job = faulty(plan);
             let cfg = config(2, false, None, adaptive);
-            let (pairs, faults) = run_engine(engine, &cfg, &job, &input).unwrap();
+            let (pairs, faults) = run_engine(backend, &cfg, &job, &input).unwrap();
             (pairs, faults, job.attempts_for(3))
         });
-        assert_eq!(pairs, reference(&lines(), &[]), "{engine}: retried output must be exact");
-        assert_eq!(attempts, 3, "{engine}: two failures then one success");
-        assert_eq!(faults.retries, 2, "{engine}");
-        assert!(faults.skipped.is_empty(), "{engine}");
+        assert_eq!(pairs, reference(&lines(), &[]), "{backend}: retried output must be exact");
+        assert_eq!(attempts, 3, "{backend}: two failures then one success");
+        assert_eq!(faults.retries, 2, "{backend}");
+        assert!(faults.skipped.is_empty(), "{backend}");
     }
 }
 
 #[test]
 fn exhausted_retries_abort_with_the_injected_panic_across_engines() {
-    for &(engine, adaptive) in ENGINES {
+    for backend in Backend::ALL {
+        let adaptive = is_adaptive(backend);
         let err = with_deadline(60, move || {
             let input = lines();
             let plan = FaultPlan::with_faults(vec![FaultKind::PanicOnTask {
@@ -139,18 +137,19 @@ fn exhausted_retries_abort_with_the_injected_panic_across_engines() {
                 fail_attempts: u32::MAX,
             }]);
             let cfg = config(1, false, None, adaptive);
-            run_engine(engine, &cfg, &faulty(plan), &input).unwrap_err()
+            run_engine(backend, &cfg, &faulty(plan), &input).unwrap_err()
         });
         assert!(
             matches!(err, RuntimeError::WorkerPanic(ref m) if m.contains("injected fault")),
-            "{engine}: got {err}"
+            "{backend}: got {err}"
         );
     }
 }
 
 #[test]
 fn skip_poison_completes_with_the_poison_task_recorded_across_engines() {
-    for &(engine, adaptive) in ENGINES {
+    for backend in Backend::ALL {
+        let adaptive = is_adaptive(backend);
         let (pairs, faults) = with_deadline(60, move || {
             let input = lines();
             let plan = FaultPlan::with_faults(vec![FaultKind::PanicOnTask {
@@ -158,15 +157,15 @@ fn skip_poison_completes_with_the_poison_task_recorded_across_engines() {
                 fail_attempts: u32::MAX,
             }]);
             let cfg = config(1, true, None, adaptive);
-            run_engine(engine, &cfg, &faulty(plan), &input).unwrap()
+            run_engine(backend, &cfg, &faulty(plan), &input).unwrap()
         });
-        assert_eq!(pairs, reference(&lines(), &[3]), "{engine}: exactly one task dropped");
-        assert_eq!(faults.skipped.len(), 1, "{engine}");
+        assert_eq!(pairs, reference(&lines(), &[3]), "{backend}: exactly one task dropped");
+        assert_eq!(faults.skipped.len(), 1, "{backend}");
         let skip = &faults.skipped[0];
-        assert_eq!((skip.start, skip.end), (3 * TASK, 4 * TASK), "{engine}");
-        assert_eq!(skip.attempts, 2, "{engine}: initial attempt + one retry");
-        assert!(skip.message.contains("injected fault"), "{engine}: {}", skip.message);
-        assert!(faults.summary().unwrap().contains("skipped"), "{engine}");
+        assert_eq!((skip.start, skip.end), (3 * TASK, 4 * TASK), "{backend}");
+        assert_eq!(skip.attempts, 2, "{backend}: initial attempt + one retry");
+        assert!(skip.message.contains("injected fault"), "{backend}: {}", skip.message);
+        assert!(faults.summary().unwrap().contains("skipped"), "{backend}");
     }
 }
 
@@ -216,16 +215,17 @@ fn seeded_chaos_plans_replay_to_the_exact_output_across_engines() {
     for seed in [11u64, 97, 2026] {
         let plan = FaultPlan::seeded_panics(seed, tasks, 4);
         assert_eq!(plan.faults(), FaultPlan::seeded_panics(seed, tasks, 4).faults());
-        for &(engine, adaptive) in ENGINES {
+        for backend in Backend::ALL {
+            let adaptive = is_adaptive(backend);
             let plan = plan.clone();
             let (pairs, faults) = with_deadline(120, move || {
                 let input = lines();
                 let cfg = config(3, false, Some(5_000), adaptive);
-                run_engine(engine, &cfg, &faulty(plan), &input).unwrap()
+                run_engine(backend, &cfg, &faulty(plan), &input).unwrap()
             });
-            assert_eq!(pairs, reference(&lines(), &[]), "{engine} seed={seed}");
-            assert!(faults.retries >= 1, "{engine} seed={seed}: plans always hold faults");
-            assert!(faults.skipped.is_empty(), "{engine} seed={seed}");
+            assert_eq!(pairs, reference(&lines(), &[]), "{backend} seed={seed}");
+            assert!(faults.retries >= 1, "{backend} seed={seed}: plans always hold faults");
+            assert!(faults.skipped.is_empty(), "{backend} seed={seed}");
         }
     }
 }
@@ -246,19 +246,16 @@ fn non_retry_safe_jobs_fail_fast_regardless_of_budget() {
         }
     }
 
-    for &(engine, adaptive) in ENGINES {
+    for backend in Backend::ALL {
+        let adaptive = is_adaptive(backend);
         let err = with_deadline(60, move || {
             let input = lines();
             let plan =
                 FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: 1 }]);
             let job = FaultyJob::new(Undeclared, plan, ordinal_of);
             let cfg = config(5, true, None, adaptive);
-            if engine == "phoenix" {
-                PhoenixRuntime::new(cfg).unwrap().run(&job, &input).unwrap_err()
-            } else {
-                RamrRuntime::new(cfg).unwrap().run(&job, &input).unwrap_err()
-            }
+            backend.engine(cfg).unwrap().run_job(&job, &input).unwrap_err()
         });
-        assert!(matches!(err, RuntimeError::WorkerPanic(_)), "{engine}: got {err}");
+        assert!(matches!(err, RuntimeError::WorkerPanic(_)), "{backend}: got {err}");
     }
 }

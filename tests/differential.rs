@@ -16,8 +16,7 @@ use mr_apps::{
     WordCount,
 };
 use mr_core::{JobOutput, MapReduceJob, MrKey, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine, RamrRuntime};
 
 const SCALE: u64 = 20_000;
 
@@ -43,8 +42,8 @@ type BothOutputs<J> = (
 );
 
 fn run_both<J: MapReduceJob>(job: &J, input: &[J::Input], config: RuntimeConfig) -> BothOutputs<J> {
-    let ramr = RamrRuntime::new(config.clone()).unwrap().run(job, input).unwrap();
-    let phoenix = PhoenixRuntime::new(config).unwrap().run(job, input).unwrap();
+    let ramr = Backend::RamrStatic.engine(config.clone()).unwrap().run_job(job, input).unwrap();
+    let phoenix = Backend::Phoenix.engine(config).unwrap().run_job(job, input).unwrap();
     (ramr, phoenix)
 }
 
@@ -159,6 +158,85 @@ fn emit_buffer_sweep_agrees_with_baseline_and_element_wise() {
         let (ramr, phoenix) = run_both(&WordCount, &input, cfg);
         assert_eq!(ramr.pairs, phoenix.pairs, "emit_buffer_size={emit} vs phoenix");
         assert_eq!(ramr.pairs, element_wise.pairs, "emit_buffer_size={emit} vs element-wise");
+    }
+}
+
+#[test]
+fn pooled_sessions_match_fresh_runs_on_every_backend() {
+    // The acceptance bar for persistent sessions: a stream of submits
+    // through one pooled session produces results identical to fresh
+    // per-job engines — same output pairs, same conservation counts, same
+    // (clean) fault metrics — for all three backends, on every job of the
+    // stream. Raw telemetry timings are scheduler-dependent and excluded.
+    let input = wc_input(&spec(AppKind::WordCount), SCALE);
+    for backend in Backend::ALL {
+        let cfg = config(AppKind::WordCount);
+        let mut session = backend.session::<WordCount>(cfg.clone()).unwrap();
+        for round in 0..4 {
+            let fresh_engine = backend.engine(cfg.clone()).unwrap();
+            let (fresh, fresh_report) = fresh_engine.run_job_reported(&WordCount, &input).unwrap();
+            let (pooled, pooled_report) = session.submit_with_report(&WordCount, &input).unwrap();
+            assert_eq!(pooled.pairs, fresh.pairs, "{backend} round {round}: output differs");
+            assert_eq!(
+                pooled.stats.emitted, fresh.stats.emitted,
+                "{backend} round {round}: emission counts differ"
+            );
+            assert_eq!(
+                pooled_report.consumed, fresh_report.consumed,
+                "{backend} round {round}: consumption differs"
+            );
+            assert_eq!(
+                pooled_report.faults, fresh_report.faults,
+                "{backend} round {round}: fault metrics differ"
+            );
+            assert_eq!(pooled_report.backend, backend);
+        }
+    }
+}
+
+#[test]
+fn pooled_sessions_match_fresh_runs_under_faults() {
+    // Same identity under active fault tolerance: a poison task is skipped,
+    // and the recorded fault metrics (retries, skipped task identity) are
+    // identical between the pooled session and a fresh engine, backend by
+    // backend — the "including reports/faults" half of the acceptance bar.
+    use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
+    let task = 32usize;
+    let input: Vec<String> =
+        (0..400).map(|i| format!("t{i} alpha beta w{} v{}", i % 7, i % 13)).collect();
+    #[allow(clippy::ptr_arg)]
+    fn ordinal_of(line: &String) -> u64 {
+        let token = line.split_ascii_whitespace().next().expect("nonempty line");
+        token[1..].parse::<u64>().expect("t<index> token") / 32
+    }
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(task)
+        .queue_capacity(256)
+        .batch_size(16)
+        .container(mr_core::ContainerKind::Hash)
+        .max_task_retries(1)
+        .skip_poison_tasks(true)
+        .build()
+        .unwrap();
+    let plan =
+        || FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: u32::MAX }]);
+    for backend in Backend::ALL {
+        let mut session = backend.session::<FaultyJob<mr_apps::WordCount>>(cfg.clone()).unwrap();
+        for round in 0..2 {
+            let fresh_job = FaultyJob::new(mr_apps::WordCount, plan(), ordinal_of);
+            let (fresh, fresh_report) =
+                backend.engine(cfg.clone()).unwrap().run_job_reported(&fresh_job, &input).unwrap();
+            let pooled_job = FaultyJob::new(mr_apps::WordCount, plan(), ordinal_of);
+            let (pooled, pooled_report) = session.submit_with_report(&pooled_job, &input).unwrap();
+            assert_eq!(pooled.pairs, fresh.pairs, "{backend} round {round}");
+            assert_eq!(
+                pooled_report.faults, fresh_report.faults,
+                "{backend} round {round}: fault records differ"
+            );
+            assert_eq!(pooled_report.faults.skipped.len(), 1, "{backend} round {round}");
+        }
     }
 }
 

@@ -78,6 +78,39 @@ fn tuning_cookbook_matches_config_from_env() {
 }
 
 #[test]
+fn knob_table_is_the_single_source_for_env_names() {
+    // `mr_core::ENV_KNOBS` is the one table every surface parses through.
+    // The token scan of config.rs (table rows plus the `from_env` doc
+    // comment) must yield exactly the table's env names — an env var
+    // mentioned in config.rs but absent from the table (or vice versa)
+    // means a knob exists on one surface only.
+    let table: BTreeSet<String> =
+        mr_core::ENV_KNOBS.iter().map(|knob| knob.env.to_string()).collect();
+    let scanned = ramr_env_tokens(&read("crates/mr-core/src/config.rs"));
+    assert_eq!(
+        scanned, table,
+        "config.rs mentions env vars that differ from the ENV_KNOBS table — \
+         every knob must live in the table, and only there"
+    );
+}
+
+#[test]
+fn cli_help_lists_every_knob_flag() {
+    // The CLI accepts `--<cli>` for every table row (main.rs builds its
+    // flag list from ENV_KNOBS), so the help text must advertise each one.
+    let commands = read("crates/cli/src/commands.rs");
+    for knob in mr_core::ENV_KNOBS {
+        let flag = format!("--{}", knob.cli);
+        assert!(
+            commands.contains(&flag),
+            "CLI help in crates/cli/src/commands.rs does not mention {flag} \
+             (the flag for {}); add it to the `run` usage block",
+            knob.env
+        );
+    }
+}
+
+#[test]
 fn readme_links_the_tuning_cookbook() {
     assert!(
         read("README.md").contains("TUNING.md"),

@@ -1,0 +1,179 @@
+//! Session-reuse suite: persistent worker pools must behave, job after
+//! job, exactly like freshly spawned ones.
+//!
+//! The hazards specific to pooling are state bleed (telemetry, fault
+//! records, adaptive role assignments surviving into the next job) and
+//! wedged pools (a failed job leaving a worker parked in a bad state).
+//! Each test drives a `RamrSession` through a stream of jobs and checks
+//! one of those hazards with exact assertions.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use mr_apps::WordCount;
+use mr_core::{ContainerKind, RuntimeConfig};
+use ramr::{Backend, RamrSession};
+use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
+use ramr_telemetry::FaultMetrics;
+
+/// Lines per task; the fault fingerprint divides by this.
+const TASK: usize = 32;
+
+fn lines(n: usize, salt: usize) -> Vec<String> {
+    (0..n).map(|i| format!("t{i} alpha beta w{} v{}", (i + salt) % 7, (i + salt) % 13)).collect()
+}
+
+/// Word counts of `input` with the tasks in `dropped` (by ordinal)
+/// removed — the exact expected output of a (skip-poison) run.
+fn reference(input: &[String], dropped: &[u64]) -> Vec<(String, u64)> {
+    let mut counts = BTreeMap::new();
+    for (i, line) in input.iter().enumerate() {
+        if dropped.contains(&((i / TASK) as u64)) {
+            continue;
+        }
+        for word in line.split_ascii_whitespace() {
+            *counts.entry(word.to_ascii_lowercase()).or_insert(0u64) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Task ordinal of a line: the leading `t<index>` token over [`TASK`].
+#[allow(clippy::ptr_arg)]
+fn ordinal_of(line: &String) -> u64 {
+    let token = line.split_ascii_whitespace().next().expect("nonempty line");
+    let index: u64 = token[1..].parse().expect("t<index> token");
+    index / TASK as u64
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(TASK)
+        .queue_capacity(256)
+        .batch_size(16)
+        .container(ContainerKind::Hash)
+        .telemetry(true)
+        .build()
+        .unwrap()
+}
+
+fn poison(key: u64) -> FaultPlan {
+    FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key, fail_attempts: u32::MAX }])
+}
+
+#[test]
+fn twenty_job_stream_is_exact_on_static_pools() {
+    let mut session = RamrSession::<WordCount>::new(config()).unwrap();
+    for round in 0..20 {
+        let input = lines(200 + round * 8, round);
+        let output = session.submit(&WordCount, &input).unwrap();
+        assert_eq!(output.pairs, reference(&input, &[]), "round {round}");
+    }
+    assert_eq!(session.jobs_run(), 20);
+}
+
+#[test]
+fn fault_records_do_not_bleed_into_the_next_job() {
+    // Job 1 skips a poison task and records it; job 2 is healthy. A pooled
+    // session must report job 2 with *empty* fault metrics and telemetry
+    // that accounts for job 2's items alone — nothing carried over.
+    let mut cfg = config();
+    cfg.max_task_retries = 1;
+    cfg.skip_poison_tasks = true;
+    let mut session = RamrSession::<FaultyJob<WordCount>>::new(cfg).unwrap();
+
+    let input = lines(400, 0);
+    let faulty = FaultyJob::new(WordCount, poison(3), ordinal_of);
+    let (out, report) = session.submit_with_report(&faulty, &input).unwrap();
+    assert_eq!(out.pairs, reference(&input, &[3]));
+    assert_eq!(report.faults.skipped.len(), 1, "job 1 must record its poison task");
+    assert!(report.faults.retries > 0, "job 1 must record its retries");
+
+    let healthy = FaultyJob::new(WordCount, FaultPlan::default(), ordinal_of);
+    let (out, report) = session.submit_with_report(&healthy, &input).unwrap();
+    assert_eq!(out.pairs, reference(&input, &[]));
+    assert_eq!(report.faults, FaultMetrics::default(), "job 1 faults leaked into job 2");
+    let mapped: u64 = report.mapper_telemetry.iter().map(|t| t.items).sum();
+    assert_eq!(mapped, out.stats.emitted, "job 2 telemetry must count job 2's items alone");
+}
+
+#[test]
+fn a_failed_job_leaves_the_session_usable() {
+    // Without skip-poison the poisoned job aborts with the worker panic;
+    // the pools must come back parked and healthy, and the next submit
+    // must produce the exact output. Exercised on both RAMR backends.
+    for backend in [Backend::RamrStatic, Backend::RamrAdaptive] {
+        let mut cfg = config();
+        cfg.max_task_retries = 1;
+        cfg.skip_poison_tasks = false;
+        if backend == Backend::RamrAdaptive {
+            cfg.adaptive = true;
+            cfg.adapt_interval = Duration::from_millis(2);
+        }
+        let mut session = RamrSession::<FaultyJob<WordCount>>::new(cfg).unwrap();
+        let input = lines(400, 1);
+        for round in 0..2 {
+            let faulty = FaultyJob::new(WordCount, poison(3), ordinal_of);
+            let err = session.submit(&faulty, &input).unwrap_err();
+            assert!(
+                err.to_string().contains("panic"),
+                "{backend} round {round}: expected the injected panic, got {err}"
+            );
+            let healthy = FaultyJob::new(WordCount, FaultPlan::default(), ordinal_of);
+            let output = session.submit(&healthy, &input).unwrap();
+            assert_eq!(output.pairs, reference(&input, &[]), "{backend} round {round}");
+        }
+    }
+}
+
+#[test]
+fn a_skipped_poison_job_leaves_the_session_usable() {
+    // The skip-poison path exercises different machinery (the task is
+    // dropped, the run succeeds) — alternate poisoned and healthy jobs
+    // and require exact outputs for both throughout.
+    let mut cfg = config();
+    cfg.max_task_retries = 1;
+    cfg.skip_poison_tasks = true;
+    let mut session = RamrSession::<FaultyJob<WordCount>>::new(cfg).unwrap();
+    let input = lines(400, 2);
+    for round in 0..3 {
+        let faulty = FaultyJob::new(WordCount, poison(round as u64 % 4), ordinal_of);
+        let output = session.submit(&faulty, &input).unwrap();
+        assert_eq!(output.pairs, reference(&input, &[round as u64 % 4]), "round {round}");
+        let healthy = FaultyJob::new(WordCount, FaultPlan::default(), ordinal_of);
+        let output = session.submit(&healthy, &input).unwrap();
+        assert_eq!(output.pairs, reference(&input, &[]), "round {round}");
+    }
+}
+
+#[test]
+fn adaptive_role_changes_do_not_leak_into_the_next_job() {
+    // The controller may flip flex threads between mapping and combining
+    // mid-job. Every job must nevertheless *start* from the configured
+    // split: if a job records adaptation events, the first one must be a
+    // single step away from `num_combiners`, not wherever the previous
+    // job ended up.
+    let mut cfg = config();
+    cfg.adaptive = true;
+    cfg.adapt_interval = Duration::from_micros(200);
+    let configured = cfg.num_combiners;
+    let mut session = RamrSession::<WordCount>::new(cfg).unwrap();
+    let input = lines(4_000, 3);
+    let expected = reference(&input, &[]);
+    for round in 0..6 {
+        let (output, report) = session.submit_with_report(&WordCount, &input).unwrap();
+        assert_eq!(output.pairs, expected, "round {round}");
+        if let Some(first) = report.adaptation.first() {
+            let step = (first.active_combiners as i64 - configured as i64).unsigned_abs();
+            assert!(
+                step <= 1,
+                "round {round}: first adaptation moved to {} combiners; a fresh job \
+                 must start from the configured {configured}",
+                first.active_combiners
+            );
+        }
+    }
+    assert_eq!(session.jobs_run(), 6);
+}
