@@ -93,13 +93,16 @@ impl Backend {
 
     /// Builds the engine for this backend, normalizing `config` so the
     /// backend choice always wins: `RamrStatic` clears
-    /// [`RuntimeConfig::adaptive`], `RamrAdaptive` sets it (and turns on
-    /// the telemetry the controller samples), `Phoenix` ignores it.
+    /// [`RuntimeConfig::adaptive`], `RamrAdaptive` sets it, `Phoenix`
+    /// ignores it.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] when the normalized
-    /// configuration fails validation.
+    /// configuration fails validation — including `RamrAdaptive` with
+    /// telemetry explicitly disabled, which is rejected ("adaptive mode
+    /// requires telemetry") exactly as the direct `RamrRuntime` path
+    /// rejects it, never silently overridden.
     pub fn engine(self, mut config: RuntimeConfig) -> Result<AnyEngine, RuntimeError> {
         match self {
             Backend::RamrStatic => {
@@ -108,7 +111,6 @@ impl Backend {
             }
             Backend::RamrAdaptive => {
                 config.adaptive = true;
-                config.telemetry = true;
                 Ok(AnyEngine { backend: self, inner: Inner::Ramr(RamrRuntime::new(config)?) })
             }
             Backend::Phoenix => {
@@ -134,7 +136,6 @@ impl Backend {
             }
             Backend::RamrAdaptive => {
                 config.adaptive = true;
-                config.telemetry = true;
                 Ok(EngineSession::Pooled(Box::new(RamrSession::new(config)?)))
             }
             Backend::Phoenix => {

@@ -298,7 +298,9 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] for inconsistent knob
-    /// settings and propagates placement failures.
+    /// settings, propagates placement failures, and returns
+    /// [`RuntimeError::Spawn`] when a worker thread cannot be spawned
+    /// (already-spawned workers are torn down first).
     pub fn new(config: RuntimeConfig) -> Result<Self, RuntimeError> {
         Self::with_machine(config, MachineModel::host())
     }
@@ -309,7 +311,9 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] for inconsistent knob
-    /// settings and propagates placement failures.
+    /// settings, propagates placement failures, and returns
+    /// [`RuntimeError::Spawn`] when a worker thread cannot be spawned
+    /// (already-spawned workers are torn down first).
     ///
     /// [`RamrRuntime::with_machine`]: crate::RamrRuntime::with_machine
     pub fn with_machine(
@@ -357,62 +361,80 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
         }
 
         let mut handles = Vec::with_capacity(config.num_workers + config.num_combiners);
+        // Adaptive mode: the coordinator keeps the read-ends and builds a
+        // fresh registry from them each epoch. Static mode: each combiner
+        // worker owns its group of read-ends, so the coordinator keeps none.
+        let mut held_consumers: Vec<PairConsumer<J>> = Vec::new();
         let spawn = |name: String, body: Box<dyn FnOnce() + Send>| {
             std::thread::Builder::new()
-                .name(name)
+                .name(name.clone())
                 .spawn(body)
-                .expect("failed to spawn session worker thread")
+                .map_err(|e| RuntimeError::Spawn(format!("{name}: {e}")))
         };
 
-        if config.adaptive {
-            for (m, tx) in producers.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let slot = plan.mapper_slot(m);
-                let home_group = group_of_mapper(m);
-                handles.push(spawn(
-                    format!("ramr-flex-{m}"),
-                    Box::new(move || flex_worker(shared, tx, m, home_group, slot)),
-                ));
+        let spawned = (|| -> Result<(), RuntimeError> {
+            if config.adaptive {
+                for (m, tx) in producers.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    let slot = plan.mapper_slot(m);
+                    let home_group = group_of_mapper(m);
+                    handles.push(spawn(
+                        format!("ramr-flex-{m}"),
+                        Box::new(move || flex_worker(shared, tx, m, home_group, slot)),
+                    )?);
+                }
+                for c in 0..config.num_combiners {
+                    let shared = Arc::clone(&shared);
+                    let slot = plan.combiner_slot(c);
+                    handles.push(spawn(
+                        format!("ramr-combiner-{c}"),
+                        Box::new(move || dedicated_combiner_worker(shared, c, slot)),
+                    )?);
+                }
+                held_consumers = consumers;
+            } else {
+                // Static assignment: group the read-ends per combiner via
+                // the placement plan, exactly as the per-run path does —
+                // each combiner worker then owns its group for the
+                // session's life.
+                let mut consumers_of: Vec<Vec<PairConsumer<J>>> =
+                    (0..config.num_combiners).map(|_| Vec::new()).collect();
+                for (m, rx) in consumers.into_iter().enumerate() {
+                    consumers_of[plan.combiner_of_mapper(m)].push(rx);
+                }
+                for (m, tx) in producers.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    let slot = plan.mapper_slot(m);
+                    let home_group = group_of_mapper(m);
+                    handles.push(spawn(
+                        format!("ramr-mapper-{m}"),
+                        Box::new(move || static_mapper_worker(shared, tx, m, home_group, slot)),
+                    )?);
+                }
+                for (c, group) in consumers_of.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    let slot = plan.combiner_slot(c);
+                    handles.push(spawn(
+                        format!("ramr-combiner-{c}"),
+                        Box::new(move || static_combiner_worker(shared, group, c, slot)),
+                    )?);
+                }
             }
-            for c in 0..config.num_combiners {
-                let shared = Arc::clone(&shared);
-                let slot = plan.combiner_slot(c);
-                handles.push(spawn(
-                    format!("ramr-combiner-{c}"),
-                    Box::new(move || dedicated_combiner_worker(shared, c, slot)),
-                ));
+            Ok(())
+        })();
+
+        if let Err(e) = spawned {
+            // A partial pool is useless and must not leak: the workers that
+            // did spawn are parked on the start condvar (no epoch was ever
+            // published), so the shutdown flag wakes and retires them.
+            relock(shared.state.lock()).shutdown = true;
+            shared.start.notify_all();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
             }
-            // The coordinator keeps the read-ends and builds a fresh
-            // registry from them each epoch.
-            Ok(Self { shared, handles, plan, machine, labels, consumers, jobs_run: 0 })
-        } else {
-            // Static assignment: group the read-ends per combiner via the
-            // placement plan, exactly as the per-run path does — each
-            // combiner worker then owns its group for the session's life.
-            let mut consumers_of: Vec<Vec<PairConsumer<J>>> =
-                (0..config.num_combiners).map(|_| Vec::new()).collect();
-            for (m, rx) in consumers.into_iter().enumerate() {
-                consumers_of[plan.combiner_of_mapper(m)].push(rx);
-            }
-            for (m, tx) in producers.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let slot = plan.mapper_slot(m);
-                let home_group = group_of_mapper(m);
-                handles.push(spawn(
-                    format!("ramr-mapper-{m}"),
-                    Box::new(move || static_mapper_worker(shared, tx, m, home_group, slot)),
-                ));
-            }
-            for (c, group) in consumers_of.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                let slot = plan.combiner_slot(c);
-                handles.push(spawn(
-                    format!("ramr-combiner-{c}"),
-                    Box::new(move || static_combiner_worker(shared, group, c, slot)),
-                ));
-            }
-            Ok(Self { shared, handles, plan, machine, labels, consumers: Vec::new(), jobs_run: 0 })
+            return Err(e);
         }
+        Ok(Self { shared, handles, plan, machine, labels, consumers: held_consumers, jobs_run: 0 })
     }
 
     /// The session's configuration.
@@ -655,9 +677,10 @@ impl<J: MapReduceJob + 'static> Drop for RamrSession<J> {
 // ---------------------------------------------------------------------------
 // The persistent worker bodies. Each is a thin epoch loop around the same
 // role functions the per-run paths use; the additions are (a) catch_unwind
-// so a panicking job cannot kill a pooled thread, (b) an unconditional
-// `finish` on the write-ends so end-of-stream is signalled even on unwind,
-// and (c) queue re-arming for the next epoch.
+// so a panicking job cannot kill a pooled thread, (b) a `finish` on the
+// write-ends when (and only when) the role loop unwound before its own
+// close, so end-of-stream is still signalled, and (c) queue re-arming for
+// the next epoch.
 // ---------------------------------------------------------------------------
 
 fn record_panic<J: MapReduceJob>(frame: &JobFrame<J>, panic: Box<dyn std::any::Any + Send>) {
@@ -707,10 +730,17 @@ fn static_mapper_worker<J: MapReduceJob>(
                 m,
             );
         }));
-        // Close the queue even on unwind: closed+empty is the combiners'
-        // end-of-map signal, and this thread must survive into the next
-        // epoch (its combiner reopens the queue before the epoch ends).
-        tx.finish();
+        // `mapper_loop` closes the queue itself on its success path, so
+        // finish here only when the job unwound before reaching that close
+        // (closed+empty is the combiner's end-of-map signal, and a mapper
+        // that never closes would wedge it). A redundant second finish
+        // would race this mapper's combiner, which drains and *reopens*
+        // the queue before signalling done — re-closing the re-armed queue
+        // makes the next epoch's combiner exit early on the stale flag and
+        // silently discard pairs.
+        if result.is_err() {
+            tx.finish();
+        }
         if let Err(panic) = result {
             record_panic(frame, panic);
         }
@@ -808,12 +838,18 @@ fn flex_worker<J: MapReduceJob>(
                 &ctx,
             )
         }));
-        // As on the static path: the close must happen even on unwind so
-        // the remaining combining threads can retire this pipeline.
-        tx.finish();
+        // As on the static path: `flex_loop` closes the queue on its
+        // success path, so close here only on unwind — the remaining
+        // combining threads watch for the close to retire this pipeline.
+        // (A phase-B unwind lands here with the queue already closed;
+        // `finish` is idempotent and the coordinator reopens only after
+        // the epoch fully ends, so the repeat cannot race a reopen.)
         match result {
             Ok(pairs) => push_partial(frame, pairs),
-            Err(panic) => record_panic(frame, panic),
+            Err(panic) => {
+                tx.finish();
+                record_panic(frame, panic);
+            }
         }
         shared.worker_done();
     }

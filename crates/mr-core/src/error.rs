@@ -23,6 +23,10 @@ pub enum RuntimeError {
     WorkerPanic(String),
     /// The placement plan could not be computed for the machine model.
     Placement(String),
+    /// A worker-pool thread could not be spawned (typically an OS resource
+    /// limit such as `EAGAIN`); any threads spawned before the failure
+    /// were torn down.
+    Spawn(String),
     /// The watchdog detected a wedged pipeline: no task-queue, SPSC or
     /// retry progress for the configured period while worker threads were
     /// still live, so the run was cancelled instead of hanging forever.
@@ -54,7 +58,8 @@ impl RuntimeError {
             RuntimeError::InvalidConfig(m)
             | RuntimeError::UnsupportedContainer(m)
             | RuntimeError::WorkerPanic(m)
-            | RuntimeError::Placement(m) => m.push_str(&note),
+            | RuntimeError::Placement(m)
+            | RuntimeError::Spawn(m) => m.push_str(&note),
             RuntimeError::ContainerOverflow { detail, .. } => detail.push_str(&note),
             RuntimeError::Stalled { diagnostics, .. } => diagnostics.push_str(&note),
         }
@@ -74,6 +79,7 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
             RuntimeError::Placement(msg) => write!(f, "cannot compute placement: {msg}"),
+            RuntimeError::Spawn(msg) => write!(f, "cannot spawn worker thread: {msg}"),
             RuntimeError::Stalled { phase, idle_ms, diagnostics } => {
                 write!(
                     f,
@@ -103,6 +109,9 @@ mod tests {
         assert!(e.to_string().contains("boom"));
         let e = RuntimeError::Placement("zero cpus".into());
         assert!(e.to_string().contains("placement"));
+        let e = RuntimeError::Spawn("ramr-mapper-3: EAGAIN".into());
+        assert!(e.to_string().contains("spawn"));
+        assert!(e.to_string().contains("ramr-mapper-3"));
         let e = RuntimeError::Stalled {
             phase: "map-combine".into(),
             idle_ms: 200,

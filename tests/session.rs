@@ -177,3 +177,54 @@ fn adaptive_role_changes_do_not_leak_into_the_next_job() {
     }
     assert_eq!(session.jobs_run(), 6);
 }
+
+#[test]
+fn rapid_static_epochs_never_lose_pairs_to_stale_queue_state() {
+    // Regression: the static mapper worker used to call `finish` a second
+    // time after `mapper_loop`'s own close. When its combiner had already
+    // observed closed+empty, drained and *reopened* the queue for the next
+    // epoch, the redundant close left a stale closed flag behind — and the
+    // next epoch's combiner could exit early and silently drop pairs.
+    // Tiny queues and a rapid stream of small jobs maximize the chance of
+    // hitting that window; every round must produce the exact output.
+    let cfg = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(8)
+        .queue_capacity(16)
+        .batch_size(4)
+        .container(ContainerKind::Hash)
+        .build()
+        .unwrap();
+    let mut session = RamrSession::<WordCount>::new(cfg).unwrap();
+    for round in 0..40 {
+        let input = lines(96, round);
+        let expected = reference(&input, &[]);
+        let output = session.submit(&WordCount, &input).unwrap();
+        assert_eq!(output.pairs, expected, "round {round}: pairs lost or duplicated");
+    }
+    assert_eq!(session.jobs_run(), 40);
+}
+
+#[test]
+fn adaptive_backend_rejects_disabled_telemetry_like_the_direct_path() {
+    // `Backend::RamrAdaptive` used to silently force `telemetry = true`,
+    // so an explicit opt-out was a no-op through the engine front door but
+    // an `InvalidConfig` through the direct `RamrRuntime` path. Both paths
+    // must now reject the contradiction with the same validation error.
+    let mut cfg = config();
+    cfg.telemetry = false;
+
+    let direct = {
+        let mut cfg = cfg.clone();
+        cfg.adaptive = true;
+        ramr::RamrRuntime::new(cfg).unwrap_err()
+    };
+    assert!(direct.to_string().contains("telemetry"), "direct path: {direct}");
+
+    let engine = Backend::RamrAdaptive.engine(cfg.clone()).unwrap_err();
+    assert_eq!(engine.to_string(), direct.to_string(), "engine path must match direct path");
+
+    let session = Backend::RamrAdaptive.session::<WordCount>(cfg).unwrap_err();
+    assert_eq!(session.to_string(), direct.to_string(), "session path must match direct path");
+}
