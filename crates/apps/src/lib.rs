@@ -39,7 +39,7 @@ pub use kmeans::{KmeansJob, KmeansState, Point, DIM};
 pub use linear_regression::{LinearRegression, LrPoint, LrStat};
 pub use matrix_multiply::{Matrix, MatrixMultiply, MmTask};
 pub use pca::{PcaCovJob, PcaMeanJob};
-pub use word_count::WordCount;
+pub use word_count::{WordCount, WordCountString};
 
 use mr_core::ContainerKind;
 

@@ -31,6 +31,7 @@ USAGE:
                 [--workers N] [--combiners N] [--task N] [--queue N]
                 [--batch N] [--emit-buffer N] [--reducers N]
                 [--fixed-capacity N] [--container array|hash|fixed-hash]
+                [--hasher fnv|fx]
                 [--pinning ramr|round-robin|os-default] [--pin 0|1]
                 [--push-spins N] [--push-sleep-us US] [--telemetry 0|1]
                 [--adaptive 0|1] [--adapt-interval-ms MS]

@@ -1,10 +1,10 @@
 //! Fixed-capacity open-addressing hash container.
 
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 use mr_core::RuntimeError;
 
-use crate::fnv::fnv1a_hash;
+use crate::fnv::FnvBuildHasher;
 
 /// A fixed-capacity open-addressing hash table: the "fixed-size hash
 /// container" the paper swaps into HG, KM, LR and WC to stress the combine
@@ -15,14 +15,20 @@ use crate::fnv::fnv1a_hash;
 /// [`HashContainer`](crate::HashContainer) it never reallocates — matching
 /// the paper's preference for static allocation — at the price of a hard
 /// capacity limit surfaced as [`RuntimeError::ContainerOverflow`].
+///
+/// As with [`HashContainer`](crate::HashContainer), the hash function is
+/// pluggable through `S: BuildHasher` (default: deterministic FNV-1a); the
+/// hash-once pipeline uses [`Passthrough`](crate::Passthrough) over
+/// [`Hashed`](crate::Hashed) keys.
 #[derive(Debug, Clone)]
-pub struct FixedHashContainer<K, V> {
+pub struct FixedHashContainer<K, V, S = FnvBuildHasher> {
     slots: Vec<Option<(K, V)>>,
     len: usize,
     mask: usize,
     /// Maximum distinct keys accepted (strictly below slot count so probing
     /// always terminates).
     max_keys: usize,
+    hasher: S,
 }
 
 impl<K: Eq + Hash, V> FixedHashContainer<K, V> {
@@ -35,12 +41,23 @@ impl<K: Eq + Hash, V> FixedHashContainer<K, V> {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_hasher(capacity, FnvBuildHasher)
+    }
+}
+
+impl<K: Eq + Hash, V, S: BuildHasher> FixedHashContainer<K, V, S> {
+    /// [`with_capacity`](Self::with_capacity) with a caller-chosen hasher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: S) -> Self {
         assert!(capacity > 0, "fixed hash capacity must be nonzero");
         let slots_needed = (capacity * 8).div_ceil(7) + 1;
         let cap = slots_needed.checked_next_power_of_two().expect("capacity overflow");
         let mut slots = Vec::new();
         slots.resize_with(cap, || None);
-        Self { slots, len: 0, mask: cap - 1, max_keys: capacity }
+        Self { slots, len: 0, mask: cap - 1, max_keys: capacity, hasher }
     }
 
     /// Folds `value` into the entry for `key`, inserting it when absent.
@@ -56,7 +73,25 @@ impl<K: Eq + Hash, V> FixedHashContainer<K, V> {
         value: V,
         combine: impl FnOnce(&mut V, V),
     ) -> Result<(), RuntimeError> {
-        let mut idx = (fnv1a_hash(&key) as usize) & self.mask;
+        let hash = self.hasher.hash_one(&key);
+        self.combine_insert_hashed(hash, key, value, combine)
+    }
+
+    /// [`combine_insert`](Self::combine_insert) with the key's hash computed
+    /// by the caller; `hash` must equal `self.hasher`'s hash of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`combine_insert`](Self::combine_insert).
+    pub fn combine_insert_hashed(
+        &mut self,
+        hash: u64,
+        key: K,
+        value: V,
+        combine: impl FnOnce(&mut V, V),
+    ) -> Result<(), RuntimeError> {
+        debug_assert_eq!(hash, self.hasher.hash_one(&key), "hash does not match this hasher");
+        let mut idx = (hash as usize) & self.mask;
         loop {
             match &mut self.slots[idx] {
                 Some((k, acc)) if *k == key => {
@@ -81,7 +116,7 @@ impl<K: Eq + Hash, V> FixedHashContainer<K, V> {
 
     /// Returns a reference to the value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<&V> {
-        let mut idx = (fnv1a_hash(key) as usize) & self.mask;
+        let mut idx = (self.hasher.hash_one(key) as usize) & self.mask;
         loop {
             match &self.slots[idx] {
                 Some((k, v)) if k == key => return Some(v),

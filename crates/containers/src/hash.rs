@@ -1,13 +1,23 @@
 //! Growable open-addressing hash container.
 
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
-use crate::fnv::fnv1a_hash;
+use crate::fnv::FnvBuildHasher;
 
 const INITIAL_CAPACITY: usize = 16;
 /// Grow when the load factor reaches 7/8.
 const LOAD_NUM: usize = 7;
 const LOAD_DEN: usize = 8;
+
+/// Slots needed so `capacity` keys fit strictly under the 7/8 load factor:
+/// over-allocate by 8/7 and round up to a power of two.
+fn slots_for(capacity: usize) -> usize {
+    (capacity.max(1) * LOAD_DEN)
+        .div_ceil(LOAD_NUM)
+        .max(2)
+        .checked_next_power_of_two()
+        .expect("capacity overflow")
+}
 
 /// A growable open-addressing (linear probing) hash table specialized for
 /// the combine-insert access pattern: insert-or-fold, no deletions, one
@@ -19,12 +29,19 @@ const LOAD_DEN: usize = 8;
 /// access pattern — exactly the extra memory intensity the paper injects.
 /// It is also Word Count's default container, "more suitable for storing an
 /// arbitrary set of keys".
+///
+/// The hash function is pluggable through the `S: BuildHasher` parameter
+/// (default: deterministic FNV-1a). The hash-once pipeline instantiates
+/// `HashContainer<Hashed<K>, V, Passthrough>` so probing and growth both
+/// reuse the hash carried from emission (see
+/// [`Passthrough`](crate::Passthrough)).
 #[derive(Debug, Clone)]
-pub struct HashContainer<K, V> {
+pub struct HashContainer<K, V, S = FnvBuildHasher> {
     slots: Vec<Option<(K, V)>>,
     len: usize,
     /// Mask for power-of-two capacity.
     mask: usize,
+    hasher: S,
 }
 
 impl<K: Eq + Hash, V> HashContainer<K, V> {
@@ -34,20 +51,52 @@ impl<K: Eq + Hash, V> HashContainer<K, V> {
     }
 
     /// Creates an empty container able to hold at least `capacity` keys
-    /// before the first growth.
+    /// before the first growth (the slot array is over-allocated by the
+    /// inverse load factor, so inserting exactly `capacity` distinct keys
+    /// never grows).
     pub fn with_capacity(capacity: usize) -> Self {
-        let cap = capacity.max(2).checked_next_power_of_two().expect("capacity overflow");
+        Self::with_capacity_and_hasher(capacity, FnvBuildHasher)
+    }
+}
+
+impl<K: Eq + Hash, V, S: BuildHasher> HashContainer<K, V, S> {
+    /// Creates an empty container using `hasher`, with the default initial
+    /// capacity.
+    pub fn with_hasher(hasher: S) -> Self {
+        Self::with_capacity_and_hasher(INITIAL_CAPACITY, hasher)
+    }
+
+    /// Creates an empty container using `hasher`, able to hold at least
+    /// `capacity` keys before the first growth.
+    pub fn with_capacity_and_hasher(capacity: usize, hasher: S) -> Self {
+        let cap = slots_for(capacity);
         let mut slots = Vec::new();
         slots.resize_with(cap, || None);
-        Self { slots, len: 0, mask: cap - 1 }
+        Self { slots, len: 0, mask: cap - 1, hasher }
     }
 
     /// Folds `value` into the entry for `key`, inserting it when absent.
     pub fn combine_insert(&mut self, key: K, value: V, combine: impl FnOnce(&mut V, V)) {
+        let hash = self.hasher.hash_one(&key);
+        self.combine_insert_hashed(hash, key, value, combine);
+    }
+
+    /// [`combine_insert`](Self::combine_insert) with the key's hash computed
+    /// by the caller. `hash` must equal `self.hasher`'s hash of `key` —
+    /// growth rehashes through the container's hasher, so a foreign hash
+    /// would strand the entry.
+    pub fn combine_insert_hashed(
+        &mut self,
+        hash: u64,
+        key: K,
+        value: V,
+        combine: impl FnOnce(&mut V, V),
+    ) {
+        debug_assert_eq!(hash, self.hasher.hash_one(&key), "hash does not match this hasher");
         if (self.len + 1) * LOAD_DEN > self.slots.len() * LOAD_NUM {
             self.grow();
         }
-        let mut idx = (fnv1a_hash(&key) as usize) & self.mask;
+        let mut idx = (hash as usize) & self.mask;
         loop {
             match &mut self.slots[idx] {
                 Some((k, acc)) if *k == key => {
@@ -66,7 +115,7 @@ impl<K: Eq + Hash, V> HashContainer<K, V> {
 
     /// Returns a reference to the value for `key`, if present.
     pub fn get(&self, key: &K) -> Option<&V> {
-        let mut idx = (fnv1a_hash(key) as usize) & self.mask;
+        let mut idx = (self.hasher.hash_one(key) as usize) & self.mask;
         loop {
             match &self.slots[idx] {
                 Some((k, v)) if k == key => return Some(v),
@@ -115,7 +164,7 @@ impl<K: Eq + Hash, V> HashContainer<K, V> {
         self.mask = new_cap - 1;
         for slot in &mut old {
             if let Some((k, v)) = slot.take() {
-                let mut idx = (fnv1a_hash(&k) as usize) & self.mask;
+                let mut idx = (self.hasher.hash_one(&k) as usize) & self.mask;
                 while self.slots[idx].is_some() {
                     idx = (idx + 1) & self.mask;
                 }
@@ -134,6 +183,7 @@ impl<K: Eq + Hash, V> Default for HashContainer<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hashed::{Hashed, Passthrough};
     use proptest::prelude::*;
 
     fn add(acc: &mut u64, v: u64) {
@@ -163,6 +213,23 @@ mod tests {
         assert!(c.capacity() > initial);
         for i in 0..1000u64 {
             assert_eq!(c.get(&i), Some(&i), "key {i} lost during growth");
+        }
+    }
+
+    #[test]
+    fn with_capacity_holds_exactly_capacity_keys_without_growth() {
+        // The documented contract: `with_capacity(n)` accepts n distinct
+        // keys before the first growth. The 7/8 load factor used to break
+        // this at n of a power of two (growing at ⌈7n/8⌉ keys, e.g. 14 of
+        // 16); over-allocating by 8/7 restores it.
+        for req in [1usize, 7, 14, 16, 100, 128, 1000] {
+            let mut c: HashContainer<u64, u64> = HashContainer::with_capacity(req);
+            let initial = c.capacity();
+            for i in 0..req as u64 {
+                c.combine_insert(i, 1, add);
+            }
+            assert_eq!(c.len(), req);
+            assert_eq!(c.capacity(), initial, "with_capacity({req}) grew before {req} keys");
         }
     }
 
@@ -212,6 +279,22 @@ mod tests {
         pairs.sort_unstable();
         assert_eq!(pairs.len(), 200);
         assert!(pairs.iter().all(|&(k, v)| v == k * 2));
+    }
+
+    #[test]
+    fn carried_hashes_survive_growth() {
+        // The hash-once instantiation: Hashed keys + Passthrough hasher.
+        // Growth must rehash through the carried hashes and lose nothing.
+        let mut c: HashContainer<Hashed<u64>, u64, Passthrough> =
+            HashContainer::with_capacity_and_hasher(2, Passthrough);
+        for i in 0..500u64 {
+            let key = Hashed::wrap(mr_core::HasherKind::Fx, i);
+            c.combine_insert_hashed(key.hash(), key, 1, add);
+        }
+        assert_eq!(c.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(c.get(&Hashed::wrap(mr_core::HasherKind::Fx, i)), Some(&1));
+        }
     }
 
     proptest! {

@@ -3,6 +3,7 @@
 
 use mr_core::{ContainerKind, MapReduceJob, RuntimeError};
 
+use crate::hashed::{Hashed, Passthrough};
 use crate::{ArrayContainer, FixedHashContainer, HashContainer, DEFAULT_FIXED_HASH_CAPACITY};
 
 /// A container of any [`ContainerKind`], dispatching by enum rather than
@@ -184,6 +185,151 @@ impl<'a, J: MapReduceJob> JobContainer<'a, J> {
     }
 }
 
+/// A container of any [`ContainerKind`] over hash-carrying keys: the
+/// hash-once counterpart of [`ContainerImpl`]. Hash-based variants probe
+/// through [`Passthrough`], so the hash computed at emission is reused for
+/// every insert and growth-rehash; the array variant indexes by
+/// [`MapReduceJob::key_index`] and ignores the hash.
+#[derive(Debug, Clone)]
+pub enum HashedContainerImpl<K, V> {
+    /// Dense array over the job's declared key space.
+    Array(ArrayContainer<Hashed<K>, V>),
+    /// Growable open-addressing hash table reusing carried hashes.
+    Hash(HashContainer<Hashed<K>, V, Passthrough>),
+    /// Fixed-capacity open-addressing hash table reusing carried hashes.
+    FixedHash(FixedHashContainer<Hashed<K>, V, Passthrough>),
+}
+
+impl<K: mr_core::MrKey, V: mr_core::MrValue> HashedContainerImpl<K, V> {
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        match self {
+            HashedContainerImpl::Array(c) => c.len(),
+            HashedContainerImpl::Hash(c) => c.len(),
+            HashedContainerImpl::FixedHash(c) => c.len(),
+        }
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    pub fn drain_into(&mut self, out: &mut Vec<(Hashed<K>, V)>) {
+        match self {
+            HashedContainerImpl::Array(c) => c.drain_into(out),
+            HashedContainerImpl::Hash(c) => c.drain_into(out),
+            HashedContainerImpl::FixedHash(c) => c.drain_into(out),
+        }
+    }
+}
+
+/// The hash-once counterpart of [`JobContainer`]: a job-bound container
+/// whose keys arrive as [`Hashed`] pairs from the mapper's emission sink.
+/// Both runtimes allocate one per combiner; the carried hash makes the
+/// combine-phase insert hash-free.
+pub struct HashedJobContainer<'a, J: MapReduceJob> {
+    job: &'a J,
+    inner: HashedContainerImpl<J::Key, J::Value>,
+}
+
+impl<J: MapReduceJob> std::fmt::Debug for HashedJobContainer<'_, J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashedJobContainer")
+            .field("job", &self.job.name())
+            .field("len", &self.inner.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a, J: MapReduceJob> HashedJobContainer<'a, J> {
+    /// Allocates a container of `kind` suited to `job`; capacity resolution
+    /// matches [`JobContainer::for_job`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnsupportedContainer`] when
+    /// [`ContainerKind::Array`] is requested for a job with no declared key
+    /// space and no explicit capacity.
+    pub fn for_job(
+        job: &'a J,
+        kind: ContainerKind,
+        fixed_capacity: Option<usize>,
+    ) -> Result<Self, RuntimeError> {
+        let inner = match kind {
+            ContainerKind::Array => {
+                let capacity = fixed_capacity.or_else(|| job.key_space()).ok_or_else(|| {
+                    RuntimeError::UnsupportedContainer(format!(
+                        "job {:?} declares no key space; the array container needs one",
+                        job.name()
+                    ))
+                })?;
+                HashedContainerImpl::Array(ArrayContainer::with_capacity(capacity))
+            }
+            ContainerKind::Hash => {
+                HashedContainerImpl::Hash(HashContainer::with_hasher(Passthrough))
+            }
+            ContainerKind::FixedHash => {
+                let capacity = fixed_capacity
+                    .or_else(|| job.key_space())
+                    .unwrap_or(DEFAULT_FIXED_HASH_CAPACITY);
+                HashedContainerImpl::FixedHash(FixedHashContainer::with_capacity_and_hasher(
+                    capacity,
+                    Passthrough,
+                ))
+            }
+        };
+        Ok(Self { job, inner })
+    }
+
+    /// Folds one hash-carrying pair into the container using the job's
+    /// combine function. No hashing happens here: hash-based containers
+    /// probe with the hash `key` carries from emission.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::ContainerOverflow`] from the fixed-size
+    /// containers.
+    #[inline]
+    pub fn insert(&mut self, key: Hashed<J::Key>, value: J::Value) -> Result<(), RuntimeError> {
+        let job = self.job;
+        match &mut self.inner {
+            HashedContainerImpl::Array(c) => {
+                let index = job.key_index(key.key());
+                c.combine_insert_at(index, key, value, |acc, v| job.combine(acc, v))
+            }
+            HashedContainerImpl::Hash(c) => {
+                c.combine_insert_hashed(key.hash(), key, value, |acc, v| job.combine(acc, v));
+                Ok(())
+            }
+            HashedContainerImpl::FixedHash(c) => {
+                c.combine_insert_hashed(key.hash(), key, value, |acc, v| job.combine(acc, v))
+            }
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no key has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Moves all pairs into `out`, emptying the container.
+    pub fn drain_into(&mut self, out: &mut Vec<(Hashed<J::Key>, J::Value)>) {
+        self.inner.drain_into(out);
+    }
+
+    /// Consumes the adapter, returning the underlying container.
+    pub fn into_inner(self) -> HashedContainerImpl<J::Key, J::Value> {
+        self.inner
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +434,38 @@ mod tests {
         let inner = c.into_inner();
         assert_eq!(inner.len(), 1);
         assert!(matches!(inner, ContainerImpl::Hash(_)));
+    }
+
+    #[test]
+    fn hashed_container_agrees_with_plain_for_every_kind() {
+        let job = Mod5;
+        let expected: Vec<(u64, u64)> = (0..5).map(|k| (k, 10)).collect();
+        for kind in ContainerKind::ALL {
+            for hasher in mr_core::HasherKind::ALL {
+                let mut c = HashedJobContainer::for_job(&job, kind, None).unwrap();
+                assert!(c.is_empty());
+                for x in 0..50u64 {
+                    c.insert(Hashed::wrap(hasher, x % 5), 1).unwrap();
+                }
+                let mut out = Vec::new();
+                c.drain_into(&mut out);
+                let mut plain: Vec<(u64, u64)> =
+                    out.into_iter().map(|(k, v)| (k.into_key(), v)).collect();
+                plain.sort_unstable();
+                assert_eq!(plain, expected, "container {kind} / hasher {hasher}");
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_fixed_capacity_overflows_like_plain() {
+        let job = Mod5;
+        let mut c = HashedJobContainer::for_job(&job, ContainerKind::FixedHash, Some(2)).unwrap();
+        c.insert(Hashed::wrap(mr_core::HasherKind::Fx, 0), 1).unwrap();
+        c.insert(Hashed::wrap(mr_core::HasherKind::Fx, 1), 1).unwrap();
+        let err = c.insert(Hashed::wrap(mr_core::HasherKind::Fx, 2), 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::ContainerOverflow { capacity: 2, .. }));
+        let inner = c.into_inner();
+        assert!(matches!(inner, HashedContainerImpl::FixedHash(_)));
     }
 }

@@ -18,6 +18,14 @@
 //! * [`FixedHashContainer`] — fixed-capacity open addressing, overflow is an
 //!   error.
 //!
+//! The key hot path is co-designed with the containers: [`CompactKey`]
+//! stores short string keys inline (no per-word allocation), [`Hashed`]
+//! carries each key's hash from the emission sink so the combine, bucket
+//! and reduce stages never rehash (the [`Passthrough`] hasher and the
+//! [`HashedJobContainer`] adapter close that loop), and the hash function
+//! itself is selectable between byte-at-a-time FNV-1a and the
+//! word-at-a-time [`FxHasher`] via the `RAMR_HASHER` knob.
+//!
 //! # Example
 //!
 //! ```
@@ -37,16 +45,22 @@
 #![warn(missing_debug_implementations)]
 
 mod array;
+mod compact_key;
 mod fixed_hash;
 mod fnv;
+mod fx;
 mod hash;
+mod hashed;
 mod job_container;
 
 pub use array::ArrayContainer;
+pub use compact_key::CompactKey;
 pub use fixed_hash::FixedHashContainer;
 pub use fnv::{fnv1a_hash, FnvBuildHasher, FnvHasher};
+pub use fx::{fx_hash, FxBuildHasher, FxHasher};
 pub use hash::HashContainer;
-pub use job_container::{ContainerImpl, JobContainer};
+pub use hashed::{hash_key, Hashed, Passthrough, PassthroughHasher};
+pub use job_container::{ContainerImpl, HashedContainerImpl, HashedJobContainer, JobContainer};
 
 /// Default capacity for fixed-size hash containers when neither the job's
 /// key space nor an explicit `fixed_capacity` bounds it.

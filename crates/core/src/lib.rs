@@ -84,6 +84,6 @@ pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
 // Re-export the configuration surface so downstream users need only this
 // crate for the common path.
 pub use mr_core::{
-    ContainerKind, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PinningPolicyKind,
-    PushBackoff, RuntimeConfig, RuntimeError,
+    ContainerKind, Emitter, HasherKind, JobOutput, MapReduceJob, PhaseKind, PhaseStats,
+    PinningPolicyKind, PushBackoff, RuntimeConfig, RuntimeError,
 };

@@ -7,11 +7,11 @@ use std::time::{Duration, Instant};
 
 use crate::tuning::{decide, AdaptationEvent, AdaptiveBounds, PoolObservation};
 use mr_core::{
-    task_ranges, Emitter, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer, PushBackoff,
-    RuntimeConfig, RuntimeError,
+    task_ranges, Emitter, HasherKind, JobOutput, MapReduceJob, PhaseKind, PhaseStats, PhaseTimer,
+    PushBackoff, RuntimeConfig, RuntimeError,
 };
 use phoenix_mr::{phases, TaskQueues};
-use ramr_containers::JobContainer;
+use ramr_containers::{Hashed, HashedJobContainer};
 use ramr_spsc::{BackoffPolicy, Consumer, Producer, SpscQueue};
 use ramr_telemetry::{
     pool_throughput, FaultLog, FaultMetrics, LocalTelemetry, ProgressBoard, TelemetryCell,
@@ -23,10 +23,13 @@ use ramr_topology::{pin_current_thread, CpuSlot, MachineModel, PlacementPlan};
 pub type ReportedOutput<J> =
     (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, RunReport);
 
+/// One element of a mapper's pipeline queue: the key with its hash computed
+/// once at emission (the hash-once pipeline), plus the value.
+pub(crate) type HashedPair<J> = (Hashed<<J as MapReduceJob>::Key>, <J as MapReduceJob>::Value);
 /// The write half of one mapper's pipeline queue.
-pub(crate) type PairProducer<J> = Producer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+pub(crate) type PairProducer<J> = Producer<HashedPair<J>>;
 /// The read half of one mapper's pipeline queue.
-pub(crate) type PairConsumer<J> = Consumer<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
+pub(crate) type PairConsumer<J> = Consumer<HashedPair<J>>;
 
 /// An idle combiner's waiting policy, derived from the configured
 /// producer-side backoff so both ends of each pipeline degrade
@@ -247,11 +250,12 @@ impl RamrRuntime {
                     let cell = &mapper_cells[m];
                     let backoff = &backoff;
                     let telemetry = config.telemetry;
+                    let hasher = config.hasher;
                     scope.spawn(move || {
                         maybe_pin(pin, slot);
                         mapper_loop(
-                            job, input, queues, home_group, &mut tx, backoff, emit_block, cell,
-                            telemetry, ctx, m,
+                            job, input, queues, home_group, &mut tx, backoff, emit_block, hasher,
+                            cell, telemetry, ctx, m,
                         );
                     })
                 })
@@ -277,7 +281,7 @@ impl RamrRuntime {
                 }
             }
 
-            let mut results: Vec<Result<phases::Pairs<J>, RuntimeError>> = combiner_handles
+            let mut results: Vec<Result<phases::HashedPairs<J>, RuntimeError>> = combiner_handles
                 .into_iter()
                 .map(|h| {
                     h.join().unwrap_or_else(|panic| {
@@ -331,10 +335,10 @@ impl RamrRuntime {
         stats.queue_full_events = full_events_per_mapper.iter().sum();
         timer.stop(&mut stats);
 
-        // --- Reduce phase (unchanged from the baseline) -------------------
+        // --- Reduce phase (reusing the carried hashes) --------------------
         let timer = PhaseTimer::start(PhaseKind::Reduce);
-        let buckets = phases::bucket_by_key::<J>(partials, config.num_reducers);
-        let runs = phases::reduce_parallel(job, buckets)?;
+        let buckets = phases::bucket_by_key_hashed::<J>(partials, config.num_reducers);
+        let runs = phases::reduce_parallel_hashed(job, buckets)?;
         timer.stop(&mut stats);
 
         // --- Merge phase ---------------------------------------------------
@@ -353,7 +357,7 @@ impl RamrRuntime {
             adaptation: Vec::new(),
             faults: fault_log.snapshot(0, false),
         };
-        Ok((JobOutput::from_unsorted(merged, stats), report))
+        Ok((JobOutput::from_sorted(merged, stats), report))
     }
 
     /// The adaptive variant of [`run_with_report`]: the same decoupled
@@ -549,11 +553,11 @@ impl RamrRuntime {
                         suppressed_joins += 1;
                     }
                 };
-                let flex_pairs: Vec<phases::Pairs<J>> = flex_handles
+                let flex_pairs: Vec<phases::HashedPairs<J>> = flex_handles
                     .into_iter()
                     .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
                     .collect();
-                let dedicated_pairs: Vec<phases::Pairs<J>> = dedicated_handles
+                let dedicated_pairs: Vec<phases::HashedPairs<J>> = dedicated_handles
                     .into_iter()
                     .map(|h| h.join().map_err(&mut catch).unwrap_or_default())
                     .collect();
@@ -610,10 +614,10 @@ impl RamrRuntime {
         let mut partials = dedicated_pairs;
         partials.extend(flex_pairs);
 
-        // --- Reduce phase (unchanged from the baseline) -------------------
+        // --- Reduce phase (reusing the carried hashes) --------------------
         let timer = PhaseTimer::start(PhaseKind::Reduce);
-        let buckets = phases::bucket_by_key::<J>(partials, config.num_reducers);
-        let runs = phases::reduce_parallel(job, buckets)?;
+        let buckets = phases::bucket_by_key_hashed::<J>(partials, config.num_reducers);
+        let runs = phases::reduce_parallel_hashed(job, buckets)?;
         timer.stop(&mut stats);
 
         // --- Merge phase ---------------------------------------------------
@@ -632,7 +636,7 @@ impl RamrRuntime {
             adaptation: trace,
             faults: fault_log.snapshot(0, false),
         };
-        Ok((JobOutput::from_unsorted(merged, stats), report))
+        Ok((JobOutput::from_sorted(merged, stats), report))
     }
 }
 
@@ -963,6 +967,7 @@ pub(crate) fn mapper_loop<J: MapReduceJob>(
     tx: &mut PairProducer<J>,
     backoff: &BackoffPolicy,
     emit_block: usize,
+    hasher: HasherKind,
     cell: &TelemetryCell,
     telemetry: bool,
     ctx: &FaultCtx<'_>,
@@ -974,7 +979,7 @@ pub(crate) fn mapper_loop<J: MapReduceJob>(
     let mut local = LocalTelemetry::default();
     let mut emitted = 0u64;
     let mut full_events = 0u64;
-    let mut buffer: Vec<(J::Key, J::Value)> = Vec::with_capacity(emit_block);
+    let mut buffer: Vec<HashedPair<J>> = Vec::with_capacity(emit_block);
     while let Some(task) = queues.claim(home_group) {
         if ctx.cancelled() {
             break;
@@ -987,7 +992,9 @@ pub(crate) fn mapper_loop<J: MapReduceJob>(
             let buffer = &mut buffer;
             let full_events = &mut full_events;
             let mut sink = |key: J::Key, value: J::Value| {
-                buffer.push((key, value));
+                // Hash once, here at emission: the carried hash rides the
+                // queue and is reused by combine, bucketing and reduce.
+                buffer.push((Hashed::wrap(hasher, key), value));
                 if buffer.len() >= emit_block {
                     // Pushes must always succeed: discarding or overwriting
                     // elements would violate correctness (paper §III-A). The
@@ -1081,10 +1088,10 @@ pub(crate) fn combiner_loop<J: MapReduceJob>(
     cell: &TelemetryCell,
     ctx: &FaultCtx<'_>,
     slot: usize,
-) -> Result<phases::Pairs<J>, RuntimeError> {
+) -> Result<phases::HashedPairs<J>, RuntimeError> {
     let _live = LiveGuard::enter(ctx.board);
     let telemetry = config.telemetry;
-    let mut container = JobContainer::for_job(job, config.container, config.fixed_capacity)?;
+    let mut container = HashedJobContainer::for_job(job, config.container, config.fixed_capacity)?;
     let wall_start = telemetry.then(Instant::now);
     let mut local = LocalTelemetry::default();
     let mut first_error: Option<RuntimeError> = None;
@@ -1114,7 +1121,7 @@ pub(crate) fn combiner_loop<J: MapReduceJob>(
                 let counted = std::cell::Cell::new(0usize);
                 let mut insert_err: Option<RuntimeError> = None;
                 let outcome = {
-                    let mut insert = |pair: (J::Key, J::Value)| {
+                    let mut insert = |pair: HashedPair<J>| {
                         counted.set(counted.get() + 1);
                         if insert_err.is_none() {
                             if let Err(e) = container.insert(pair.0, pair.1) {
@@ -1399,7 +1406,7 @@ fn adaptive_round<'j, J: MapReduceJob>(
     registry: &QueueRegistry<J>,
     ctl: &AdaptiveCtl,
     errors: &ErrorSlot,
-    container: &mut Option<JobContainer<'j, J>>,
+    container: &mut Option<HashedJobContainer<'j, J>>,
     local: &mut LocalTelemetry,
 ) -> Round {
     if registry.all_done() {
@@ -1425,7 +1432,7 @@ fn adaptive_round<'j, J: MapReduceJob>(
         // Containers are built lazily: a flex thread that is never promoted
         // and finds the pipelines already drained never allocates one.
         if container.is_none() {
-            match JobContainer::for_job(job, config.container, config.fixed_capacity) {
+            match HashedJobContainer::for_job(job, config.container, config.fixed_capacity) {
                 Ok(c) => *container = Some(c),
                 Err(e) => {
                     errors.record(e);
@@ -1438,7 +1445,7 @@ fn adaptive_round<'j, J: MapReduceJob>(
         let counted = std::cell::Cell::new(0usize);
         let mut insert_err: Option<RuntimeError> = None;
         let outcome = {
-            let mut insert = |pair: (J::Key, J::Value)| {
+            let mut insert = |pair: HashedPair<J>| {
                 counted.set(counted.get() + 1);
                 if insert_err.is_none() {
                     if let Err(e) = sink.insert(pair.0, pair.1) {
@@ -1494,7 +1501,9 @@ fn idle_wait(idle_spins: u32, idle_sleep: Option<Duration>, idle_rounds: u32) {
 }
 
 /// Drains a lazily-built container into the pair list handed to reduce.
-fn drain_container<J: MapReduceJob>(container: Option<JobContainer<'_, J>>) -> phases::Pairs<J> {
+fn drain_container<J: MapReduceJob>(
+    container: Option<HashedJobContainer<'_, J>>,
+) -> phases::HashedPairs<J> {
     let mut pairs = Vec::new();
     if let Some(mut c) = container {
         c.drain_into(&mut pairs);
@@ -1520,11 +1529,11 @@ pub(crate) fn adaptive_combiner_loop<'j, J: MapReduceJob>(
     cell: &TelemetryCell,
     ctx: &FaultCtx<'_>,
     slot: usize,
-) -> phases::Pairs<J> {
+) -> phases::HashedPairs<J> {
     let _live = LiveGuard::enter(ctx.board);
     let wall_start = Instant::now();
     let mut local = LocalTelemetry::default();
-    let mut container: Option<JobContainer<'j, J>> = None;
+    let mut container: Option<HashedJobContainer<'j, J>> = None;
     let (idle_spins, idle_sleep) = idle_policy(config.push_backoff);
     let mut idle_rounds = 0u32;
     let mut rounds_since_publish = 0u32;
@@ -1624,7 +1633,7 @@ pub(crate) fn flex_loop<'j, J: MapReduceJob>(
     map_cell: &TelemetryCell,
     combine_cell: &TelemetryCell,
     ctx: &FaultCtx<'_>,
-) -> phases::Pairs<J> {
+) -> phases::HashedPairs<J> {
     let _live = LiveGuard::enter(ctx.board);
     let push_cancel = ctx.push_cancel();
     let wall_start = Instant::now();
@@ -1632,8 +1641,8 @@ pub(crate) fn flex_loop<'j, J: MapReduceJob>(
     let mut combine_local = LocalTelemetry::default();
     let mut emitted = 0u64;
     let mut full_events = 0u64;
-    let mut buffer: Vec<(J::Key, J::Value)> = Vec::with_capacity(emit_block);
-    let mut container: Option<JobContainer<'j, J>> = None;
+    let mut buffer: Vec<HashedPair<J>> = Vec::with_capacity(emit_block);
+    let mut container: Option<HashedJobContainer<'j, J>> = None;
     let (idle_spins, idle_sleep) = idle_policy(config.push_backoff);
     let mut idle_rounds = 0u32;
     let mut rounds_since_publish = 0u32;
@@ -1699,7 +1708,8 @@ pub(crate) fn flex_loop<'j, J: MapReduceJob>(
                 let full_events = &mut full_events;
                 let wall_start = &wall_start;
                 let mut sink = |key: J::Key, value: J::Value| {
-                    buffer.push((key, value));
+                    // Hash once at emission, as in [`mapper_loop`].
+                    buffer.push((Hashed::wrap(config.hasher, key), value));
                     if buffer.len() >= emit_block {
                         let occupied = buffer.len();
                         let flush_start = Instant::now();

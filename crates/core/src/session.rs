@@ -93,8 +93,9 @@ struct JobFrame<J: MapReduceJob> {
     /// each epoch, so job N's role changes never leak into job N+1's
     /// starting split.
     ctl: Option<AdaptiveCtl>,
-    /// Combined partial results, pushed by whichever worker produced them.
-    partials: Mutex<Vec<phases::Pairs<J>>>,
+    /// Combined partial results (hashes still attached), pushed by
+    /// whichever worker produced them.
+    partials: Mutex<Vec<phases::HashedPairs<J>>>,
 }
 
 impl<J: MapReduceJob> JobFrame<J> {
@@ -638,10 +639,10 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
 
         let partials = frame.partials.into_inner().unwrap_or_else(PoisonError::into_inner);
 
-        // --- Reduce phase (unchanged from the baseline) -------------------
+        // --- Reduce phase (reusing the carried hashes) --------------------
         let timer = PhaseTimer::start(PhaseKind::Reduce);
-        let buckets = phases::bucket_by_key::<J>(partials, config.num_reducers);
-        let runs = phases::reduce_parallel(job, buckets)?;
+        let buckets = phases::bucket_by_key_hashed::<J>(partials, config.num_reducers);
+        let runs = phases::reduce_parallel_hashed(job, buckets)?;
         timer.stop(&mut stats);
 
         // --- Merge phase ---------------------------------------------------
@@ -660,7 +661,7 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
             adaptation: trace,
             faults: frame.fault_log.snapshot(0, false),
         };
-        Ok((JobOutput::from_unsorted(merged, stats), report))
+        Ok((JobOutput::from_sorted(merged, stats), report))
     }
 }
 
@@ -687,7 +688,7 @@ fn record_panic<J: MapReduceJob>(frame: &JobFrame<J>, panic: Box<dyn std::any::A
     frame.errors.record(RuntimeError::WorkerPanic(phases::panic_message(&*panic)));
 }
 
-fn push_partial<J: MapReduceJob>(frame: &JobFrame<J>, pairs: phases::Pairs<J>) {
+fn push_partial<J: MapReduceJob>(frame: &JobFrame<J>, pairs: phases::HashedPairs<J>) {
     relock(frame.partials.lock()).push(pairs);
 }
 
@@ -701,6 +702,7 @@ fn static_mapper_worker<J: MapReduceJob>(
     maybe_pin(shared.config.pin_os_threads, slot);
     let backoff = to_backoff(shared.config.push_backoff);
     let emit_block = shared.config.effective_emit_buffer();
+    let hasher = shared.config.hasher;
     let telemetry = shared.config.telemetry;
     let mut last = 0u64;
     while let Some(ptr) = shared.next_epoch(&mut last) {
@@ -724,6 +726,7 @@ fn static_mapper_worker<J: MapReduceJob>(
                 &mut tx,
                 &backoff,
                 emit_block,
+                hasher,
                 &frame.map_cells[m],
                 telemetry,
                 &ctx,

@@ -39,6 +39,37 @@ impl std::fmt::Display for ContainerKind {
     }
 }
 
+/// Which hash function keys are hashed with — at the emission sink (where
+/// the hash-once pipeline computes each key's hash exactly once) and inside
+/// the hash containers.
+///
+/// Both options are deterministic across runs and processes (no random
+/// seed), so the differential suite can pin byte-identical output under
+/// either. The default is the word-at-a-time `Fx` hasher; `Fnv` preserves
+/// the seed's byte-at-a-time FNV-1a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum HasherKind {
+    /// Byte-at-a-time FNV-1a: one xor+multiply per input byte.
+    Fnv,
+    /// Word-at-a-time FxHash-style: one rotate+xor+multiply per 8 bytes.
+    Fx,
+}
+
+impl HasherKind {
+    /// All hasher kinds, for configuration sweeps.
+    pub const ALL: [HasherKind; 2] = [HasherKind::Fnv, HasherKind::Fx];
+}
+
+impl std::fmt::Display for HasherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HasherKind::Fnv => "fnv",
+            HasherKind::Fx => "fx",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Thread-to-CPU placement policy (paper §III-B and §IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum PinningPolicyKind {
@@ -134,6 +165,11 @@ pub struct RuntimeConfig {
     pub emit_buffer_size: Option<usize>,
     /// Intermediate container allocated per worker/combiner.
     pub container: ContainerKind,
+    /// Key hash function used at the emission sink and in the hash
+    /// containers. Both options are deterministic; output is identical
+    /// under either (keys are routed differently but the final merge is
+    /// key-sorted).
+    pub hasher: HasherKind,
     /// Thread placement policy.
     pub pinning: PinningPolicyKind,
     /// Behaviour of mappers on a full queue.
@@ -208,6 +244,7 @@ impl Default for RuntimeConfig {
             batch_size: 1000,
             emit_buffer_size: None,
             container: ContainerKind::Array,
+            hasher: HasherKind::Fx,
             pinning: PinningPolicyKind::Ramr,
             push_backoff: PushBackoff::default(),
             pin_os_threads: false,
@@ -254,7 +291,7 @@ impl RuntimeConfig {
     /// `RAMR_PUSH_SLEEP_US` (the two halves of the sleep-on-failed-push
     /// policy; setting either selects [`PushBackoff::SpinThenSleep`] with
     /// the paper's defaults for the other), `RAMR_CONTAINER`
-    /// (`array|hash|fixed-hash`), `RAMR_PINNING`
+    /// (`array|hash|fixed-hash`), `RAMR_HASHER` (`fnv|fx`), `RAMR_PINNING`
     /// (`ramr|round-robin|os-default`), `RAMR_PIN_THREADS`, `RAMR_TELEMETRY`
     /// and `RAMR_ADAPTIVE` (`0|1|true|false|yes|no`, case-insensitive),
     /// `RAMR_ADAPT_INTERVAL_MS` (controller sampling period in
@@ -392,6 +429,12 @@ impl RuntimeConfigBuilder {
     /// Sets the intermediate container kind.
     pub fn container(mut self, kind: ContainerKind) -> Self {
         self.config.container = kind;
+        self
+    }
+
+    /// Sets the key hash function.
+    pub fn hasher(mut self, kind: HasherKind) -> Self {
+        self.config.hasher = kind;
         self
     }
 
@@ -596,6 +639,23 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
                 other => {
                     return Err(RuntimeError::InvalidConfig(format!(
                         "unknown container kind {other:?}"
+                    )))
+                }
+            }))
+        },
+    },
+    EnvKnob {
+        env: "RAMR_HASHER",
+        cli: "hasher",
+        value: "fnv|fx",
+        help: "key hash function (byte-wise FNV-1a or word-wise Fx)",
+        apply: |b, raw, _| {
+            Ok(b.hasher(match raw {
+                "fnv" => HasherKind::Fnv,
+                "fx" => HasherKind::Fx,
+                other => {
+                    return Err(RuntimeError::InvalidConfig(format!(
+                        "unknown hasher kind {other:?}"
                     )))
                 }
             }))
@@ -812,6 +872,27 @@ mod tests {
         assert_eq!(ContainerKind::Array.to_string(), "array");
         assert_eq!(ContainerKind::Hash.to_string(), "hash");
         assert_eq!(ContainerKind::FixedHash.to_string(), "fixed-hash");
+    }
+
+    #[test]
+    fn hasher_kind_display_and_default() {
+        assert_eq!(HasherKind::Fnv.to_string(), "fnv");
+        assert_eq!(HasherKind::Fx.to_string(), "fx");
+        assert_eq!(RuntimeConfig::default().hasher, HasherKind::Fx);
+    }
+
+    #[test]
+    fn from_env_reads_hasher() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_HASHER", "fnv");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_HASHER");
+        assert_eq!(c.hasher, HasherKind::Fnv);
+
+        std::env::set_var("RAMR_HASHER", "sip");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_HASHER");
+        assert!(err.to_string().contains("sip"));
     }
 
     #[test]

@@ -28,6 +28,14 @@ impl<T> MrValue for T where T: Clone + Send + Sync + Debug + 'static {}
 /// The emitter counts emissions so runtimes can report throughput statistics
 /// without requiring cooperation from the job.
 ///
+/// Emission is the hottest per-pair point in the pipeline, so sinks are
+/// expected to be cheap and keys should avoid per-emit heap allocation:
+/// string-keyed jobs should prefer a small-string-optimized key type (the
+/// `ramr-containers` crate provides `CompactKey`, which stores short keys
+/// inline and drops into `Key` unchanged). The RAMR sinks also hash each
+/// key exactly once at this point and carry the hash downstream, so
+/// emitting a cheap-to-hash key pays off in every later stage.
+///
 /// # Example
 ///
 /// Runtimes hand a fresh emitter to each map task; outside a runtime (tests,

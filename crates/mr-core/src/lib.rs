@@ -57,8 +57,8 @@ mod split;
 mod stats;
 
 pub use config::{
-    ContainerKind, EnvKnob, PinningPolicyKind, PushBackoff, RuntimeConfig, RuntimeConfigBuilder,
-    ENV_KNOBS,
+    ContainerKind, EnvKnob, HasherKind, PinningPolicyKind, PushBackoff, RuntimeConfig,
+    RuntimeConfigBuilder, ENV_KNOBS,
 };
 pub use error::RuntimeError;
 pub use job::{Emitter, MapReduceJob, MrKey, MrValue};

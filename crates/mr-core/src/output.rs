@@ -32,6 +32,23 @@ impl<K: MrKey, V: MrValue> JobOutput<K, V> {
         Self { pairs, stats }
     }
 
+    /// Creates an output from pairs that are *already* key-sorted — the
+    /// merge phase's contract — skipping the O(n log n) re-sort
+    /// [`from_unsorted`](Self::from_unsorted) pays.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that keys are strictly increasing (sorted *and*
+    /// unique); a violation means the caller's merge or reduce phase is
+    /// broken.
+    pub fn from_sorted(pairs: Vec<(K, V)>, stats: PhaseStats) -> Self {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "from_sorted requires strictly increasing keys (sorted, one pair per key)"
+        );
+        Self { pairs, stats }
+    }
+
     /// Looks up the reduced value for `key` by binary search.
     pub fn get(&self, key: &K) -> Option<&V> {
         self.pairs.binary_search_by(|(k, _)| k.cmp(key)).ok().map(|i| &self.pairs[i].1)
@@ -120,5 +137,21 @@ mod tests {
     #[cfg(debug_assertions)]
     fn duplicate_keys_are_rejected_in_debug() {
         let _ = JobOutput::from_unsorted(vec![(1u32, 1u64), (1, 2)], PhaseStats::default());
+    }
+
+    #[test]
+    fn from_sorted_accepts_sorted_pairs() {
+        let out =
+            JobOutput::from_sorted(vec![(1u32, 10u64), (2, 20), (3, 30)], PhaseStats::default());
+        assert_eq!(out.pairs, sample().pairs);
+        let empty: JobOutput<u32, u64> = JobOutput::from_sorted(Vec::new(), PhaseStats::default());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_rejects_unsorted_pairs_in_debug() {
+        let _ = JobOutput::from_sorted(vec![(2u32, 1u64), (1, 2)], PhaseStats::default());
     }
 }

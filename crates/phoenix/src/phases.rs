@@ -8,27 +8,64 @@
 use std::sync::atomic::AtomicBool;
 
 use mr_core::{Emitter, MapReduceJob, RuntimeError, TaskRange};
-use ramr_containers::{fnv1a_hash, HashContainer};
+use ramr_containers::{fnv1a_hash, HashContainer, Hashed, Passthrough};
 use ramr_telemetry::{FaultLog, SkippedTask};
 
 /// The intermediate pairs one worker/combiner/bucket contributes.
 pub type Pairs<J> = Vec<(<J as MapReduceJob>::Key, <J as MapReduceJob>::Value)>;
 
+/// [`Pairs`] with the 64-bit key hash carried alongside each key — the
+/// hash-once pipeline's wire format. The hash is computed at map emission
+/// and reused by bucketing and the reduce tables, so no downstream phase
+/// re-walks key bytes.
+pub type HashedPairs<J> = Vec<(Hashed<<J as MapReduceJob>::Key>, <J as MapReduceJob>::Value)>;
+
+/// Rounds `num_reducers` up to a power of two so bucket selection is a
+/// mask instead of an integer division.
+fn bucket_count(num_reducers: usize) -> usize {
+    num_reducers.max(1).next_power_of_two()
+}
+
 /// Distributes the partial `(key, value)` vectors produced by the
-/// map-combine phase into `num_reducers` buckets by key hash.
+/// map-combine phase into buckets by key hash.
 ///
 /// Every occurrence of a key lands in the same bucket, so each bucket can be
-/// reduced independently.
+/// reduced independently. The bucket count is `num_reducers` rounded up to
+/// the next power of two, which turns per-pair bucket selection into a mask
+/// (`hash & (n - 1)`) instead of a `%` division; the final merged output is
+/// unaffected by how keys are spread over buckets.
 pub fn bucket_by_key<J: MapReduceJob>(
     partials: Vec<Pairs<J>>,
     num_reducers: usize,
 ) -> Vec<Pairs<J>> {
+    let num_buckets = bucket_count(num_reducers);
+    let mask = num_buckets - 1;
     let total: usize = partials.iter().map(Vec::len).sum();
-    let mut buckets: Vec<Vec<(J::Key, J::Value)>> = Vec::with_capacity(num_reducers);
-    buckets.resize_with(num_reducers, || Vec::with_capacity(total / num_reducers + 1));
+    let mut buckets: Vec<Vec<(J::Key, J::Value)>> = Vec::with_capacity(num_buckets);
+    buckets.resize_with(num_buckets, || Vec::with_capacity(total / num_buckets + 1));
     for partial in partials {
         for (key, value) in partial {
-            let bucket = (fnv1a_hash(&key) as usize) % num_reducers;
+            let bucket = (fnv1a_hash(&key) as usize) & mask;
+            buckets[bucket].push((key, value));
+        }
+    }
+    buckets
+}
+
+/// [`bucket_by_key`] for pre-hashed pairs: reuses the hash carried from map
+/// emission instead of hashing every key a second time.
+pub fn bucket_by_key_hashed<J: MapReduceJob>(
+    partials: Vec<HashedPairs<J>>,
+    num_reducers: usize,
+) -> Vec<HashedPairs<J>> {
+    let num_buckets = bucket_count(num_reducers);
+    let mask = num_buckets - 1;
+    let total: usize = partials.iter().map(Vec::len).sum();
+    let mut buckets: Vec<HashedPairs<J>> = Vec::with_capacity(num_buckets);
+    buckets.resize_with(num_buckets, || Vec::with_capacity(total / num_buckets + 1));
+    for partial in partials {
+        for (key, value) in partial {
+            let bucket = (key.hash() as usize) & mask;
             buckets[bucket].push((key, value));
         }
     }
@@ -44,7 +81,7 @@ pub fn reduce_bucket<J: MapReduceJob>(job: &J, bucket: Pairs<J>) -> Pairs<J> {
     for (key, value) in bucket {
         table.combine_insert(key, value, |acc, v| job.combine(acc, v));
     }
-    let mut pairs = Vec::new();
+    let mut pairs = Vec::with_capacity(table.len());
     table.drain_into(&mut pairs);
     let mut reduced: Vec<(J::Key, J::Value)> = pairs
         .into_iter()
@@ -57,8 +94,32 @@ pub fn reduce_bucket<J: MapReduceJob>(job: &J, bucket: Pairs<J>) -> Pairs<J> {
     reduced
 }
 
+/// [`reduce_bucket`] for pre-hashed pairs: the fold table probes with the
+/// carried hashes (via [`Passthrough`]), so the reduce phase never hashes a
+/// key. Hashes are stripped from the output — downstream merge compares by
+/// key only.
+pub fn reduce_bucket_hashed<J: MapReduceJob>(job: &J, bucket: HashedPairs<J>) -> Pairs<J> {
+    let mut table: HashContainer<Hashed<J::Key>, J::Value, Passthrough> =
+        HashContainer::with_capacity_and_hasher(bucket.len().max(1), Passthrough);
+    for (key, value) in bucket {
+        table.combine_insert_hashed(key.hash(), key, value, |acc, v| job.combine(acc, v));
+    }
+    let mut pairs = Vec::with_capacity(table.len());
+    table.drain_into(&mut pairs);
+    let mut reduced: Vec<(J::Key, J::Value)> = pairs
+        .into_iter()
+        .map(|(k, v)| {
+            let k = k.into_key();
+            let r = job.reduce(&k, v);
+            (k, r)
+        })
+        .collect();
+    reduced.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    reduced
+}
+
 /// Runs the reduce phase over all buckets in parallel (one thread per
-/// bucket, up to `num_reducers`), returning per-bucket key-sorted outputs.
+/// bucket), returning per-bucket key-sorted outputs.
 ///
 /// # Errors
 ///
@@ -71,6 +132,28 @@ pub fn reduce_parallel<J: MapReduceJob>(
         let handles: Vec<_> = buckets
             .into_iter()
             .map(|bucket| scope.spawn(move || reduce_bucket(job, bucket)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|panic| RuntimeError::WorkerPanic(panic_message(&*panic))))
+            .collect()
+    })
+}
+
+/// [`reduce_parallel`] over pre-hashed buckets (see
+/// [`reduce_bucket_hashed`]).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::WorkerPanic`] if a reducer thread panics.
+pub fn reduce_parallel_hashed<J: MapReduceJob>(
+    job: &J,
+    buckets: Vec<HashedPairs<J>>,
+) -> Result<Vec<Pairs<J>>, RuntimeError> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| scope.spawn(move || reduce_bucket_hashed(job, bucket)))
             .collect();
         handles
             .into_iter()
@@ -281,6 +364,40 @@ mod tests {
     fn reduce_bucket_folds_and_applies_reduce() {
         let out = reduce_bucket(&Sum, vec![(5, 1), (5, 1), (2, 1)]);
         assert_eq!(out, [(2, 10), (5, 20)]); // sorted, reduced (x10)
+    }
+
+    #[test]
+    fn bucket_count_is_a_power_of_two() {
+        for (reducers, expected) in [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (9, 16)] {
+            let buckets = bucket_by_key::<Sum>(vec![vec![(1u64, 1u64)]], reducers);
+            assert_eq!(buckets.len(), expected, "num_reducers = {reducers}");
+        }
+    }
+
+    /// The hashed pipeline (carried hashes through bucket + reduce) must
+    /// produce the same merged output as the plain pipeline, under both
+    /// hashers — partitioning may differ, the sorted result may not.
+    #[test]
+    fn hashed_pipeline_matches_plain_pipeline() {
+        let partials: Vec<Pairs<Sum>> =
+            vec![vec![(1u64, 1u64), (2, 1), (9, 1)], vec![(1, 1), (3, 1), (9, 1)]];
+        let plain = merge_sorted_runs(
+            reduce_parallel(&Sum, bucket_by_key::<Sum>(partials.clone(), 3)).unwrap(),
+        );
+        for kind in mr_core::HasherKind::ALL {
+            let hashed: Vec<HashedPairs<Sum>> = partials
+                .iter()
+                .map(|p| p.iter().map(|&(k, v)| (Hashed::wrap(kind, k), v)).collect())
+                .collect();
+            let buckets = bucket_by_key_hashed::<Sum>(hashed, 3);
+            for key in [1u64, 2, 3, 9] {
+                let holders =
+                    buckets.iter().filter(|b| b.iter().any(|(k, _)| *k.key() == key)).count();
+                assert_eq!(holders, 1, "key {key} must live in exactly one bucket");
+            }
+            let merged = merge_sorted_runs(reduce_parallel_hashed(&Sum, buckets).unwrap());
+            assert_eq!(merged, plain, "hasher {kind}");
+        }
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl PhoenixRuntime {
 
         stats.output_keys = merged.len() as u64;
         let report = PhoenixReport { worker_telemetry, faults: faults.snapshot(0, false) };
-        Ok((JobOutput::from_unsorted(merged, stats), report))
+        Ok((JobOutput::from_sorted(merged, stats), report))
     }
 }
 

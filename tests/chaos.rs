@@ -14,9 +14,10 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
-use mr_apps::WordCount;
+use mr_apps::{WordCount, WordCountString};
 use mr_core::{ContainerKind, MapReduceJob, RuntimeConfig, RuntimeError};
 use ramr::{Backend, Engine, RamrRuntime};
+use ramr_containers::CompactKey;
 use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
 
 /// Lines per task; the fingerprint function divides by this, so keep the
@@ -50,6 +51,12 @@ fn reference(input: &[String], dropped: &[u64]) -> Vec<(String, u64)> {
         }
     }
     counts.into_iter().collect()
+}
+
+/// `WordCount` emits `CompactKey`s; the reference outputs here are
+/// `String`-keyed, so runs convert at the boundary before comparing.
+fn to_string_pairs(pairs: Vec<(CompactKey, u64)>) -> Vec<(String, u64)> {
+    pairs.into_iter().map(|(k, v)| (k.as_str().to_owned(), v)).collect()
 }
 
 fn config(retries: u32, skip: bool, watchdog_ms: Option<u64>, adaptive: bool) -> RuntimeConfig {
@@ -103,7 +110,7 @@ fn run_engine(
     input: &[String],
 ) -> Result<(Vec<(String, u64)>, ramr_telemetry::FaultMetrics), RuntimeError> {
     let (out, report) = backend.engine(cfg.clone())?.run_job_reported(job, input)?;
-    Ok((out.pairs, report.faults))
+    Ok((to_string_pairs(out.pairs), report.faults))
 }
 
 #[test]
@@ -200,7 +207,7 @@ fn slow_but_progressing_tasks_do_not_trip_the_watchdog() {
             let cfg = config(0, false, Some(500), adaptive);
             let (out, _) =
                 RamrRuntime::new(cfg).unwrap().run_with_report(&faulty(plan), &input).unwrap();
-            out.pairs
+            to_string_pairs(out.pairs)
         });
         assert_eq!(pairs, reference(&lines(), &[]), "adaptive={adaptive}");
     }
@@ -239,7 +246,7 @@ fn non_retry_safe_jobs_fail_fast_regardless_of_budget() {
         type Key = String;
         type Value = u64;
         fn map(&self, task: &[String], emit: &mut mr_core::Emitter<'_, String, u64>) {
-            WordCount.map(task, emit);
+            WordCountString.map(task, emit);
         }
         fn combine(&self, acc: &mut u64, v: u64) {
             *acc += v;

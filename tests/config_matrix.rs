@@ -12,11 +12,11 @@ fn input() -> Vec<String> {
     wc_input(&spec, 40_000)
 }
 
-fn reference(lines: &[String]) -> Vec<(String, u64)> {
+fn reference(lines: &[String]) -> Vec<(ramr_containers::CompactKey, u64)> {
     let mut counts = std::collections::BTreeMap::new();
     for line in lines {
         for w in line.split_ascii_whitespace() {
-            *counts.entry(w.to_ascii_lowercase()).or_insert(0u64) += 1;
+            *counts.entry(ramr_containers::CompactKey::ascii_lowercase(w)).or_insert(0u64) += 1;
         }
     }
     counts.into_iter().collect()

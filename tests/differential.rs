@@ -241,6 +241,32 @@ fn pooled_sessions_match_fresh_runs_under_faults() {
 }
 
 #[test]
+fn hashers_and_backends_all_produce_identical_output() {
+    // The RAMR_HASHER knob must be invisible in the output: the final pairs
+    // are key-sorted with one pair per key, so which hasher bucketed them
+    // (and on which backend) cannot show. Pin byte-identical output across
+    // the full hasher x backend matrix against one reference run.
+    let input = wc_input(&spec(AppKind::WordCount), SCALE);
+    let reference = Backend::RamrStatic
+        .engine(config(AppKind::WordCount))
+        .unwrap()
+        .run_job(&WordCount, &input)
+        .unwrap();
+    assert!(!reference.is_empty());
+    for hasher in mr_core::HasherKind::ALL {
+        for backend in Backend::ALL {
+            let mut cfg = config(AppKind::WordCount);
+            cfg.hasher = hasher;
+            let out = backend.engine(cfg).unwrap().run_job(&WordCount, &input).unwrap();
+            assert_eq!(
+                out.pairs, reference.pairs,
+                "{backend} with {hasher} diverges from the reference output"
+            );
+        }
+    }
+}
+
+#[test]
 fn stressed_containers_agree_too() {
     // Figs 8b/9b configuration: fixed-size hash / hash containers.
     let input = hg_input(&spec(AppKind::Histogram), SCALE);

@@ -25,14 +25,14 @@ fn lines(n: usize, salt: usize) -> Vec<String> {
 
 /// Word counts of `input` with the tasks in `dropped` (by ordinal)
 /// removed — the exact expected output of a (skip-poison) run.
-fn reference(input: &[String], dropped: &[u64]) -> Vec<(String, u64)> {
+fn reference(input: &[String], dropped: &[u64]) -> Vec<(ramr_containers::CompactKey, u64)> {
     let mut counts = BTreeMap::new();
     for (i, line) in input.iter().enumerate() {
         if dropped.contains(&((i / TASK) as u64)) {
             continue;
         }
         for word in line.split_ascii_whitespace() {
-            *counts.entry(word.to_ascii_lowercase()).or_insert(0u64) += 1;
+            *counts.entry(ramr_containers::CompactKey::ascii_lowercase(word)).or_insert(0u64) += 1;
         }
     }
     counts.into_iter().collect()
