@@ -1,0 +1,161 @@
+//! Job-flood bench: fair-share dispatch bounds tenant latency under load.
+//!
+//! One "flood" tenant dumps a backlog of identical word-count jobs into
+//! the scheduler, then a "light" tenant submits its jobs one at a time.
+//! Under FIFO the light tenant queues behind the whole backlog; under
+//! weighted fair-share (light at weight 8) the stride clock lets each
+//! light job jump most of the backlog, so its queue wait stays within a
+//! couple of job run-times regardless of backlog depth. The bench runs
+//! the identical flood under both policies, prints the per-tenant
+//! accounting, and PASSes when fair-share keeps the light tenant's mean
+//! queue wait below FIFO's.
+//!
+//! ```text
+//! cargo run --release -p mr-bench --bin job_flood [-- <flood-jobs> <scale>]
+//! cargo run --release -p mr-bench --bin job_flood -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the inputs, skips the perf gate, and only asserts
+//! output agreement — every ticket from both tenants under both policies
+//! must match a serial engine baseline exactly.
+
+use std::sync::Arc;
+
+use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, WordCount};
+use mr_core::{RuntimeConfig, SchedPolicy};
+use ramr::{Backend, Engine, JobScheduler, TenantStats};
+
+const LIGHT_JOBS: usize = 4;
+
+fn config(queue: usize, policy: SchedPolicy) -> RuntimeConfig {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    RuntimeConfig::builder()
+        .num_workers(threads.max(2))
+        .num_combiners((threads / 2).max(1))
+        .task_size(64)
+        .queue_capacity(5000)
+        .batch_size(1000)
+        .container(AppKind::WordCount.default_container())
+        .sched_queue(queue)
+        .sched_policy(policy)
+        .build()
+        .expect("valid bench config")
+}
+
+/// Floods the scheduler from one tenant, then drives the light tenant's
+/// jobs one at a time; returns the `(flood, light)` accounting. Every
+/// completed output is checked against the serial `baseline`.
+fn flood_once(
+    policy: SchedPolicy,
+    flood_jobs: usize,
+    input: &Arc<Vec<String>>,
+    baseline: &[(ramr_containers::CompactKey, u64)],
+) -> (TenantStats, TenantStats) {
+    let cfg = config(flood_jobs + LIGHT_JOBS + 4, policy);
+    let sched = JobScheduler::<WordCount>::new(Backend::RamrStatic, cfg).expect("scheduler");
+    let flood = sched.client("flood");
+    let light = sched.client("light");
+
+    // The queue holds the whole backlog, so these submits return at once
+    // and the backlog is fully formed before the light tenant arrives.
+    let backlog: Vec<_> = (0..flood_jobs)
+        .map(|_| flood.submit(Arc::new(WordCount), Arc::clone(input)).expect("flood submit"))
+        .collect();
+    for _ in 0..LIGHT_JOBS {
+        let done = light
+            .submit(Arc::new(WordCount), Arc::clone(input))
+            .expect("light submit")
+            .wait()
+            .expect("light job");
+        assert_eq!(done.output.pairs, baseline, "light output diverged from the serial baseline");
+    }
+    for ticket in backlog {
+        let done = ticket.wait().expect("flood job");
+        assert_eq!(done.output.pairs, baseline, "flood output diverged from the serial baseline");
+    }
+
+    let stats = sched.tenant_stats();
+    let of = |name: &str| stats.iter().find(|s| s.tenant == name).expect("tenant ran").clone();
+    (of("flood"), of("light"))
+}
+
+fn mean_wait_ms(stats: &TenantStats) -> f64 {
+    let finished = (stats.completed + stats.failed).max(1);
+    stats.queue_wait.as_secs_f64() * 1e3 / finished as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let flood_jobs: usize =
+        positional.first().and_then(|s| s.parse().ok()).unwrap_or(if smoke { 6 } else { 16 });
+    // `scale` divides Table I, so larger scales mean shorter jobs; the
+    // default keeps each job around a millisecond so the backlog forms a
+    // measurable queue without stretching the bench.
+    let scale: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke {
+        200_000
+    } else {
+        20_000
+    });
+    assert!(flood_jobs >= 4, "a backlog below 4 jobs is no flood; got {flood_jobs}");
+
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
+    let input = Arc::new(wc_input(&spec, scale));
+    println!(
+        "JOB FLOOD: {flood_jobs} backlogged jobs vs {LIGHT_JOBS} light jobs x {} lines each, \
+         backend {}{}.\n",
+        input.len(),
+        Backend::RamrStatic,
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let baseline = Backend::RamrStatic
+        .engine(config(4, SchedPolicy::fifo()))
+        .expect("baseline engine")
+        .run_job(&WordCount, &input)
+        .expect("baseline run")
+        .pairs;
+
+    let fair: SchedPolicy = "fair:light=8".parse().expect("valid policy");
+    let (fifo_flood, fifo_light) = flood_once(SchedPolicy::fifo(), flood_jobs, &input, &baseline);
+    let (fair_flood, fair_light) = flood_once(fair, flood_jobs, &input, &baseline);
+
+    mr_bench::print_header(&["policy", "tenant", "mean-wait(ms)", "max-wait(ms)"]);
+    for (policy, stats) in
+        [("fifo", &fifo_flood), ("fifo", &fifo_light), ("fair", &fair_flood), ("fair", &fair_light)]
+    {
+        println!(
+            "{:>10} {:>10} {:>13.2} {:>12.2}",
+            policy,
+            stats.tenant,
+            mean_wait_ms(stats),
+            stats.max_queue_wait.as_secs_f64() * 1e3,
+        );
+    }
+
+    if smoke {
+        println!(
+            "\nPASS: all {} tickets matched the serial baseline",
+            2 * (flood_jobs + LIGHT_JOBS)
+        );
+        return;
+    }
+
+    // Pass/fail gate: jumping a {flood_jobs}-deep backlog is a large,
+    // load-robust effect, so plain ordering (no margin) keeps the gate
+    // honest without flaking on busy CI machines.
+    let (fifo_ms, fair_ms) = (mean_wait_ms(&fifo_light), mean_wait_ms(&fair_light));
+    println!(
+        "\nlight-tenant mean wait: fifo {fifo_ms:.2} ms vs fair {fair_ms:.2} ms \
+         ({:.1}x better)",
+        fifo_ms / fair_ms.max(f64::EPSILON),
+    );
+    if fair_ms < fifo_ms {
+        println!("PASS: fair-share bounded the light tenant's queue wait under flood");
+    } else {
+        println!("FAIL: fair-share did not beat FIFO for the light tenant");
+        std::process::exit(1);
+    }
+}

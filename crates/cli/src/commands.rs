@@ -12,7 +12,7 @@ use mr_apps::{
     WordCount,
 };
 use mr_core::{ContainerKind, MapReduceJob, PhaseKind, RuntimeConfig};
-use ramr::{Backend, Engine, EngineReport};
+use ramr::{Backend, Engine, EngineReport, JobScheduler};
 use ramr_telemetry::report::{breakdown_table, MetricsReport};
 use ramr_topology::{thrid_to_cpu, MachineModel};
 
@@ -36,6 +36,8 @@ USAGE:
                 [--push-spins N] [--push-sleep-us US] [--telemetry 0|1]
                 [--adaptive 0|1] [--adapt-interval-ms MS]
                 [--task-retries N] [--skip-poison 0|1] [--watchdog-ms MS]
+                [--sched-jobs N] [--sched-tenants N] [--sched-queue N]
+                [--sched-policy fifo|fair:T=W,...] [--sched-quota N]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
   ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
@@ -68,6 +70,14 @@ panicked map task up to N times (jobs must declare is_retry_safe);
 --skip-poison 1 records tasks that still fail and completes the run
 without them; --watchdog-ms N cancels a wedged pipeline and reports a
 per-thread stall diagnosis instead of hanging forever.
+
+With --sched-jobs N (> 0) the run goes through the concurrent job
+scheduler instead of a single engine call: --sched-tenants T client
+threads each submit N copies of the job against one shared worker pool,
+and a per-tenant summary (completed/failed/shed, queue wait, run time)
+is printed per backend. --sched-queue bounds the submission queue,
+--sched-policy picks fifo or weighted fair-share dispatch, and
+--sched-quota caps any one tenant's in-flight jobs (see DESIGN.md §6g).
 ";
 
 fn parse_app(args: &Args) -> Result<AppKind, String> {
@@ -278,6 +288,118 @@ fn execute<J: MapReduceJob>(
     Ok(())
 }
 
+/// Drives the job through the concurrent [`JobScheduler`]: `tenants`
+/// client threads each submit `jobs_per_tenant` copies against one shared
+/// pool, then the per-tenant accounting is printed. Every ticket must
+/// resolve to the same key count — tenants run identical jobs, so a
+/// divergence means the scheduler leaked state between them.
+fn execute_scheduled<J: MapReduceJob + Send + 'static>(
+    job: Arc<J>,
+    input: Arc<Vec<J::Input>>,
+    config: &RuntimeConfig,
+    choice: &RuntimeChoice,
+    tenants: usize,
+    jobs_per_tenant: usize,
+) -> Result<(), String> {
+    if tenants == 0 {
+        return Err("--sched-tenants must be at least 1".into());
+    }
+    for backend in backends_for(choice, config) {
+        let sched =
+            Arc::new(JobScheduler::new(backend, config.clone()).map_err(|e| e.to_string())?);
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..tenants {
+            let sched = Arc::clone(&sched);
+            let job = Arc::clone(&job);
+            let input = Arc::clone(&input);
+            handles.push(std::thread::spawn(move || -> Result<usize, String> {
+                let client = sched.client(&format!("tenant-{t}"));
+                let mut tickets = Vec::with_capacity(jobs_per_tenant);
+                for _ in 0..jobs_per_tenant {
+                    let ticket = client
+                        .submit(Arc::clone(&job), Arc::clone(&input))
+                        .map_err(|e| e.to_string())?;
+                    tickets.push(ticket);
+                }
+                let mut keys = 0;
+                for ticket in tickets {
+                    keys = ticket.wait().map_err(|e| e.to_string())?.output.len();
+                }
+                Ok(keys)
+            }));
+        }
+        let mut keys = None;
+        for handle in handles {
+            let tenant_keys = handle.join().map_err(|_| "a tenant thread panicked")??;
+            match keys {
+                Some(prev) if prev != tenant_keys => {
+                    return Err(format!(
+                        "tenants disagree on identical jobs: {prev} vs {tenant_keys} keys"
+                    ));
+                }
+                _ => keys = Some(tenant_keys),
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>13}: {elapsed:8.2} ms for {} job(s) from {tenants} tenant(s) \
+             ({} dispatch, queue {}) | {} keys per job",
+            backend.as_str(),
+            tenants * jobs_per_tenant,
+            config.sched_policy,
+            config.sched_queue,
+            keys.unwrap_or(0),
+        );
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "  {:<12} {:>6} {:>9} {:>6} {:>5} {:>12} {:>12} {:>12}",
+            "tenant", "weight", "completed", "failed", "shed", "mean-wait", "max-wait", "run-time"
+        );
+        for s in sched.tenant_stats() {
+            let finished = (s.completed + s.failed).max(1);
+            println!(
+                "  {:<12} {:>6} {:>9} {:>6} {:>5} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+                s.tenant,
+                s.weight,
+                s.completed,
+                s.failed,
+                s.shed,
+                ms(s.queue_wait) / finished as f64,
+                ms(s.max_queue_wait),
+                ms(s.run_time),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// How `run` drives a job: one engine call per backend, or `tenants`
+/// threads flooding the shared scheduler with `jobs` submissions each.
+enum RunMode<'a> {
+    Direct { runs: usize, metrics_json: Option<&'a str> },
+    Scheduled { tenants: usize, jobs: usize },
+}
+
+/// Single dispatch point for every `run` application arm.
+fn drive<J: MapReduceJob + Send + 'static>(
+    job: J,
+    input: Vec<J::Input>,
+    config: &RuntimeConfig,
+    choice: &RuntimeChoice,
+    app: AppKind,
+    mode: &RunMode<'_>,
+) -> Result<(), String> {
+    match *mode {
+        RunMode::Direct { runs, metrics_json } => {
+            execute(&job, &input, config, choice, runs, app, metrics_json)
+        }
+        RunMode::Scheduled { tenants, jobs } => {
+            execute_scheduled(Arc::new(job), Arc::new(input), config, choice, tenants, jobs)
+        }
+    }
+}
+
 /// `ramr run`: execute an application on real threads.
 pub fn run(args: &Args) -> Result<(), String> {
     let app = parse_app(args)?;
@@ -289,6 +411,16 @@ pub fn run(args: &Args) -> Result<(), String> {
     let config = build_config(args, app)?;
     let choice = parse_runtime(args)?;
     let metrics_json = args.get("metrics-json");
+    let sched_jobs = args.get_or("sched-jobs", 0usize)?;
+    let sched_tenants = args.get_or("sched-tenants", 2usize)?;
+    let mode = if sched_jobs > 0 {
+        if metrics_json.is_some() {
+            return Err("--metrics-json is a single-run report; drop it or --sched-jobs".into());
+        }
+        RunMode::Scheduled { tenants: sched_tenants, jobs: sched_jobs }
+    } else {
+        RunMode::Direct { runs, metrics_json }
+    };
     let source = match args.get("input") {
         Some(path) => format!("file {path}"),
         None => format!("paper {:?}, scale {scale}", spec.paper),
@@ -312,21 +444,21 @@ pub fn run(args: &Args) -> Result<(), String> {
                 Some(path) => mr_apps::io::read_text(path).map_err(io_err)?,
                 None => wc_input(&spec, scale),
             };
-            execute(&WordCount, &input, &config, &choice, runs, app, metrics_json)
+            drive(WordCount, input, &config, &choice, app, &mode)
         }
         AppKind::Histogram => {
             let input = match &from_file {
                 Some(path) => mr_apps::io::read_pixels(path).map_err(io_err)?,
                 None => hg_input(&spec, scale),
             };
-            execute(&Histogram, &input, &config, &choice, runs, app, metrics_json)
+            drive(Histogram, input, &config, &choice, app, &mode)
         }
         AppKind::LinearRegression => {
             let input = match &from_file {
                 Some(path) => mr_apps::io::read_lr_points(path).map_err(io_err)?,
                 None => lr_input(&spec, scale),
             };
-            execute(&LinearRegression, &input, &config, &choice, runs, app, metrics_json)
+            drive(LinearRegression, input, &config, &choice, app, &mode)
         }
         AppKind::Kmeans => {
             let input = match &from_file {
@@ -334,7 +466,7 @@ pub fn run(args: &Args) -> Result<(), String> {
                 None => km_input(&spec, scale),
             };
             let state = KmeansState::seeded(&input, 16);
-            execute(&state.job(), &input, &config, &choice, runs, app, metrics_json)
+            drive(state.job(), input, &config, &choice, app, &mode)
         }
         AppKind::Pca => {
             let matrix = Arc::new(match &from_file {
@@ -353,7 +485,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             };
             let cov_job = PcaCovJob::new(matrix, means);
             let tasks = cov_job.tasks();
-            execute(&cov_job, &tasks, &config, &choice, runs, app, metrics_json)
+            drive(cov_job, tasks, &config, &choice, app, &mode)
         }
         AppKind::MatrixMultiply => {
             let (a, b) = match (args.get("input-a"), args.get("input-b")) {
@@ -366,7 +498,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             };
             let job = MatrixMultiply::new(Arc::new(a), Arc::new(b), 16);
             let tasks = job.tasks();
-            execute(&job, &tasks, &config, &choice, runs, app, metrics_json)
+            drive(job, tasks, &config, &choice, app, &mode)
         }
     }
 }

@@ -33,6 +33,8 @@ const RUN_BASE_FLAGS: &[&str] = &[
     "input-a",
     "input-b",
     "metrics-json",
+    "sched-tenants",
+    "sched-jobs",
 ];
 
 fn run_flags() -> Vec<&'static str> {

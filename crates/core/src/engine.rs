@@ -132,11 +132,17 @@ impl Backend {
         match self {
             Backend::RamrStatic => {
                 config.adaptive = false;
-                Ok(EngineSession::Pooled(Box::new(RamrSession::new(config)?)))
+                Ok(EngineSession::Pooled {
+                    backend: self,
+                    session: Box::new(RamrSession::new(config)?),
+                })
             }
             Backend::RamrAdaptive => {
                 config.adaptive = true;
-                Ok(EngineSession::Pooled(Box::new(RamrSession::new(config)?)))
+                Ok(EngineSession::Pooled {
+                    backend: self,
+                    session: Box::new(RamrSession::new(config)?),
+                })
             }
             Backend::Phoenix => {
                 config.adaptive = false;
@@ -338,7 +344,13 @@ impl Engine for AnyEngine {
 /// pooled against fresh execution uniformly across backends.
 pub enum EngineSession<J: MapReduceJob + 'static> {
     /// A persistent RAMR worker-pool session.
-    Pooled(Box<RamrSession<J>>),
+    Pooled {
+        /// The backend resolved once at construction — the report tag can
+        /// never drift from the session that produced it.
+        backend: Backend,
+        /// The persistent worker-pool session.
+        session: Box<RamrSession<J>>,
+    },
     /// A per-submit Phoenix runtime.
     Fresh(PhoenixRuntime),
 }
@@ -346,7 +358,11 @@ pub enum EngineSession<J: MapReduceJob + 'static> {
 impl<J: MapReduceJob + 'static> std::fmt::Debug for EngineSession<J> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineSession::Pooled(s) => f.debug_tuple("Pooled").field(s).finish(),
+            EngineSession::Pooled { backend, session } => f
+                .debug_struct("Pooled")
+                .field("backend", backend)
+                .field("session", session)
+                .finish(),
             EngineSession::Fresh(_) => f.debug_tuple("Fresh").finish(),
         }
     }
@@ -356,7 +372,7 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
     /// Which backend this session executes on.
     pub fn backend(&self) -> Backend {
         match self {
-            EngineSession::Pooled(s) => Backend::of_ramr_config(s.config()),
+            EngineSession::Pooled { backend, .. } => *backend,
             EngineSession::Fresh(_) => Backend::Phoenix,
         }
     }
@@ -364,7 +380,7 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
     /// The session's (normalized) configuration.
     pub fn config(&self) -> &RuntimeConfig {
         match self {
-            EngineSession::Pooled(s) => s.config(),
+            EngineSession::Pooled { session, .. } => session.config(),
             EngineSession::Fresh(rt) => rt.config(),
         }
     }
@@ -381,7 +397,7 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
         input: &[J::Input],
     ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
         match self {
-            EngineSession::Pooled(s) => s.submit(job, input),
+            EngineSession::Pooled { session, .. } => session.submit(job, input),
             EngineSession::Fresh(rt) => rt.run(job, input),
         }
     }
@@ -397,10 +413,9 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
         input: &[J::Input],
     ) -> Result<EngineOutput<J>, RuntimeError> {
         match self {
-            EngineSession::Pooled(s) => {
-                let backend = Backend::of_ramr_config(s.config());
-                let (output, report) = s.submit_with_report(job, input)?;
-                Ok((output, EngineReport::from_ramr(backend, report)))
+            EngineSession::Pooled { backend, session } => {
+                let (output, report) = session.submit_with_report(job, input)?;
+                Ok((output, EngineReport::from_ramr(*backend, report)))
             }
             EngineSession::Fresh(rt) => {
                 let (output, report) = rt.run_with_report(job, input)?;

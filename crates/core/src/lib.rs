@@ -73,11 +73,13 @@
 
 mod engine;
 mod runtime;
+pub mod sched;
 mod session;
 pub mod tuning;
 
 pub use engine::{AnyEngine, Backend, Engine, EngineOutput, EngineReport, EngineSession};
 pub use runtime::{RamrRuntime, ReportedOutput, RunReport};
+pub use sched::{CompletedJob, JobClient, JobScheduler, JobTicket, SchedError, TenantStats};
 pub use session::RamrSession;
 pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
 

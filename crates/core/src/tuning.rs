@@ -49,8 +49,11 @@
 //! }
 //!
 //! let sample: Vec<u64> = (0..10_000).collect();
-//! let calibration = calibrate(&Double, &sample, &RuntimeConfig::default())?;
-//! let tuned = calibration.suggest(RuntimeConfig::default())?;
+//! // `suggest` splits the requested thread budget; it needs at least 2
+//! // (a 1-worker base is rejected rather than silently widened).
+//! let base = RuntimeConfig::builder().num_workers(4).num_combiners(2).build()?;
+//! let calibration = calibrate(&Double, &sample, &base)?;
+//! let tuned = calibration.suggest(base)?;
 //! assert!(tuned.num_combiners <= tuned.num_workers);
 //! # Ok::<(), mr_core::RuntimeError>(())
 //! ```
@@ -93,27 +96,32 @@ impl Calibration {
     ///
     /// # Errors
     ///
-    /// Propagates validation errors from the resulting configuration.
+    /// Returns [`RuntimeError::InvalidConfig`] when `base.num_workers < 2`
+    /// — one thread cannot be split into a mapper and a combiner, and
+    /// silently widening the request would hand back a configuration using
+    /// more cores than the caller asked for. Otherwise propagates
+    /// validation errors from the resulting configuration.
     pub fn suggest(&self, base: RuntimeConfig) -> Result<RuntimeConfig, RuntimeError> {
-        let total = base.num_workers.max(2);
+        let total = base.num_workers;
+        if total < 2 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "cannot split {total} thread(s) into decoupled mapper and combiner pools; \
+                 request at least 2 workers"
+            )));
+        }
         let combiners =
             ((total as f64 * self.combine_share() * 1.25).ceil() as usize).clamp(1, total / 2);
         let machine = MachineModel::detect();
         let l1_share = (u64::from(machine.l1d_kb) * 1024 / machine.smt as u64) as usize;
         let batch = (l1_share / 2 / self.pair_bytes.max(1)).clamp(16, base.queue_capacity);
-        RuntimeConfig {
+        let tuned = RuntimeConfig {
             num_workers: total - combiners,
             num_combiners: combiners,
             batch_size: batch,
             ..base
-        }
-        .validate()
-        .map(|()| RuntimeConfig {
-            num_workers: total - combiners,
-            num_combiners: combiners,
-            batch_size: batch,
-            ..base
-        })
+        };
+        tuned.validate()?;
+        Ok(tuned)
     }
 }
 
@@ -570,8 +578,24 @@ mod tests {
                 .unwrap();
             let tuned = c.suggest(base).unwrap();
             tuned.validate().unwrap();
-            assert_eq!(tuned.num_workers + tuned.num_combiners, workers.max(2));
+            assert_eq!(tuned.num_workers + tuned.num_combiners, workers);
         }
+    }
+
+    #[test]
+    fn suggest_rejects_a_single_thread_instead_of_widening_it() {
+        // Regression: `suggest` used to bump a 1-worker request to 2
+        // threads silently, handing back a configuration that used more
+        // cores than the caller budgeted.
+        let c = Calibration {
+            map_ns_per_elem: 100.0,
+            combine_ns_per_pair: 100.0,
+            emits_per_elem: 4.0,
+            pair_bytes: 16,
+        };
+        let base = RuntimeConfig::builder().num_workers(1).num_combiners(1).build().unwrap();
+        let err = c.suggest(base).unwrap_err();
+        assert!(err.to_string().contains("at least 2 workers"), "{err}");
     }
 
     #[test]

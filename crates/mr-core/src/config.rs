@@ -131,6 +131,111 @@ impl Default for PushBackoff {
     }
 }
 
+/// Dispatch order of the concurrent job scheduler (`ramr::sched`) across
+/// tenants with queued jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchedPolicyKind {
+    /// Strict arrival order, tenant-oblivious: the oldest queued job in the
+    /// whole scheduler runs next. A flooding tenant can starve light ones.
+    Fifo,
+    /// Weighted fair-share (stride scheduling): each dispatched job advances
+    /// its tenant's virtual pass by `1/weight`, and the tenant with the
+    /// smallest pass runs next — so over any window, dispatch counts are
+    /// proportional to weights regardless of arrival order.
+    Fair,
+}
+
+impl std::fmt::Display for SchedPolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedPolicyKind::Fifo => "fifo",
+            SchedPolicyKind::Fair => "fair",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scheduling policy of the concurrent job scheduler: the dispatch order
+/// plus per-tenant weights.
+///
+/// Parses from the `RAMR_SCHED_POLICY` / `--sched-policy` syntax:
+/// `fifo`, `fair` (all tenants weight 1), or `fair:alice=3,bob=1`
+/// (named tenants weighted; unnamed tenants default to weight 1).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchedPolicy {
+    /// Dispatch order across tenants.
+    pub kind: SchedPolicyKind,
+    /// Per-tenant weights for [`SchedPolicyKind::Fair`], as `(tenant,
+    /// weight)` pairs; weights must be nonzero (validated). Tenants not
+    /// listed get weight 1. Must be empty under FIFO.
+    pub weights: Vec<(String, u32)>,
+}
+
+impl SchedPolicy {
+    /// Strict arrival order — the default.
+    pub fn fifo() -> Self {
+        SchedPolicy { kind: SchedPolicyKind::Fifo, weights: Vec::new() }
+    }
+
+    /// Weighted fair-share with every tenant at weight 1.
+    pub fn fair() -> Self {
+        SchedPolicy { kind: SchedPolicyKind::Fair, weights: Vec::new() }
+    }
+
+    /// The weight a tenant dispatches with under this policy: its listed
+    /// weight, or 1 when unlisted (FIFO ignores weights entirely).
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.weights.iter().find(|(name, _)| name == tenant).map_or(1, |&(_, w)| w)
+    }
+}
+
+impl Default for SchedPolicy {
+    fn default() -> Self {
+        Self::fifo()
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)?;
+        for (i, (tenant, weight)) in self.weights.iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{tenant}={weight}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for SchedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, weights) = match s.split_once(':') {
+            Some((kind, weights)) => (kind, Some(weights)),
+            None => (s, None),
+        };
+        match (kind, weights) {
+            ("fifo", None) => Ok(SchedPolicy::fifo()),
+            ("fifo", Some(_)) => Err("fifo takes no tenant weights".into()),
+            ("fair", None) => Ok(SchedPolicy::fair()),
+            ("fair", Some(list)) => {
+                let mut weights = Vec::new();
+                for entry in list.split(',') {
+                    let (tenant, weight) = entry
+                        .split_once('=')
+                        .ok_or_else(|| format!("expected tenant=weight, got {entry:?}"))?;
+                    let weight: u32 = weight
+                        .parse()
+                        .map_err(|_| format!("weight for tenant {tenant:?} is not a number"))?;
+                    weights.push((tenant.to_string(), weight));
+                }
+                Ok(SchedPolicy { kind: SchedPolicyKind::Fair, weights })
+            }
+            (other, _) => Err(format!("unknown policy {other:?} (expected fifo or fair)")),
+        }
+    }
+}
+
 /// Complete tuning surface for a runtime invocation.
 ///
 /// Defaults follow the paper: queue capacity 5000 (within 2% of optimal
@@ -231,6 +336,19 @@ pub struct RuntimeConfig {
     /// per-thread diagnostics snapshot. `None` (the default) disables the
     /// watchdog entirely. Must be nonzero when set (validated).
     pub watchdog: Option<Duration>,
+    /// Capacity of the concurrent scheduler's bounded submission queue, in
+    /// jobs across all tenants. Blocking submits park when the queue is
+    /// full; `try_submit` sheds instead. Only read by `ramr::sched`; the
+    /// direct runtime paths ignore it. Must be nonzero (validated).
+    pub sched_queue: usize,
+    /// Dispatch policy of the concurrent scheduler: FIFO (the default) or
+    /// weighted fair-share across named tenants. Only read by
+    /// `ramr::sched`.
+    pub sched_policy: SchedPolicy,
+    /// Per-tenant in-flight cap for the concurrent scheduler: queued plus
+    /// running jobs a single tenant may hold at once. 0 (the default)
+    /// means unlimited. Only read by `ramr::sched`.
+    pub sched_quota: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -256,6 +374,9 @@ impl Default for RuntimeConfig {
             max_task_retries: 0,
             skip_poison_tasks: false,
             watchdog: None,
+            sched_queue: 64,
+            sched_policy: SchedPolicy::default(),
+            sched_quota: 0,
         }
     }
 }
@@ -298,8 +419,11 @@ impl RuntimeConfig {
     /// milliseconds), `RAMR_TASK_RETRIES` (re-executions of a panicked map
     /// task before giving up), `RAMR_SKIP_POISON_TASKS` (boolean: complete
     /// the run without tasks whose retries are exhausted, recording them in
-    /// the fault report), and `RAMR_WATCHDOG_MS` (stall-detector period in
-    /// milliseconds; must be nonzero).
+    /// the fault report), `RAMR_WATCHDOG_MS` (stall-detector period in
+    /// milliseconds; must be nonzero), and the concurrent-scheduler knobs
+    /// `RAMR_SCHED_QUEUE` (submission-queue capacity in jobs),
+    /// `RAMR_SCHED_POLICY` (`fifo`, `fair`, or `fair:tenant=weight,...`)
+    /// and `RAMR_SCHED_QUOTA` (per-tenant in-flight cap; 0 = unlimited).
     ///
     /// # Errors
     ///
@@ -368,6 +492,34 @@ impl RuntimeConfig {
                  immediately); use None to disable the watchdog"
                     .into(),
             ));
+        }
+        nonzero(self.sched_queue, "sched_queue")?;
+        if self.sched_policy.kind == SchedPolicyKind::Fifo && !self.sched_policy.weights.is_empty()
+        {
+            return Err(RuntimeError::InvalidConfig(
+                "sched_policy: FIFO dispatch ignores tenant weights; use fair:T=W,... or \
+                 clear the weight list"
+                    .into(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (tenant, weight) in &self.sched_policy.weights {
+            if tenant.is_empty() {
+                return Err(RuntimeError::InvalidConfig(
+                    "sched_policy: tenant names must be nonempty".into(),
+                ));
+            }
+            if *weight == 0 {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "sched_policy: tenant {tenant:?} has weight 0; a zero-weight tenant \
+                     could never dispatch"
+                )));
+            }
+            if !seen.insert(tenant.as_str()) {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "sched_policy: tenant {tenant:?} is weighted twice"
+                )));
+            }
         }
         if let Some(n) = self.emit_buffer_size {
             nonzero(n, "emit_buffer_size")?;
@@ -501,6 +653,25 @@ impl RuntimeConfigBuilder {
     /// Enables the pipeline stall watchdog with the given period.
     pub fn watchdog(mut self, period: Duration) -> Self {
         self.config.watchdog = Some(period);
+        self
+    }
+
+    /// Sets the concurrent scheduler's submission-queue capacity.
+    pub fn sched_queue(mut self, n: usize) -> Self {
+        self.config.sched_queue = n;
+        self
+    }
+
+    /// Sets the concurrent scheduler's dispatch policy.
+    pub fn sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.config.sched_policy = policy;
+        self
+    }
+
+    /// Sets the concurrent scheduler's per-tenant in-flight quota
+    /// (0 = unlimited).
+    pub fn sched_quota(mut self, n: usize) -> Self {
+        self.config.sched_quota = n;
         self
     }
 
@@ -764,6 +935,32 @@ pub const ENV_KNOBS: &[EnvKnob] = &[
         value: "MS",
         help: "stall watchdog period, in milliseconds (unset = off)",
         apply: |b, raw, src| Ok(b.watchdog(Duration::from_millis(knob(raw, src)?))),
+    },
+    EnvKnob {
+        env: "RAMR_SCHED_QUEUE",
+        cli: "sched-queue",
+        value: "N",
+        help: "scheduler submission-queue capacity, in jobs (all tenants)",
+        apply: |b, raw, src| Ok(b.sched_queue(knob(raw, src)?)),
+    },
+    EnvKnob {
+        env: "RAMR_SCHED_POLICY",
+        cli: "sched-policy",
+        value: "fifo|fair[:T=W,...]",
+        help: "scheduler dispatch policy: arrival order or weighted fair-share",
+        apply: |b, raw, src| {
+            let policy = raw
+                .parse::<SchedPolicy>()
+                .map_err(|e| RuntimeError::InvalidConfig(format!("{src}={raw}: {e}")))?;
+            Ok(b.sched_policy(policy))
+        },
+    },
+    EnvKnob {
+        env: "RAMR_SCHED_QUOTA",
+        cli: "sched-quota",
+        value: "N",
+        help: "per-tenant in-flight job quota (0 = unlimited)",
+        apply: |b, raw, src| Ok(b.sched_quota(knob(raw, src)?)),
     },
 ];
 
@@ -1059,6 +1256,78 @@ mod tests {
         let err = RuntimeConfig::from_env().unwrap_err();
         std::env::remove_var("RAMR_TASK_RETRIES");
         assert!(err.to_string().contains("RAMR_TASK_RETRIES"), "{err}");
+    }
+
+    #[test]
+    fn sched_knobs_default_to_fifo_unbounded_tenants() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.sched_queue, 64);
+        assert_eq!(c.sched_policy, SchedPolicy::fifo());
+        assert_eq!(c.sched_quota, 0, "quota must default to unlimited");
+    }
+
+    #[test]
+    fn sched_policy_parses_and_round_trips() {
+        for (raw, kind, weights) in [
+            ("fifo", SchedPolicyKind::Fifo, vec![]),
+            ("fair", SchedPolicyKind::Fair, vec![]),
+            (
+                "fair:alice=3,bob=1",
+                SchedPolicyKind::Fair,
+                vec![("alice".to_string(), 3), ("bob".to_string(), 1)],
+            ),
+        ] {
+            let policy: SchedPolicy = raw.parse().unwrap();
+            assert_eq!(policy.kind, kind, "{raw}");
+            assert_eq!(policy.weights, weights, "{raw}");
+            assert_eq!(policy.to_string(), raw, "display must round-trip");
+            assert_eq!(policy.to_string().parse::<SchedPolicy>().unwrap(), policy);
+        }
+        assert_eq!("fair:a=3".parse::<SchedPolicy>().unwrap().weight_of("a"), 3);
+        assert_eq!("fair:a=3".parse::<SchedPolicy>().unwrap().weight_of("b"), 1);
+        for bad in ["fifo:a=1", "lifo", "fair:a", "fair:a=many"] {
+            assert!(bad.parse::<SchedPolicy>().is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_sched_policies() {
+        let err = RuntimeConfig::builder().sched_queue(0).build().unwrap_err();
+        assert!(err.to_string().contains("sched_queue"), "{err}");
+        let fifo_weighted =
+            SchedPolicy { kind: SchedPolicyKind::Fifo, weights: vec![("a".to_string(), 1)] };
+        let err = RuntimeConfig::builder().sched_policy(fifo_weighted).build().unwrap_err();
+        assert!(err.to_string().contains("FIFO"), "{err}");
+        let zero = SchedPolicy { kind: SchedPolicyKind::Fair, weights: vec![("a".to_string(), 0)] };
+        let err = RuntimeConfig::builder().sched_policy(zero).build().unwrap_err();
+        assert!(err.to_string().contains("weight 0"), "{err}");
+        let dup = SchedPolicy {
+            kind: SchedPolicyKind::Fair,
+            weights: vec![("a".to_string(), 1), ("a".to_string(), 2)],
+        };
+        let err = RuntimeConfig::builder().sched_policy(dup).build().unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn from_env_reads_sched_knobs() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("RAMR_SCHED_QUEUE", "9");
+        std::env::set_var("RAMR_SCHED_POLICY", "fair:flood=1,light=4");
+        std::env::set_var("RAMR_SCHED_QUOTA", "2");
+        let c = RuntimeConfig::from_env().unwrap();
+        std::env::remove_var("RAMR_SCHED_QUEUE");
+        std::env::remove_var("RAMR_SCHED_POLICY");
+        std::env::remove_var("RAMR_SCHED_QUOTA");
+        assert_eq!(c.sched_queue, 9);
+        assert_eq!(c.sched_policy.kind, SchedPolicyKind::Fair);
+        assert_eq!(c.sched_policy.weight_of("light"), 4);
+        assert_eq!(c.sched_quota, 2);
+
+        std::env::set_var("RAMR_SCHED_POLICY", "round-robin");
+        let err = RuntimeConfig::from_env().unwrap_err();
+        std::env::remove_var("RAMR_SCHED_POLICY");
+        assert!(err.to_string().contains("RAMR_SCHED_POLICY"), "{err}");
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod stats;
 
 pub use config::{
     ContainerKind, EnvKnob, HasherKind, PinningPolicyKind, PushBackoff, RuntimeConfig,
-    RuntimeConfigBuilder, ENV_KNOBS,
+    RuntimeConfigBuilder, SchedPolicy, SchedPolicyKind, ENV_KNOBS,
 };
 pub use error::RuntimeError;
 pub use job::{Emitter, MapReduceJob, MrKey, MrValue};

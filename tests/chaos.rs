@@ -10,13 +10,13 @@
 //! assertion, not a wedged CI job.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
 use mr_apps::{WordCount, WordCountString};
 use mr_core::{ContainerKind, MapReduceJob, RuntimeConfig, RuntimeError};
-use ramr::{Backend, Engine, RamrRuntime};
+use ramr::{Backend, Engine, JobScheduler, RamrRuntime, SchedError};
 use ramr_containers::CompactKey;
 use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
 
@@ -234,6 +234,76 @@ fn seeded_chaos_plans_replay_to_the_exact_output_across_engines() {
             assert!(faults.retries >= 1, "{backend} seed={seed}: plans always hold faults");
             assert!(faults.skipped.is_empty(), "{backend} seed={seed}");
         }
+    }
+}
+
+#[test]
+fn a_poison_tenant_through_the_scheduler_fails_alone_across_engines() {
+    // Scheduler-level fault isolation: a tenant whose every job aborts with
+    // an injected panic shares the pool with two concurrently submitting
+    // healthy tenants. The victim must collect its own `WorkerPanic` per
+    // job; the bystanders' outputs must be byte-identical to the serial
+    // reference throughout — no wedge, no bleed, on every engine.
+    for backend in Backend::ALL {
+        let adaptive = is_adaptive(backend);
+        with_deadline(120, move || {
+            let cfg = config(1, false, None, adaptive);
+            let sched = Arc::new(JobScheduler::<FaultyJob<WordCount>>::new(backend, cfg).unwrap());
+            let input = Arc::new(lines());
+            let expected = reference(&input, &[]);
+
+            let mut bystanders = Vec::new();
+            for b in 0..2 {
+                let sched = Arc::clone(&sched);
+                let input = Arc::clone(&input);
+                let expected = expected.clone();
+                bystanders.push(thread::spawn(move || {
+                    let client = sched.client(&format!("bystander-{b}"));
+                    for round in 0..4 {
+                        let job = Arc::new(faulty(FaultPlan::default()));
+                        let done = client.submit(job, Arc::clone(&input)).unwrap().wait().unwrap();
+                        assert_eq!(
+                            to_string_pairs(done.output.pairs),
+                            expected,
+                            "{backend} bystander-{b} round {round}"
+                        );
+                    }
+                }));
+            }
+
+            let victim = sched.client("victim");
+            for round in 0..4 {
+                let plan = FaultPlan::with_faults(vec![FaultKind::PanicOnTask {
+                    key: 3,
+                    fail_attempts: u32::MAX,
+                }]);
+                let err = victim.submit(Arc::new(faulty(plan)), Arc::clone(&input)).unwrap().wait();
+                match err {
+                    Err(SchedError::Job(RuntimeError::WorkerPanic(ref m))) => {
+                        assert!(m.contains("injected fault"), "{backend} round {round}: {m}")
+                    }
+                    other => panic!(
+                        "{backend} round {round}: expected the injected panic, got {other:?}"
+                    ),
+                }
+            }
+            for handle in bystanders {
+                handle.join().unwrap();
+            }
+
+            let stats = sched.tenant_stats();
+            let victim_stats = stats.iter().find(|s| s.tenant == "victim").unwrap();
+            assert_eq!(victim_stats.failed, 4, "{backend}: every poisoned job must fail");
+            assert_eq!(victim_stats.completed, 0, "{backend}");
+            for b in 0..2 {
+                let s = stats.iter().find(|s| s.tenant == format!("bystander-{b}")).unwrap();
+                assert_eq!(
+                    (s.completed, s.failed, s.shed),
+                    (4, 0, 0),
+                    "{backend} bystander-{b}: the victim's faults leaked into its accounting"
+                );
+            }
+        });
     }
 }
 

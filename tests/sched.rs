@@ -1,0 +1,373 @@
+//! Scheduler suite: many concurrent clients over one shared session.
+//!
+//! The hazards specific to the scheduler layer are ordering (a policy must
+//! dispatch exactly the jobs it was given, once each), isolation (one
+//! tenant's failure must not leak into another's output or wedge the
+//! queue), and admission control (quotas and the bounded queue must shed
+//! or delay — never deadlock, never drop silently). Each test drives a
+//! `JobScheduler` from multiple threads and checks one hazard with exact
+//! assertions; outputs are always compared byte-for-byte against a serial
+//! baseline.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mr_apps::WordCount;
+use mr_core::{ContainerKind, RuntimeConfig, SchedPolicy};
+use ramr::sched::SchedError;
+use ramr::{Backend, Engine, JobScheduler};
+use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
+
+/// Lines per task; the fault fingerprint divides by this.
+const TASK: usize = 32;
+
+fn lines(n: usize, salt: usize) -> Vec<String> {
+    (0..n).map(|i| format!("t{i} alpha beta w{} v{}", (i + salt) % 7, (i + salt) % 13)).collect()
+}
+
+/// Word counts of `input` — the exact expected output of a healthy run.
+fn reference(input: &[String]) -> Vec<(ramr_containers::CompactKey, u64)> {
+    let mut counts = BTreeMap::new();
+    for line in input {
+        for word in line.split_ascii_whitespace() {
+            *counts.entry(ramr_containers::CompactKey::ascii_lowercase(word)).or_insert(0u64) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Task ordinal of a line: the leading `t<index>` token over [`TASK`].
+#[allow(clippy::ptr_arg)]
+fn ordinal_of(line: &String) -> u64 {
+    let token = line.split_ascii_whitespace().next().expect("nonempty line");
+    let index: u64 = token[1..].parse().expect("t<index> token");
+    index / TASK as u64
+}
+
+fn config() -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(TASK)
+        .queue_capacity(256)
+        .batch_size(16)
+        .container(ContainerKind::Hash)
+        .telemetry(true)
+        .build()
+        .unwrap()
+}
+
+fn healthy() -> FaultyJob<WordCount> {
+    FaultyJob::new(WordCount, FaultPlan::default(), ordinal_of)
+}
+
+fn poisoned(key: u64) -> FaultyJob<WordCount> {
+    let plan =
+        FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key, fail_attempts: u32::MAX }]);
+    FaultyJob::new(WordCount, plan, ordinal_of)
+}
+
+/// Runs `f` on a helper thread and panics if it outruns `secs` — a
+/// scheduler regression must fail the suite, not hang it.
+fn with_deadline<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(_) => panic!("scheduler run exceeded the {secs}s deadline"),
+    }
+}
+
+/// The acceptance-criteria differential: N >= 4 concurrent clients
+/// submitting mixed jobs through one shared session must produce outputs
+/// byte-identical to running the same jobs serially — on every backend.
+#[test]
+fn concurrent_clients_match_the_serial_baseline_across_backends() {
+    const CLIENTS: usize = 4;
+    const JOBS_PER_CLIENT: usize = 6;
+    for backend in Backend::ALL {
+        with_deadline(120, move || {
+            let sched = JobScheduler::<WordCount>::new(backend, config()).unwrap();
+            let mut handles = Vec::new();
+            for c in 0..CLIENTS {
+                let client = sched.client(&format!("tenant-{c}"));
+                handles.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for j in 0..JOBS_PER_CLIENT {
+                        // Mixed jobs: every (client, round) pair gets its
+                        // own input, so misrouted or cross-bled output
+                        // cannot accidentally compare equal.
+                        let salt = c * 100 + j;
+                        let input = Arc::new(lines(150 + j * TASK, salt));
+                        let ticket = client.submit(Arc::new(WordCount), input).unwrap();
+                        let done = ticket.wait().unwrap();
+                        got.push((salt, done.output.pairs));
+                    }
+                    got
+                }));
+            }
+            for handle in handles {
+                for (salt, pairs) in handle.join().unwrap() {
+                    // The serial baseline: the same job, fresh and alone.
+                    let input = lines(150 + (salt % 100) * TASK, salt);
+                    let serial =
+                        backend.engine(config()).unwrap().run_job(&WordCount, &input).unwrap();
+                    assert_eq!(pairs, serial.pairs, "{backend} salt={salt}");
+                    assert_eq!(pairs, reference(&input), "{backend} salt={salt}");
+                }
+            }
+            let stats = sched.tenant_stats();
+            assert_eq!(stats.len(), CLIENTS, "{backend}: every tenant accounted");
+            for s in &stats {
+                assert_eq!(s.completed, JOBS_PER_CLIENT as u64, "{backend} {}", s.tenant);
+                assert_eq!(s.failed, 0, "{backend} {}", s.tenant);
+                assert_eq!(s.shed, 0, "{backend} {}", s.tenant);
+            }
+        });
+    }
+}
+
+/// The same differential under the fair-share policy with skewed weights:
+/// fairness reorders dispatch, but must never change any job's output.
+#[test]
+fn fair_share_reorders_dispatch_but_never_output() {
+    with_deadline(120, || {
+        let mut cfg = config();
+        cfg.sched_policy = "fair:flood=1,light=8".parse::<SchedPolicy>().unwrap();
+        let sched = JobScheduler::<WordCount>::new(Backend::RamrStatic, cfg).unwrap();
+        let mut handles = Vec::new();
+        for (tenant, jobs) in [("flood", 12usize), ("light", 3), ("extra", 3), ("more", 3)] {
+            let client = sched.client(tenant);
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                for j in 0..jobs {
+                    let input = Arc::new(lines(120, j));
+                    let ticket = client.submit(Arc::new(WordCount), Arc::clone(&input)).unwrap();
+                    got.push((input, ticket));
+                }
+                // Redeem after submitting everything, so the queue really
+                // holds competing tenants at once.
+                got.into_iter()
+                    .map(|(input, t)| (input, t.wait().unwrap().output.pairs))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (input, pairs) in handle.join().unwrap() {
+                assert_eq!(pairs, reference(&input));
+            }
+        }
+        let stats = sched.tenant_stats();
+        let flood = stats.iter().find(|s| s.tenant == "flood").unwrap();
+        let light = stats.iter().find(|s| s.tenant == "light").unwrap();
+        assert_eq!((flood.weight, light.weight), (1, 8), "weights come from the policy");
+        assert_eq!(flood.completed, 12);
+        assert_eq!(light.completed, 3);
+    });
+}
+
+/// A panicking job fails only its own tenant's ticket; concurrent submits
+/// from other clients still complete with exact outputs, and the queue
+/// keeps flowing afterwards — on every backend.
+#[test]
+fn a_failed_tenant_never_wedges_the_queue_across_backends() {
+    for backend in Backend::ALL {
+        with_deadline(120, move || {
+            let sched = JobScheduler::<FaultyJob<WordCount>>::new(backend, config()).unwrap();
+            let victim = sched.client("victim");
+            let mut handles = Vec::new();
+            for c in 0..3 {
+                let client = sched.client(&format!("bystander-{c}"));
+                handles.push(thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for j in 0..4 {
+                        let input = Arc::new(lines(150, c * 10 + j));
+                        let ticket =
+                            client.submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+                        got.push((input, ticket.wait().unwrap().output.pairs));
+                    }
+                    got
+                }));
+            }
+            // The victim interleaves poisoned jobs with the bystanders.
+            for round in 0..3 {
+                let input = Arc::new(lines(150, round));
+                let err = victim.submit(Arc::new(poisoned(1)), input).unwrap().wait().unwrap_err();
+                assert!(
+                    matches!(&err, SchedError::Job(e) if e.to_string().contains("panic")),
+                    "{backend} round {round}: expected the injected panic, got {err}"
+                );
+            }
+            for handle in handles {
+                for (input, pairs) in handle.join().unwrap() {
+                    assert_eq!(pairs, reference(&input), "{backend}: bystander output bled");
+                }
+            }
+            // And the session is still usable for the failed tenant too.
+            let input = Arc::new(lines(150, 99));
+            let done = victim.submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+            assert_eq!(done.wait().unwrap().output.pairs, reference(&input), "{backend}");
+            let stats = sched.tenant_stats();
+            let victim_stats = stats.iter().find(|s| s.tenant == "victim").unwrap();
+            assert_eq!(victim_stats.failed, 3, "{backend}");
+            assert_eq!(victim_stats.completed, 1, "{backend}");
+        });
+    }
+}
+
+/// The per-tenant quota sheds `try_submit` deterministically: with quota 1
+/// and one job parked in the queue behind a slow epoch, the second
+/// `try_submit` from the same tenant must be refused and counted.
+#[test]
+fn quota_sheds_try_submit_but_other_tenants_proceed() {
+    with_deadline(60, || {
+        let mut cfg = config();
+        cfg.sched_quota = 1;
+        let sched = JobScheduler::<FaultyJob<WordCount>>::new(Backend::RamrStatic, cfg).unwrap();
+        // Park the dispatcher on a slow job (every task dawdles 20 ms) so
+        // admission decisions happen while work is provably in flight.
+        let slow_plan = FaultPlan::with_faults(
+            (0..5).map(|k| FaultKind::DelayTask { key: k, micros: 20_000 }).collect(),
+        );
+        let slow = FaultyJob::new(WordCount, slow_plan, ordinal_of);
+        let input = Arc::new(lines(150, 0));
+        let a = sched.client("a");
+        let first = a.submit(Arc::new(slow), Arc::clone(&input)).unwrap();
+
+        // Same tenant, quota already held by the in-flight job.
+        let err = a.try_submit(Arc::new(healthy()), Arc::clone(&input)).unwrap_err();
+        assert!(
+            matches!(&err, SchedError::QuotaExceeded { tenant, quota: 1 } if tenant == "a"),
+            "expected the quota refusal, got {err}"
+        );
+
+        // A different tenant has its own quota and sails through.
+        let b = sched.client("b");
+        let second = b.try_submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+        assert_eq!(second.wait().unwrap().output.pairs, reference(&input));
+        assert_eq!(first.wait().unwrap().output.pairs, reference(&input));
+
+        let stats = sched.tenant_stats();
+        let a_stats = stats.iter().find(|s| s.tenant == "a").unwrap();
+        assert_eq!(a_stats.shed, 1, "the refusal must be recorded");
+        assert_eq!(a_stats.completed, 1);
+    });
+}
+
+/// After a watchdog-cancelled epoch the scheduler is saturated: it sheds
+/// `try_submit` until an epoch completes cleanly, then admits again.
+#[test]
+fn watchdog_saturation_sheds_until_an_epoch_completes_cleanly() {
+    with_deadline(60, || {
+        let mut cfg = config();
+        cfg.watchdog = Some(Duration::from_millis(200));
+        let sched = JobScheduler::<FaultyJob<WordCount>>::new(Backend::RamrStatic, cfg).unwrap();
+        let client = sched.client("a");
+        let input = Arc::new(lines(150, 0));
+
+        let hung_plan = FaultPlan::with_faults(vec![FaultKind::HangOnTask { key: 1 }]);
+        let hung = FaultyJob::new(WordCount, hung_plan, ordinal_of);
+        let err = client.submit(Arc::new(hung), Arc::clone(&input)).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(&err, SchedError::Job(mr_core::RuntimeError::Stalled { .. })),
+            "expected the watchdog trip, got {err}"
+        );
+
+        // Saturated: non-blocking admission sheds.
+        let err = client.try_submit(Arc::new(healthy()), Arc::clone(&input)).unwrap_err();
+        assert!(matches!(err, SchedError::Saturated), "got {err}");
+
+        // A blocking submit is delayed-not-shed; its clean completion
+        // clears the saturation.
+        let done = client.submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+        assert_eq!(done.wait().unwrap().output.pairs, reference(&input));
+        let again = client.try_submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+        assert_eq!(again.wait().unwrap().output.pairs, reference(&input));
+    });
+}
+
+/// Dropping the scheduler mid-stream fulfils still-queued tickets with
+/// `Shutdown` instead of leaving their waiters parked forever.
+#[test]
+fn shutdown_fulfils_queued_tickets() {
+    with_deadline(60, || {
+        let sched =
+            JobScheduler::<FaultyJob<WordCount>>::new(Backend::RamrStatic, config()).unwrap();
+        let client = sched.client("a");
+        let input = Arc::new(lines(150, 0));
+        // Every task of the running job dawdles, holding the dispatcher in
+        // the epoch while the second job is still queued behind it.
+        let slow_plan = FaultPlan::with_faults(
+            (0..5).map(|k| FaultKind::DelayTask { key: k, micros: 30_000 }).collect(),
+        );
+        let slow = FaultyJob::new(WordCount, slow_plan, ordinal_of);
+        let running = client.submit(Arc::new(slow), Arc::clone(&input)).unwrap();
+        let queued = client.submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
+        drop(sched);
+        // The in-flight epoch ran to completion; the queued one never ran.
+        assert_eq!(running.wait().unwrap().output.pairs, reference(&input));
+        assert!(matches!(queued.wait().unwrap_err(), SchedError::Shutdown));
+    });
+}
+
+/// Stress: many clients, tiny queue, mixed healthy/poisoned jobs, both
+/// policies — every ticket resolves, every output is exact, nothing
+/// deadlocks. This is the CI `sched-stress` entry point.
+#[test]
+fn concurrent_submit_stress_resolves_every_ticket() {
+    for policy in ["fifo", "fair:t0=4,t1=1"] {
+        with_deadline(180, move || {
+            let mut cfg = config();
+            cfg.sched_queue = 4; // tiny: force delay paths constantly
+            cfg.sched_policy = policy.parse::<SchedPolicy>().unwrap();
+            let sched =
+                JobScheduler::<FaultyJob<WordCount>>::new(Backend::RamrStatic, cfg).unwrap();
+            let mut handles = Vec::new();
+            for c in 0..6usize {
+                let client = sched.client(&format!("t{c}"));
+                handles.push(thread::spawn(move || {
+                    let mut outcomes = (0u64, 0u64);
+                    for j in 0..8usize {
+                        let input = Arc::new(lines(120, c + j));
+                        // Every third job of half the tenants is poisoned.
+                        let poison = c % 2 == 0 && j % 3 == 2;
+                        let job = if poison { Arc::new(poisoned(0)) } else { Arc::new(healthy()) };
+                        let ticket = client.submit(job, Arc::clone(&input)).unwrap();
+                        match ticket.wait() {
+                            Ok(done) => {
+                                assert_eq!(done.output.pairs, reference(&input), "t{c} job {j}");
+                                assert!(!poison, "t{c} job {j}: poisoned job succeeded");
+                                outcomes.0 += 1;
+                            }
+                            Err(SchedError::Job(e)) => {
+                                assert!(poison, "t{c} job {j}: healthy job failed: {e}");
+                                outcomes.1 += 1;
+                            }
+                            Err(other) => panic!("t{c} job {j}: unexpected {other}"),
+                        }
+                    }
+                    outcomes
+                }));
+            }
+            let mut completed = 0u64;
+            let mut failed = 0u64;
+            for handle in handles {
+                let (ok, bad) = handle.join().unwrap();
+                completed += ok;
+                failed += bad;
+            }
+            assert_eq!(completed + failed, 48, "{policy}: every ticket resolved");
+            let stats = sched.tenant_stats();
+            assert_eq!(stats.iter().map(|s| s.completed).sum::<u64>(), completed, "{policy}");
+            assert_eq!(stats.iter().map(|s| s.failed).sum::<u64>(), failed, "{policy}");
+        });
+    }
+}

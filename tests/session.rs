@@ -8,11 +8,12 @@
 //! one of those hazards with exact assertions.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use mr_apps::WordCount;
 use mr_core::{ContainerKind, RuntimeConfig};
-use ramr::{Backend, RamrSession};
+use ramr::{Backend, JobScheduler, RamrSession};
 use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
 use ramr_telemetry::FaultMetrics;
 
@@ -204,6 +205,50 @@ fn rapid_static_epochs_never_lose_pairs_to_stale_queue_state() {
         assert_eq!(output.pairs, expected, "round {round}: pairs lost or duplicated");
     }
     assert_eq!(session.jobs_run(), 40);
+}
+
+#[test]
+fn scheduled_tenants_share_the_pool_without_fault_bleed() {
+    // The pooling hazards above, but with the session driven through the
+    // scheduler by two tenants: the victim's skipped poison task must show
+    // up in *its* reports alone — the bystander's jobs run on the very
+    // same worker pool and must report empty fault metrics and exact
+    // output, job after job. Exercised on both RAMR backends.
+    for backend in [Backend::RamrStatic, Backend::RamrAdaptive] {
+        let mut cfg = config();
+        cfg.max_task_retries = 1;
+        cfg.skip_poison_tasks = true;
+        if backend == Backend::RamrAdaptive {
+            cfg.adaptive = true;
+            cfg.adapt_interval = Duration::from_millis(2);
+        }
+        let sched = JobScheduler::<FaultyJob<WordCount>>::new(backend, cfg).unwrap();
+        let victim = sched.client("victim");
+        let bystander = sched.client("bystander");
+        let input = Arc::new(lines(400, 4));
+        for round in 0..3 {
+            let faulty = FaultyJob::new(WordCount, poison(3), ordinal_of);
+            let done = victim.submit(Arc::new(faulty), Arc::clone(&input)).unwrap();
+            let done = done.wait().unwrap();
+            assert_eq!(done.output.pairs, reference(&input, &[3]), "{backend} round {round}");
+            assert_eq!(done.report.faults.skipped.len(), 1, "{backend} round {round}");
+
+            let healthy = FaultyJob::new(WordCount, FaultPlan::default(), ordinal_of);
+            let done = bystander.submit(Arc::new(healthy), Arc::clone(&input)).unwrap();
+            let done = done.wait().unwrap();
+            assert_eq!(done.output.pairs, reference(&input, &[]), "{backend} round {round}");
+            assert_eq!(
+                done.report.faults,
+                FaultMetrics::default(),
+                "{backend} round {round}: the victim's faults bled into the bystander"
+            );
+        }
+        let stats = sched.tenant_stats();
+        let victim_stats = stats.iter().find(|s| s.tenant == "victim").unwrap();
+        let bystander_stats = stats.iter().find(|s| s.tenant == "bystander").unwrap();
+        assert_eq!(victim_stats.completed, 3, "{backend}: skip-poison runs complete");
+        assert_eq!(bystander_stats.failed, 0, "{backend}");
+    }
 }
 
 #[test]
