@@ -1,0 +1,262 @@
+//! Serve-flood bench: wire-level backpressure sheds instead of stalls.
+//!
+//! Boots a real `ramr-serve` [`Server`] on a loopback socket and floods
+//! it from concurrent client connections against a pool pinned to a
+//! one-slot scheduler queue (per-job knob `sched-queue=1`). Admission
+//! control must answer the overflow with `RETRY_AFTER` frames — never a
+//! hang, never a dropped job — and every retried job must still complete
+//! with the exact digest of an in-process engine baseline. A light phase
+//! then runs the same jobs against an uncontended default pool, and the
+//! gate checks the flood's accepted jobs queued longer than the light
+//! ones (they waited behind a running epoch; the light ones met an empty
+//! queue).
+//!
+//! ```text
+//! cargo run --release -p mr-bench --bin serve_flood [-- <clients> <jobs-per-client> <scale>]
+//! cargo run --release -p mr-bench --bin serve_flood -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the flood and skips the latency gate, but keeps the
+//! deterministic shed gate and the digest checks.
+
+use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, WordCount};
+use mr_core::RuntimeConfig;
+use ramr::{Backend, Engine};
+use ramr_serve::{
+    digest64, render_pairs, JobRequest, ServeClient, ServeConfig, ServeError, Server,
+};
+use ramr_telemetry::json::Value;
+
+/// The flood pool's scheduler queue: one slot, so any submit that lands
+/// while another job is queued is shed with `queue-full`.
+const FLOOD_QUEUE: &str = "1";
+
+fn base_config() -> RuntimeConfig {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    RuntimeConfig::builder()
+        .num_workers(threads.max(2))
+        .num_combiners((threads / 2).max(1))
+        .task_size(1024)
+        .queue_capacity(5000)
+        .batch_size(1000)
+        .container(AppKind::WordCount.default_container())
+        .build()
+        .expect("valid bench config")
+}
+
+/// The word-count request every phase submits; `flood` pins the one-slot
+/// queue knob so the contended phases get their own pool.
+fn request(scale: u64, flood: bool) -> JobRequest {
+    let mut request = JobRequest::new("wc");
+    request.platform = "phi".into();
+    request.scale = scale;
+    if flood {
+        request.knobs.push(("sched-queue".into(), FLOOD_QUEUE.into()));
+    }
+    request
+}
+
+/// Serial in-process baseline: the digest (and rendering) every socket
+/// job must reproduce byte for byte.
+fn baseline(scale: u64) -> (String, String) {
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
+    let input = wc_input(&spec, scale);
+    let output = Backend::RamrStatic
+        .engine(base_config())
+        .expect("baseline engine")
+        .run_job(&WordCount, &input)
+        .expect("baseline run")
+        .pairs;
+    let rendered = render_pairs(&output);
+    (digest64(&rendered), rendered)
+}
+
+/// Plugs the one-slot flood pool: a slow job runs, a second waits in the
+/// queue, and a third submit must be shed with `queue-full` — the
+/// deterministic wire-backpressure check that holds even in `--smoke`.
+fn plug_gate(addr: &str, slow_scale: u64, digest: &str) -> u64 {
+    let mut client = ServeClient::connect(addr, "plug", None).expect("plug connect");
+    let slow = request(slow_scale, true);
+    let first = client.submit(&slow).expect("first submit fills the running slot");
+    let second = client.submit(&slow).expect("second submit fills the queue slot");
+    let mut sheds = 0u64;
+    match client.submit(&slow) {
+        Err(ServeError::Shed { reason, retry_after_ms }) => {
+            assert_eq!(reason, "queue-full", "one-slot overflow must shed as queue-full");
+            assert!(retry_after_ms > 0, "shed must carry a positive retry hint");
+            sheds += 1;
+        }
+        Ok(_) => panic!("third submit into a full one-slot queue was accepted"),
+        Err(other) => panic!("third submit failed oddly: {other}"),
+    }
+    for expected in [first, second] {
+        let result = client.next_result().expect("plugged job completes");
+        assert_eq!(result.id, expected, "results arrive in dispatch order");
+        assert_eq!(result.digest, digest, "plugged job diverged from the baseline");
+    }
+    sheds
+}
+
+/// One phase's accounting, accumulated across all client threads.
+struct PhaseStats {
+    accepted: u64,
+    sheds: u64,
+    queued_ms: Vec<f64>,
+}
+
+/// Runs `clients` concurrent connections, each submitting `jobs` word
+/// counts through `run_job` (which absorbs `RETRY_AFTER` by sleeping the
+/// server's hint). Every digest is checked against the baseline.
+fn flood_phase(
+    addr: &str,
+    clients: usize,
+    jobs: usize,
+    scale: u64,
+    flood: bool,
+    digest: &str,
+) -> PhaseStats {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let digest = digest.to_string();
+            std::thread::spawn(move || {
+                let tenant = format!("{}-{c}", if flood { "flood" } else { "light" });
+                let mut client =
+                    ServeClient::connect(&addr, &tenant, None).expect("client connect");
+                let request = request(scale, flood);
+                let mut stats = PhaseStats { accepted: 0, sheds: 0, queued_ms: Vec::new() };
+                for _ in 0..jobs {
+                    let result = client.run_job(&request).expect("flood job completes");
+                    assert_eq!(result.digest, digest, "socket job diverged from the baseline");
+                    stats.accepted += 1;
+                    stats.sheds += result.sheds;
+                    stats.queued_ms.push(result.queued_ms);
+                }
+                stats
+            })
+        })
+        .collect();
+    let mut total = PhaseStats { accepted: 0, sheds: 0, queued_ms: Vec::new() };
+    for handle in handles {
+        let stats = handle.join().expect("client thread");
+        total.accepted += stats.accepted;
+        total.sheds += stats.sheds;
+        total.queued_ms.extend(stats.queued_ms);
+    }
+    total
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+/// Sums a per-tenant counter over every pool in a `METRICS_REPORT`.
+fn metric_sum(metrics: &Value, field: &str) -> u64 {
+    let pools = match metrics.get("pools") {
+        Some(Value::Arr(pools)) => pools,
+        _ => return 0,
+    };
+    pools
+        .iter()
+        .filter_map(|pool| match pool.get("tenants") {
+            Some(Value::Arr(tenants)) => Some(
+                tenants.iter().filter_map(|t| t.get(field).and_then(Value::as_u64)).sum::<u64>(),
+            ),
+            _ => None,
+        })
+        .sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let clients: usize =
+        positional.first().and_then(|s| s.parse().ok()).unwrap_or(if smoke { 2 } else { 4 });
+    let jobs: usize =
+        positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 3 } else { 8 });
+    // Larger scales divide Table I down to shorter jobs; the flood scale
+    // keeps each job around a millisecond, the plug scale stretches one
+    // job long enough that two follow-up submits land while it runs.
+    let scale: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let plug_scale = scale / 40;
+
+    let mut config = ServeConfig { base: base_config(), ..ServeConfig::default() };
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("server binds loopback");
+    let addr = server.local_addr().to_string();
+    println!(
+        "SERVE FLOOD: {clients} connections x {jobs} jobs over {addr}, \
+         flood pool sched-queue={FLOOD_QUEUE}{}.\n",
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let (digest, rendered) = baseline(scale);
+    let (plug_digest, _) = baseline(plug_scale);
+
+    // Byte-identical check: one echoed job's full rendering must equal
+    // the in-process engine's, not just hash alike.
+    let mut echo_client = ServeClient::connect(&addr, "echo", None).expect("echo connect");
+    let mut echo_request = request(scale, false);
+    echo_request.echo_output = true;
+    let echoed = echo_client.run_job(&echo_request).expect("echo job completes");
+    assert_eq!(
+        echoed.output.as_deref(),
+        Some(rendered.as_str()),
+        "echoed output not byte-identical"
+    );
+
+    let plug_sheds = plug_gate(&addr, plug_scale, &plug_digest);
+    let flood = flood_phase(&addr, clients, jobs, scale, true, &digest);
+    let light = flood_phase(&addr, 1, jobs, scale, false, &digest);
+
+    let metrics = echo_client.metrics().expect("metrics snapshot");
+    let server_sheds = metric_sum(&metrics, "shed_queue_full");
+    echo_client.shutdown(None).expect("graceful shutdown");
+    server.wait();
+
+    let total_sheds = plug_sheds + flood.sheds;
+    let attempts = total_sheds + flood.accepted + light.accepted + 3; // +plug jobs, +echo
+    mr_bench::print_header(&["phase", "accepted", "sheds", "mean-queued(ms)"]);
+    for (phase, accepted, sheds, queued) in [
+        ("plug", 2, plug_sheds, f64::NAN),
+        ("flood", flood.accepted, flood.sheds, mean(&flood.queued_ms)),
+        ("light", light.accepted, light.sheds, mean(&light.queued_ms)),
+    ] {
+        println!("{phase:>10} {accepted:>10} {sheds:>10} {queued:>15.3}");
+    }
+    println!(
+        "\nshed rate: {total_sheds}/{attempts} submits ({:.1}%), \
+         server counted {server_sheds} queue-full sheds",
+        100.0 * total_sheds as f64 / attempts as f64,
+    );
+
+    assert!(total_sheds >= 1, "oversaturation produced no RETRY_AFTER sheds");
+    assert!(
+        server_sheds >= total_sheds,
+        "server accounting ({server_sheds}) missed client-visible sheds ({total_sheds})"
+    );
+    assert_eq!(light.sheds, 0, "the uncontended light phase must not shed");
+
+    if smoke {
+        println!("PASS: sheds answered with RETRY_AFTER and every digest matched the baseline");
+        return;
+    }
+
+    // Latency gate: a flood job accepted into the one-slot queue waited
+    // behind a running epoch; a light job met an idle dispatcher. Plain
+    // ordering (no margin) keeps the gate honest without CI flakes.
+    let (flood_ms, light_ms) = (mean(&flood.queued_ms), mean(&light.queued_ms));
+    println!(
+        "mean queued: flood {flood_ms:.3} ms vs light {light_ms:.3} ms \
+         ({:.1}x apart)",
+        flood_ms / light_ms.max(f64::EPSILON),
+    );
+    if light_ms < flood_ms {
+        println!("PASS: backpressure shed the overflow and contention showed up as queue wait");
+    } else {
+        println!("FAIL: the light phase queued no faster than the flood");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,16 @@ USAGE:
   ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
   ramr generate --app <...> --out FILE [--out-b FILE (mm)]
                 [--flavor ...] [--platform ...] [--scale N]
+  ramr serve    [--serve-addr HOST:PORT] [--serve-token TOKEN]
+                [--serve-max-pools N] [--serve-retry-ms MS]
+                [--serve-chaos 0|1] [--serve-max-frame BYTES]
+                [--backend ramr-static|ramr-adaptive|phoenix]
+                [runtime knobs as the pools' base config]
+  ramr client   --addr HOST:PORT [--tenant NAME] [--token TOKEN]
+                [--app wc|hg|lr|km] [--platform hwl|phi] [--flavor ...]
+                [--scale N] [--jobs N] [--backend ...] [--echo 0|1]
+                [--print-metrics 0|1] [--shutdown 0|1]
+                [runtime knobs as per-job overrides]
   ramr topology
   ramr help
 
@@ -74,10 +84,21 @@ per-thread stall diagnosis instead of hanging forever.
 With --sched-jobs N (> 0) the run goes through the concurrent job
 scheduler instead of a single engine call: --sched-tenants T client
 threads each submit N copies of the job against one shared worker pool,
-and a per-tenant summary (completed/failed/shed, queue wait, run time)
-is printed per backend. --sched-queue bounds the submission queue,
---sched-policy picks fifo or weighted fair-share dispatch, and
---sched-quota caps any one tenant's in-flight jobs (see DESIGN.md §6g).
+and a per-tenant summary (completed/failed/shed with its queue-full /
+quota / saturated breakdown, queue wait, run time) is printed per
+backend. --sched-queue bounds the submission queue, --sched-policy picks
+fifo or weighted fair-share dispatch, and --sched-quota caps any one
+tenant's in-flight jobs (see DESIGN.md §6g).
+
+`serve` runs the long-running job server over that scheduler: clients
+connect over TCP, authenticate as named tenants, submit jobs with
+per-job knob overrides, and stream back results; shedding maps to
+RETRY_AFTER responses on the wire. `client` is the matching driver:
+submit --jobs N jobs (retrying through backpressure), optionally fetch
+the live --print-metrics snapshot, and --shutdown 1 stops the server.
+Every --serve-* flag mirrors a RAMR_SERVE_* environment variable through
+one shared table, exactly like the runtime knobs. See SERVICE.md for the
+protocol reference and operator guide.
 ";
 
 fn parse_app(args: &Args) -> Result<AppKind, String> {
@@ -352,19 +373,28 @@ fn execute_scheduled<J: MapReduceJob + Send + 'static>(
             keys.unwrap_or(0),
         );
         let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        // `shed` breaks down by the typed ShedReason: queue-full / quota /
+        // saturated, in that order.
         println!(
-            "  {:<12} {:>6} {:>9} {:>6} {:>5} {:>12} {:>12} {:>12}",
-            "tenant", "weight", "completed", "failed", "shed", "mean-wait", "max-wait", "run-time"
+            "  {:<12} {:>6} {:>9} {:>6} {:>16} {:>12} {:>12} {:>12}",
+            "tenant",
+            "weight",
+            "completed",
+            "failed",
+            "shed(qf/qt/sat)",
+            "mean-wait",
+            "max-wait",
+            "run-time"
         );
         for s in sched.tenant_stats() {
             let finished = (s.completed + s.failed).max(1);
             println!(
-                "  {:<12} {:>6} {:>9} {:>6} {:>5} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+                "  {:<12} {:>6} {:>9} {:>6} {:>16} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
                 s.tenant,
                 s.weight,
                 s.completed,
                 s.failed,
-                s.shed,
+                format!("{} ({}/{}/{})", s.shed, s.shed_queue_full, s.shed_quota, s.shed_saturated),
                 ms(s.queue_wait) / finished as f64,
                 ms(s.max_queue_wait),
                 ms(s.run_time),
@@ -669,6 +699,89 @@ pub fn tune(args: &Args) -> Result<(), String> {
             report(&job, &tasks, base)
         }
     }
+}
+
+/// `ramr serve`: run the long-running job server (see SERVICE.md).
+///
+/// Environment (`RAMR_SERVE_*`) is read first, then every `--serve-*`
+/// flag overrides it through the shared `SERVE_KNOBS` table; runtime knob
+/// flags (`--workers`, `--sched-queue`, ...) shape the base configuration
+/// every pool starts from, exactly as they shape `ramr run`.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let mut config = ramr_serve::ServeConfig::from_env()?;
+    for knob in ramr_serve::SERVE_KNOBS {
+        if let Some(raw) = args.get(knob.cli) {
+            config = (knob.apply)(config, raw, &format!("--{}", knob.cli))?;
+        }
+    }
+    if let Some(raw) = args.get("backend") {
+        config.default_backend = raw.parse::<Backend>().map_err(|_| {
+            format!("unknown --backend {raw:?} (ramr-static|ramr-adaptive|phoenix)")
+        })?;
+    }
+    let mut builder = config.base.clone().into_builder();
+    for knob in mr_core::ENV_KNOBS {
+        if let Some(raw) = args.get(knob.cli) {
+            let source = format!("--{}", knob.cli);
+            builder = (knob.apply)(builder, raw, &source).map_err(|e| e.to_string())?;
+        }
+    }
+    config.base = builder.build().map_err(|e| e.to_string())?;
+    let server = ramr_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    // The smoke scripts wait for this exact "listening on" line.
+    println!("ramr-serve listening on {}", server.local_addr());
+    server.wait();
+    println!("ramr-serve stopped");
+    Ok(())
+}
+
+/// `ramr client`: drive a running server (used by tests, CI smoke, and
+/// the load bench; see SERVICE.md for the quickstart).
+pub fn client(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").ok_or("--addr HOST:PORT is required for client")?;
+    let tenant = args.get("tenant").unwrap_or("cli");
+    let token = args.get("token");
+    let jobs = args.get_or("jobs", 1usize)?;
+    let echo = args.get_or("echo", 0u8)? != 0;
+    let print_metrics = args.get_or("print-metrics", 0u8)? != 0;
+    let shutdown = args.get_or("shutdown", 0u8)? != 0;
+
+    let mut request = ramr_serve::JobRequest::new(args.get("app").unwrap_or("wc"));
+    request.platform = args.get("platform").unwrap_or("hwl").to_string();
+    request.flavor = args.get("flavor").unwrap_or("small").to_string();
+    request.scale = args.get_or("scale", request.scale)?;
+    request.backend = args.get("backend").map(str::to_string);
+    request.echo_output = echo;
+    // Any runtime knob flag present becomes a per-job override, forwarded
+    // by its ENV_KNOBS cli name and parsed server-side through the same
+    // shared table `ramr run` uses locally.
+    for knob in mr_core::ENV_KNOBS {
+        if let Some(raw) = args.get(knob.cli) {
+            request.knobs.push((knob.cli.to_string(), raw.to_string()));
+        }
+    }
+
+    let mut client = ramr_serve::ServeClient::connect(addr, tenant, token)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    for n in 0..jobs {
+        let result = client.run_job(&request).map_err(|e| e.to_string())?;
+        println!(
+            "job {n}: {} keys | digest {} | queued {:8.2} ms | ran {:8.2} ms | sheds {}",
+            result.keys, result.digest, result.queued_ms, result.ran_ms, result.sheds,
+        );
+        if let Some(output) = &result.output {
+            print!("{output}");
+        }
+    }
+    if print_metrics {
+        let snapshot = client.metrics().map_err(|e| e.to_string())?;
+        println!("{}", snapshot.to_json());
+    }
+    if shutdown {
+        client.shutdown(token).map_err(|e| e.to_string())?;
+        println!("server acknowledged shutdown");
+    }
+    Ok(())
 }
 
 /// `ramr topology`: show the detected host and the Fig 3 remap.

@@ -46,6 +46,40 @@ const GENERATE_FLAGS: &[&str] = &["app", "flavor", "platform", "scale", "out", "
 const SIM_FLAGS: &[&str] = &["app", "machine", "flavor", "stressed", "batch", "queue", "task"];
 const TUNE_FLAGS: &[&str] = &["app", "scale", "workers", "container"];
 
+/// `serve` takes the service knobs (from `ramr_serve::SERVE_KNOBS`, the
+/// same table `ServeConfig::from_env` parses), a default `--backend`, and
+/// every runtime knob flag as the pools' base configuration.
+fn serve_flags() -> Vec<&'static str> {
+    let mut flags = vec!["backend"];
+    flags.extend(ramr_serve::SERVE_KNOBS.iter().map(|k| k.cli));
+    flags.extend(mr_core::ENV_KNOBS.iter().map(|k| k.cli));
+    flags
+}
+
+/// `client` flags that are not per-job knob overrides; every
+/// `mr_core::ENV_KNOBS` cli name is also accepted and forwarded to the
+/// server as a per-job override.
+const CLIENT_BASE_FLAGS: &[&str] = &[
+    "addr",
+    "tenant",
+    "token",
+    "app",
+    "platform",
+    "flavor",
+    "scale",
+    "jobs",
+    "backend",
+    "echo",
+    "print-metrics",
+    "shutdown",
+];
+
+fn client_flags() -> Vec<&'static str> {
+    let mut flags = CLIENT_BASE_FLAGS.to_vec();
+    flags.extend(mr_core::ENV_KNOBS.iter().map(|k| k.cli));
+    flags
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let command = raw.first().cloned().unwrap_or_else(|| "help".to_string());
@@ -69,6 +103,12 @@ fn main() {
         "generate" => Args::parse(rest, GENERATE_FLAGS)
             .and_then(no_positionals)
             .and_then(|a| commands::generate(&a)),
+        "serve" => Args::parse(rest, &serve_flags())
+            .and_then(no_positionals)
+            .and_then(|a| commands::serve(&a)),
+        "client" => Args::parse(rest, &client_flags())
+            .and_then(no_positionals)
+            .and_then(|a| commands::client(&a)),
         "topology" => commands::topology(),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);

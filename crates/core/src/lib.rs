@@ -79,7 +79,9 @@ pub mod tuning;
 
 pub use engine::{AnyEngine, Backend, Engine, EngineOutput, EngineReport, EngineSession};
 pub use runtime::{RamrRuntime, ReportedOutput, RunReport};
-pub use sched::{CompletedJob, JobClient, JobScheduler, JobTicket, SchedError, TenantStats};
+pub use sched::{
+    CompletedJob, JobClient, JobScheduler, JobTicket, SchedError, ShedReason, TenantStats,
+};
 pub use session::RamrSession;
 pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
 

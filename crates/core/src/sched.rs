@@ -79,6 +79,49 @@ use crate::engine::{Backend, EngineReport, EngineSession};
 /// and therefore dispatches three times as often — as a weight-1 tenant.
 const STRIDE_ONE: u64 = 1 << 20;
 
+/// Why `try_submit` shed a job — the typed admission-control verdict.
+///
+/// Carried by the shedding [`SchedError`] variants (via
+/// [`SchedError::shed_reason`]), counted per tenant in [`TenantStats`],
+/// and mapped onto the wire by the service layer's `RETRY_AFTER`
+/// response. The three reasons call for different client reactions:
+/// a full queue clears as epochs complete (retry soon), an exhausted
+/// quota clears when *this tenant's* jobs finish (wait for your own
+/// tickets first), and saturation clears only when the pipeline proves
+/// itself healthy again (back off hardest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded submission queue is at capacity.
+    QueueFull,
+    /// The submitting tenant holds its full in-flight quota.
+    Quota,
+    /// The watchdog cancelled the previous epoch and no epoch has
+    /// completed cleanly since.
+    Saturated,
+}
+
+impl ShedReason {
+    /// Every reason, in severity order (mildest first).
+    pub const ALL: [ShedReason; 3] =
+        [ShedReason::QueueFull, ShedReason::Quota, ShedReason::Saturated];
+
+    /// The canonical kebab-case name (`queue-full` / `quota` /
+    /// `saturated`), as used in wire responses and the CLI table.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Quota => "quota",
+            ShedReason::Saturated => "saturated",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Why a submission was refused or a ticket did not complete.
 #[derive(Debug)]
 pub enum SchedError {
@@ -122,6 +165,21 @@ impl std::fmt::Display for SchedError {
             }
             SchedError::Shutdown => f.write_str("scheduler shut down before the job ran"),
             SchedError::Job(err) => write!(f, "job failed: {err}"),
+        }
+    }
+}
+
+impl SchedError {
+    /// The typed shed reason, when this error is an admission-control
+    /// refusal; `None` for [`SchedError::Shutdown`] and
+    /// [`SchedError::Job`], which mean the job was accepted (or the
+    /// scheduler is gone), not shed.
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            SchedError::QueueFull { .. } => Some(ShedReason::QueueFull),
+            SchedError::QuotaExceeded { .. } => Some(ShedReason::Quota),
+            SchedError::Saturated => Some(ShedReason::Saturated),
+            SchedError::Shutdown | SchedError::Job(_) => None,
         }
     }
 }
@@ -172,14 +230,42 @@ pub struct TenantStats {
     pub completed: u64,
     /// Jobs that ran and failed (panic, stall, overflow, ...).
     pub failed: u64,
-    /// `try_submit` calls refused by admission control.
+    /// `try_submit` calls refused by admission control (the sum of the
+    /// three per-reason counters below).
     pub shed: u64,
+    /// Sheds because the submission queue was at capacity.
+    pub shed_queue_full: u64,
+    /// Sheds because this tenant held its full in-flight quota.
+    pub shed_quota: u64,
+    /// Sheds because the scheduler was saturated (watchdog-stalled epoch
+    /// with no clean completion since).
+    pub shed_saturated: u64,
     /// Total time this tenant's jobs spent queued.
     pub queue_wait: Duration,
     /// Longest single queue wait.
     pub max_queue_wait: Duration,
     /// Total epoch time this tenant's jobs consumed.
     pub run_time: Duration,
+}
+
+impl TenantStats {
+    /// The shed count attributed to one [`ShedReason`].
+    pub fn shed_by(&self, reason: ShedReason) -> u64 {
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full,
+            ShedReason::Quota => self.shed_quota,
+            ShedReason::Saturated => self.shed_saturated,
+        }
+    }
+
+    fn record_shed(&mut self, reason: ShedReason) {
+        self.shed += 1;
+        match reason {
+            ShedReason::QueueFull => self.shed_queue_full += 1,
+            ShedReason::Quota => self.shed_quota += 1,
+            ShedReason::Saturated => self.shed_saturated += 1,
+        }
+    }
 }
 
 /// One queued job with its completion ticket.
@@ -327,9 +413,10 @@ impl<J: MapReduceJob> JobClient<J> {
     /// # Errors
     ///
     /// [`SchedError::QueueFull`] / [`SchedError::QuotaExceeded`] /
-    /// [`SchedError::Saturated`] when the load was shed (recorded in the
-    /// tenant's [`TenantStats::shed`]), [`SchedError::Shutdown`] when the
-    /// scheduler is gone.
+    /// [`SchedError::Saturated`] when the load was shed — each carries a
+    /// typed [`ShedReason`] via [`SchedError::shed_reason`] and is counted
+    /// per reason in the tenant's [`TenantStats`] — or
+    /// [`SchedError::Shutdown`] when the scheduler is gone.
     pub fn try_submit(
         &self,
         job: Arc<J>,
@@ -370,7 +457,10 @@ impl<J: MapReduceJob> JobClient<J> {
             match refusal {
                 None => break,
                 Some(err) if !block => {
-                    tenant_entry(&mut state, &shared.config, &self.tenant).stats.shed += 1;
+                    let reason = err.shed_reason().expect("refusals are always shed errors");
+                    tenant_entry(&mut state, &shared.config, &self.tenant)
+                        .stats
+                        .record_shed(reason);
                     return Err(err);
                 }
                 // Saturation never reaches here (it only sheds try_submit):
@@ -520,6 +610,26 @@ impl<J: MapReduceJob + Send + 'static> JobScheduler<J> {
     pub fn tenant_stats(&self) -> Vec<TenantStats> {
         let state = relock(&self.shared.state);
         state.tenants.values().map(|t| t.stats.clone()).collect()
+    }
+
+    /// Jobs currently queued (accepted but not yet dispatched), across
+    /// all tenants. A live gauge for the service layer's telemetry.
+    pub fn queue_depth(&self) -> usize {
+        relock(&self.shared.state).queued
+    }
+
+    /// The configured submission-queue bound
+    /// ([`RuntimeConfig::sched_queue`]).
+    #[allow(clippy::misnamed_getters)] // capacity of the queue; the knob is named sched_queue
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.sched_queue
+    }
+
+    /// Whether the scheduler is currently saturated: the watchdog
+    /// cancelled the last epoch as stalled and no epoch has completed
+    /// cleanly since, so [`JobClient::try_submit`] is shedding.
+    pub fn is_saturated(&self) -> bool {
+        relock(&self.shared.state).saturated
     }
 }
 

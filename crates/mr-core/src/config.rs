@@ -387,6 +387,14 @@ impl RuntimeConfig {
         RuntimeConfigBuilder { config: Self::default() }
     }
 
+    /// Re-opens this configuration as a builder, so a base config can be
+    /// overlaid with further knob settings (the service layer applies
+    /// per-job [`ENV_KNOBS`] overrides on top of the server's base this
+    /// way).
+    pub fn into_builder(self) -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { config: self }
+    }
+
     /// Mapper-to-combiner ratio implied by the pool sizes, rounded up.
     ///
     /// A workload with equal map and combine throughput wants ratio 1; a

@@ -1,0 +1,403 @@
+//! The client library behind `ramr client`, the socket tests, and the
+//! job-flood bench.
+//!
+//! [`ServeClient`] is a synchronous, single-connection handle: connect +
+//! `HELLO` in [`ServeClient::connect`], then [`submit`](ServeClient::submit)
+//! / [`next_result`](ServeClient::next_result) (or the one-call
+//! [`run_job`](ServeClient::run_job) which retries through backpressure),
+//! [`metrics`](ServeClient::metrics), and
+//! [`shutdown`](ServeClient::shutdown). Because results stream back
+//! asynchronously, frames can arrive out of the order this client asks
+//! for them; a small pending queue reorders them, so e.g. a `RESULT`
+//! landing while we wait for a `METRICS_REPORT` is kept, not lost.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ramr_telemetry::json::Value;
+
+use crate::proto::{self, RequestKind, ResponseKind, PROTOCOL_VERSION};
+
+/// Everything that can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server sent something this client cannot make sense of.
+    Protocol(String),
+    /// The server answered with an `ERROR` frame (auth, unknown app, ...).
+    Remote(String),
+    /// A submit was shed; carries the server's typed reason and hint.
+    Shed {
+        /// The wire reason (`queue-full` / `quota` / `saturated`).
+        reason: String,
+        /// The server's suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The job ran (or was queued) and failed; carries the server's
+    /// `JOB_ERROR` message.
+    JobFailed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Remote(m) => write!(f, "server refused: {m}"),
+            ServeError::Shed { reason, retry_after_ms } => {
+                write!(f, "job shed ({reason}); retry after {retry_after_ms} ms")
+            }
+            ServeError::JobFailed(m) => write!(f, "job failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// One job to submit: the wire-side mirror of a `ramr run` invocation.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// App wire name (`wc` / `hg` / `lr` / `km`, `poison` in chaos mode).
+    pub app: String,
+    /// Paper platform of the Table I row (`hwl` / `phi`).
+    pub platform: String,
+    /// Input flavor (`small` / `medium` / `large`).
+    pub flavor: String,
+    /// Scale divisor over Table I (larger = smaller input).
+    pub scale: u64,
+    /// Backend override; `None` uses the server's default.
+    pub backend: Option<String>,
+    /// Per-job knob overrides: `ENV_KNOBS` cli names → raw values.
+    pub knobs: Vec<(String, String)>,
+    /// Ask the server to echo the full rendered output in the `RESULT`.
+    pub echo_output: bool,
+}
+
+impl JobRequest {
+    /// A request for `app` with the CLI's defaults (hwl / small /
+    /// scale 2000, server-default backend, no overrides).
+    pub fn new(app: &str) -> JobRequest {
+        JobRequest {
+            app: app.to_string(),
+            platform: "hwl".into(),
+            flavor: "small".into(),
+            scale: mr_apps::inputs::DEFAULT_SCALE,
+            backend: None,
+            knobs: Vec::new(),
+            echo_output: false,
+        }
+    }
+}
+
+/// One completed job as reported over the wire.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The submit id this result answers.
+    pub id: u64,
+    /// Distinct keys in the reduced output.
+    pub keys: u64,
+    /// FNV-1a 64 digest of the canonical rendering (hex).
+    pub digest: String,
+    /// The rendered output, when the submit asked for an echo.
+    pub output: Option<String>,
+    /// Milliseconds the job spent queued.
+    pub queued_ms: f64,
+    /// Milliseconds the epoch ran.
+    pub ran_ms: f64,
+    /// How many `RETRY_AFTER` responses the submit absorbed before being
+    /// accepted (only counted by [`ServeClient::run_job`]).
+    pub sheds: u64,
+    /// The full `--metrics-json` report for the run.
+    pub metrics: Value,
+}
+
+/// A synchronous client connection, authenticated as one tenant.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame: usize,
+    next_id: u64,
+    /// Frames read while waiting for a different kind.
+    pending: VecDeque<Value>,
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient").field("next_id", &self.next_id).finish_non_exhaustive()
+    }
+}
+
+impl ServeClient {
+    /// Connects to `addr` and authenticates as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the server refuses the handshake
+    /// (bad token), [`ServeError::Io`]/[`ServeError::Protocol`] on
+    /// transport trouble.
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        token: Option<&str>,
+    ) -> Result<ServeClient, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+            max_frame: 4 << 20,
+            next_id: 1,
+            pending: VecDeque::new(),
+        };
+        let mut hello = vec![
+            ("type", Value::Str(RequestKind::Hello.as_str().into())),
+            ("tenant", Value::Str(tenant.into())),
+            ("version", Value::Num(PROTOCOL_VERSION as f64)),
+        ];
+        if let Some(token) = token {
+            hello.push(("token", Value::Str(token.into())));
+        }
+        client.send(&hello)?;
+        let welcome = client.read_kind(&[ResponseKind::Welcome])?;
+        debug_assert_eq!(welcome.get("tenant").and_then(Value::as_str), Some(tenant));
+        Ok(client)
+    }
+
+    /// Submits one job without retrying. Returns the assigned submit id;
+    /// the result arrives later via [`next_result`](Self::next_result).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Shed`] when admission control refused it (retry
+    /// after the carried hint), [`ServeError::JobFailed`] when the server
+    /// rejected the job spec itself.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut members = vec![
+            ("type", Value::Str(RequestKind::Submit.as_str().into())),
+            ("id", Value::Num(id as f64)),
+            ("app", Value::Str(request.app.clone())),
+            ("platform", Value::Str(request.platform.clone())),
+            ("flavor", Value::Str(request.flavor.clone())),
+            ("scale", Value::Num(request.scale as f64)),
+        ];
+        if let Some(backend) = &request.backend {
+            members.push(("backend", Value::Str(backend.clone())));
+        }
+        if request.echo_output {
+            members.push(("echo_output", Value::Bool(true)));
+        }
+        let knobs: std::collections::BTreeMap<String, Value> =
+            request.knobs.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect();
+        let knobs = Value::Obj(knobs);
+        let mut frame: Vec<(&str, Value)> = members;
+        frame.push(("knobs", knobs));
+        self.send(&frame)?;
+        let reply = self.read_kind(&[
+            ResponseKind::Accepted,
+            ResponseKind::RetryAfter,
+            ResponseKind::JobError,
+        ])?;
+        match proto::frame_type(&reply).map_err(ServeError::Protocol)? {
+            "ACCEPTED" => Ok(id),
+            "RETRY_AFTER" => Err(ServeError::Shed {
+                reason: reply
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                retry_after_ms: reply.get("retry_after_ms").and_then(Value::as_u64).unwrap_or(50),
+            }),
+            _ => Err(ServeError::JobFailed(
+                reply.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string(),
+            )),
+        }
+    }
+
+    /// Blocks for the next `RESULT` (any id), converting `JOB_ERROR`
+    /// frames into [`ServeError::JobFailed`].
+    pub fn next_result(&mut self) -> Result<JobResult, ServeError> {
+        let reply = self.read_kind(&[ResponseKind::Result, ResponseKind::JobError])?;
+        match proto::frame_type(&reply).map_err(ServeError::Protocol)? {
+            "RESULT" => parse_result(&reply),
+            _ => Err(ServeError::JobFailed(
+                reply.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string(),
+            )),
+        }
+    }
+
+    /// Submits one job end to end: retries through `RETRY_AFTER`
+    /// backpressure (sleeping the server's hint each time, up to
+    /// `max retries` = 1000) and blocks for the matching result.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::JobFailed`] when the job ran and failed;
+    /// [`ServeError::Shed`] only if the retry budget is exhausted.
+    pub fn run_job(&mut self, request: &JobRequest) -> Result<JobResult, ServeError> {
+        let mut sheds = 0u64;
+        let id = loop {
+            match self.submit(request) {
+                Ok(id) => break id,
+                Err(ServeError::Shed { retry_after_ms, reason }) => {
+                    sheds += 1;
+                    if sheds > 1000 {
+                        return Err(ServeError::Shed { reason, retry_after_ms });
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                Err(other) => return Err(other),
+            }
+        };
+        loop {
+            let mut result = self.next_result()?;
+            if result.id == id {
+                result.sheds = sheds;
+                return Ok(result);
+            }
+            // A result for an earlier overlapping submit: keep it for a
+            // later next_result call.
+            self.pending.push_back(result_to_frame(&result));
+        }
+    }
+
+    /// Fetches the live telemetry snapshot (`METRICS` →
+    /// `METRICS_REPORT`), returned as the parsed JSON frame.
+    pub fn metrics(&mut self) -> Result<Value, ServeError> {
+        self.send(&[("type", Value::Str(RequestKind::Metrics.as_str().into()))])?;
+        self.read_kind(&[ResponseKind::MetricsReport])
+    }
+
+    /// Asks the server to shut down gracefully and reads until `BYE`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the server refuses (bad token).
+    pub fn shutdown(&mut self, token: Option<&str>) -> Result<(), ServeError> {
+        let mut members = vec![("type", Value::Str(RequestKind::Shutdown.as_str().into()))];
+        if let Some(token) = token {
+            members.push(("token", Value::Str(token.into())));
+        }
+        self.send(&members)?;
+        self.read_kind(&[ResponseKind::Bye]).map(|_| ())
+    }
+
+    fn send(&mut self, members: &[(&str, Value)]) -> Result<(), ServeError> {
+        let obj: std::collections::BTreeMap<String, Value> =
+            members.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+        proto::write_frame(&mut self.writer, &Value::Obj(obj), self.max_frame)?;
+        Ok(())
+    }
+
+    /// Reads frames until one of `kinds` arrives, parking other response
+    /// kinds in the pending queue. `ERROR` frames surface as
+    /// [`ServeError::Remote`] regardless of what was asked for.
+    fn read_kind(&mut self, kinds: &[ResponseKind]) -> Result<Value, ServeError> {
+        let accepts = |frame: &Value| {
+            proto::frame_type(frame)
+                .ok()
+                .and_then(ResponseKind::from_wire)
+                .is_some_and(|k| kinds.contains(&k))
+        };
+        if let Some(at) = self.pending.iter().position(accepts) {
+            return Ok(self.pending.remove(at).expect("position just found"));
+        }
+        loop {
+            let frame = match proto::read_frame(&mut self.reader, self.max_frame) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    return Err(ServeError::Protocol("server closed the connection".into()))
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            };
+            let kind = proto::frame_type(&frame).map_err(ServeError::Protocol)?.to_string();
+            if accepts(&frame) {
+                return Ok(frame);
+            }
+            match ResponseKind::from_wire(&kind) {
+                Some(ResponseKind::Error) => {
+                    return Err(ServeError::Remote(
+                        frame
+                            .get("error")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unspecified")
+                            .to_string(),
+                    ));
+                }
+                Some(_) => self.pending.push_back(frame),
+                None => {
+                    return Err(ServeError::Protocol(format!("unknown response kind {kind:?}")))
+                }
+            }
+        }
+    }
+}
+
+fn parse_result(frame: &Value) -> Result<JobResult, ServeError> {
+    let field_u64 = |name: &str| {
+        frame
+            .get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ServeError::Protocol(format!("RESULT missing numeric {name:?}")))
+    };
+    let field_f64 = |name: &str| {
+        frame
+            .get(name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| ServeError::Protocol(format!("RESULT missing numeric {name:?}")))
+    };
+    Ok(JobResult {
+        id: field_u64("id")?,
+        keys: field_u64("keys")?,
+        digest: frame
+            .get("digest")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::Protocol("RESULT missing digest".into()))?
+            .to_string(),
+        output: frame.get("output").and_then(Value::as_str).map(str::to_string),
+        queued_ms: field_f64("queued_ms")?,
+        ran_ms: field_f64("ran_ms")?,
+        sheds: 0,
+        metrics: frame.get("metrics").cloned().unwrap_or(Value::Null),
+    })
+}
+
+/// Re-frames a parsed result so it can sit in the pending queue next to
+/// raw frames (used when results arrive out of submit order).
+fn result_to_frame(result: &JobResult) -> Value {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("type".into(), Value::Str(ResponseKind::Result.as_str().into()));
+    obj.insert("id".into(), Value::Num(result.id as f64));
+    obj.insert("keys".into(), Value::Num(result.keys as f64));
+    obj.insert("digest".into(), Value::Str(result.digest.clone()));
+    if let Some(output) = &result.output {
+        obj.insert("output".into(), Value::Str(output.clone()));
+    }
+    obj.insert("queued_ms".into(), Value::Num(result.queued_ms));
+    obj.insert("ran_ms".into(), Value::Num(result.ran_ms));
+    obj.insert("metrics".into(), result.metrics.clone());
+    Value::Obj(obj)
+}

@@ -1,0 +1,276 @@
+//! `ramr-serve`: a long-running job server over the concurrent scheduler.
+//!
+//! The rest of the workspace submits jobs in-process; this crate is the
+//! front door the ROADMAP's "service mode" item calls for. A [`Server`]
+//! binds a std `TcpListener` (no new dependencies — the vendored offline
+//! registry stays untouched) and speaks a small length-prefixed JSON
+//! protocol ([`proto`]): clients connect, authenticate as a named tenant
+//! (`HELLO`), submit jobs by app name + Table I input spec + per-job
+//! [`mr_core::ENV_KNOBS`] overrides (`SUBMIT`), and stream back results
+//! carrying the same hand-rolled `--metrics-json` report the CLI writes.
+//!
+//! Resource-awareness reaches the wire: the scheduler's typed admission
+//! control ([`ramr::ShedReason`]) maps onto explicit `RETRY_AFTER`
+//! responses when the queue is full, a tenant is over quota, or the
+//! watchdog reports saturation — so backpressure is a protocol feature,
+//! not a hung socket. A `METRICS` request returns live queue gauges and
+//! per-tenant accounting on the same connection, and shutdown is graceful:
+//! in-flight epochs drain, queued tickets resolve to `JOB_ERROR`s, every
+//! connection gets a `BYE`.
+//!
+//! See `SERVICE.md` at the repository root for the operator-facing
+//! protocol reference, knob table, and quickstart.
+//!
+//! ```no_run
+//! use ramr_serve::{JobRequest, ServeClient, ServeConfig, Server};
+//!
+//! let mut config = ServeConfig::default();
+//! config.addr = "127.0.0.1:0".into(); // ephemeral port
+//! let server = Server::bind(config)?;
+//! let addr = server.local_addr().to_string();
+//!
+//! let mut client = ServeClient::connect(&addr, "alice", None)?;
+//! let result = client.run_job(&JobRequest::new("wc"))?;
+//! println!("{} keys, digest {}", result.keys, result.digest);
+//! server.shutdown();
+//! server.wait();
+//! # Ok::<(), ramr_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::{JobRequest, JobResult, ServeClient, ServeError};
+pub use proto::{RequestKind, ResponseKind, PROTOCOL_VERSION};
+pub use registry::{
+    digest64, outcome_of, render_pairs, retry_hint_ms, JobOutcome, PoisonJob, PoolStatus, WireSpec,
+    POISON_APP, SERVABLE_APPS,
+};
+pub use server::Server;
+
+use mr_core::RuntimeConfig;
+use ramr::Backend;
+
+/// Server configuration: the listen/auth/limit surface plus the base
+/// [`RuntimeConfig`] every pool starts from (per-job knob overrides are
+/// applied on top, and each distinct override set gets its own pool).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`RAMR_SERVE_ADDR`); `HOST:0` picks an ephemeral
+    /// port, reported by [`Server::local_addr`].
+    pub addr: String,
+    /// Shared authentication token (`RAMR_SERVE_TOKEN`). When set, every
+    /// `HELLO` and `SHUTDOWN` must carry it; unset means an open server.
+    pub token: Option<String>,
+    /// Bound on distinct `(app, backend, knob-set)` pools the server will
+    /// open (`RAMR_SERVE_MAX_POOLS`); each pool owns a worker-thread
+    /// session, so this caps the server's thread footprint.
+    pub max_pools: usize,
+    /// Base `RETRY_AFTER` hint in milliseconds (`RAMR_SERVE_RETRY_MS`);
+    /// scaled up by shed severity (see [`retry_hint_ms`]).
+    pub retry_ms: u64,
+    /// Serve the `poison` chaos app (`RAMR_SERVE_CHAOS`); off in
+    /// production, on in the fault-isolation tests.
+    pub chaos: bool,
+    /// Frame size bound in bytes (`RAMR_SERVE_MAX_FRAME`), enforced on
+    /// read and write.
+    pub max_frame: usize,
+    /// Backend jobs run on when a `SUBMIT` names none.
+    pub default_backend: Backend,
+    /// The base runtime configuration pools are built from.
+    pub base: RuntimeConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ServeConfig {
+            addr: "127.0.0.1:7199".into(),
+            token: None,
+            max_pools: 4,
+            retry_ms: 50,
+            chaos: false,
+            max_frame: 4 << 20,
+            default_backend: Backend::RamrStatic,
+            base: RuntimeConfig::builder()
+                .num_workers(threads.max(2))
+                .num_combiners((threads / 2).max(1))
+                .task_size(1024)
+                .queue_capacity(5000)
+                .batch_size(1000)
+                .build()
+                .expect("default serve config is valid"),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `RAMR_SERVE_*` environment, overlaying the defaults —
+    /// the service-layer twin of [`RuntimeConfig::from_env`].
+    ///
+    /// # Errors
+    ///
+    /// Names the first variable whose value does not parse.
+    pub fn from_env() -> Result<Self, String> {
+        let mut config = ServeConfig::default();
+        for knob in SERVE_KNOBS {
+            if let Ok(raw) = std::env::var(knob.env) {
+                config = (knob.apply)(config, &raw, knob.env)?;
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// One service-layer knob: its environment variable, CLI flag, and shared
+/// parse/apply behaviour — the same single-table pattern as
+/// [`mr_core::ENV_KNOBS`], consumed by [`ServeConfig::from_env`], the
+/// CLI's `serve` flags, and the docs-drift tests over `SERVICE.md`.
+#[derive(Clone, Copy)]
+pub struct ServeKnob {
+    /// The environment variable name (`RAMR_SERVE_*`).
+    pub env: &'static str,
+    /// The CLI flag name, without the leading `--`.
+    pub cli: &'static str,
+    /// Placeholder for the knob's value in help text.
+    pub value: &'static str,
+    /// One-line description for help text and docs.
+    pub help: &'static str,
+    /// Parses `raw` and applies it; `source` names the env var or flag
+    /// for error messages.
+    pub apply: fn(ServeConfig, &str, &str) -> Result<ServeConfig, String>,
+}
+
+impl std::fmt::Debug for ServeKnob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeKnob")
+            .field("env", &self.env)
+            .field("cli", &self.cli)
+            .field("value", &self.value)
+            .finish_non_exhaustive()
+    }
+}
+
+fn parse_knob<T: std::str::FromStr>(raw: &str, source: &str) -> Result<T, String> {
+    raw.parse::<T>().map_err(|_| format!("cannot parse {source}={raw}"))
+}
+
+fn parse_knob_bool(raw: &str, source: &str) -> Result<bool, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "0" | "false" | "no" | "off" => Ok(false),
+        _ => Err(format!("cannot parse {source}={raw} (expected 0|1|true|false|yes|no)")),
+    }
+}
+
+/// The service layer's knob table — every `RAMR_SERVE_*` variable, its
+/// CLI flag, and its apply function, in one place (see [`ServeKnob`]).
+pub const SERVE_KNOBS: &[ServeKnob] = &[
+    ServeKnob {
+        env: "RAMR_SERVE_ADDR",
+        cli: "serve-addr",
+        value: "HOST:PORT",
+        help: "listen address; port 0 picks an ephemeral port",
+        apply: |mut c, raw, _| {
+            c.addr = raw.to_string();
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_TOKEN",
+        cli: "serve-token",
+        value: "TOKEN",
+        help: "shared auth token for HELLO and SHUTDOWN; unset = open server",
+        apply: |mut c, raw, _| {
+            c.token = (!raw.is_empty()).then(|| raw.to_string());
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_MAX_POOLS",
+        cli: "serve-max-pools",
+        value: "N",
+        help: "bound on distinct (app, backend, knob-set) worker pools",
+        apply: |mut c, raw, src| {
+            c.max_pools = parse_knob(raw, src)?;
+            if c.max_pools == 0 {
+                return Err(format!("{src} must be at least 1"));
+            }
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_RETRY_MS",
+        cli: "serve-retry-ms",
+        value: "MS",
+        help: "base RETRY_AFTER hint; scaled 1x/2x/4x by shed severity",
+        apply: |mut c, raw, src| {
+            c.retry_ms = parse_knob(raw, src)?;
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_CHAOS",
+        cli: "serve-chaos",
+        value: "0|1",
+        help: "serve the poison chaos app (fault-isolation tests only)",
+        apply: |mut c, raw, src| {
+            c.chaos = parse_knob_bool(raw, src)?;
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_MAX_FRAME",
+        cli: "serve-max-frame",
+        value: "BYTES",
+        help: "wire frame size bound, enforced on read and write",
+        apply: |mut c, raw, src| {
+            c.max_frame = parse_knob(raw, src)?;
+            if c.max_frame < 1024 {
+                return Err(format!("{src} must be at least 1024 bytes"));
+            }
+            Ok(c)
+        },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_knob_table_applies_and_validates() {
+        let base = ServeConfig::default();
+        let knob = |env: &str| SERVE_KNOBS.iter().find(|k| k.env == env).unwrap();
+        let c = (knob("RAMR_SERVE_ADDR").apply)(base.clone(), "0.0.0.0:9", "t").unwrap();
+        assert_eq!(c.addr, "0.0.0.0:9");
+        let c = (knob("RAMR_SERVE_TOKEN").apply)(base.clone(), "s3cret", "t").unwrap();
+        assert_eq!(c.token.as_deref(), Some("s3cret"));
+        let c = (knob("RAMR_SERVE_CHAOS").apply)(base.clone(), "1", "t").unwrap();
+        assert!(c.chaos);
+        assert!((knob("RAMR_SERVE_MAX_POOLS").apply)(base.clone(), "0", "t").is_err());
+        assert!((knob("RAMR_SERVE_MAX_FRAME").apply)(base.clone(), "12", "t").is_err());
+        assert!((knob("RAMR_SERVE_RETRY_MS").apply)(base, "soon", "t").is_err());
+    }
+
+    #[test]
+    fn knob_names_are_unique_and_env_cli_paired() {
+        let mut envs: Vec<_> = SERVE_KNOBS.iter().map(|k| k.env).collect();
+        let mut clis: Vec<_> = SERVE_KNOBS.iter().map(|k| k.cli).collect();
+        envs.sort_unstable();
+        envs.dedup();
+        clis.sort_unstable();
+        clis.dedup();
+        assert_eq!(envs.len(), SERVE_KNOBS.len());
+        assert_eq!(clis.len(), SERVE_KNOBS.len());
+        for knob in SERVE_KNOBS {
+            assert!(knob.env.starts_with("RAMR_SERVE_"), "{}", knob.env);
+            assert!(knob.cli.starts_with("serve-"), "{}", knob.cli);
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! The server: accept loop, per-connection protocol drivers, pool cache,
+//! and the graceful-shutdown choreography.
+//!
+//! Thread structure (one box per thread kind):
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection driver ──spawns──▶ job waiter
+//!   (1 per server)          (1 per client)              (1 per accepted job)
+//! ```
+//!
+//! The connection driver owns the read side of its socket; the write side
+//! is a mutex-shared clone so waiter threads interleave `RESULT` frames
+//! with the driver's own replies without tearing frames. Every blocking
+//! read carries a short timeout, which doubles as the shutdown poll: when
+//! the stop flag rises, drivers finish their waiters, say `BYE`, and
+//! exit; the accept loop joins them all before [`Server::wait`] returns.
+//!
+//! Shutdown itself is one atomic take of the pool map: dropping a
+//! [`ramr::JobScheduler`] lets the in-flight epoch finish and fulfils
+//! every queued ticket with a shutdown error, so accepted jobs always
+//! resolve to a `RESULT` or a `JOB_ERROR` — never silence.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use mr_apps::inputs::{InputFlavor, Platform, DEFAULT_SCALE};
+use mr_apps::AppKind;
+use ramr::{Backend, TenantStats};
+use ramr_telemetry::json::Value;
+
+use crate::proto::{self, RequestKind, ResponseKind, PROTOCOL_VERSION};
+use crate::registry::{self, AppPool, WireSpec, POISON_APP, SERVABLE_APPS};
+use crate::ServeConfig;
+
+/// How often idle reads wake to poll the stop flag.
+const POLL_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_NAP: Duration = Duration::from_millis(20);
+
+/// A pool's identity: same app + backend + knob overrides ⇒ same pool.
+type PoolKey = (String, String, Vec<(String, String)>);
+
+struct Inner {
+    config: ServeConfig,
+    stop: AtomicBool,
+    /// `None` once shutdown has taken (and dropped) the pools.
+    pools: Mutex<Option<BTreeMap<PoolKey, Arc<dyn AppPool>>>>,
+}
+
+impl Inner {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Finds or builds the pool for one submit. Building happens under
+    /// the map lock, so two racing submits cannot double-spawn a pool.
+    fn pool_for(
+        &self,
+        key: &PoolKey,
+        config: &mr_core::RuntimeConfig,
+        backend: Backend,
+    ) -> Result<Arc<dyn AppPool>, String> {
+        let mut guard = self.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let pools = guard.as_mut().ok_or("server is shutting down")?;
+        if let Some(pool) = pools.get(key) {
+            return Ok(Arc::clone(pool));
+        }
+        if pools.len() >= self.config.max_pools {
+            return Err(format!(
+                "pool limit reached ({} of {}): reuse an existing app/backend/knob set \
+                 or raise RAMR_SERVE_MAX_POOLS",
+                pools.len(),
+                self.config.max_pools
+            ));
+        }
+        let pool = registry::make_pool(&key.0, backend, config.clone(), self.config.chaos)?;
+        pools.insert(key.clone(), Arc::clone(&pool));
+        Ok(pool)
+    }
+
+    /// Raises the stop flag and drops every pool. Dropping a scheduler
+    /// drains its in-flight epoch and fulfils queued tickets with a
+    /// shutdown error, so waiter threads resolve promptly.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let taken = self.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+        drop(taken);
+    }
+
+    /// The `METRICS_REPORT` frame: live gauges for every pool plus the
+    /// per-tenant accounting (including the typed shed breakdown).
+    fn metrics_frame(&self) -> Value {
+        let guard = self.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut pools = Vec::new();
+        if let Some(map) = guard.as_ref() {
+            for ((app, backend, knobs), pool) in map {
+                let status = pool.status();
+                let mut entry = BTreeMap::new();
+                entry.insert("app".into(), Value::Str(app.clone()));
+                entry.insert("backend".into(), Value::Str(backend.clone()));
+                entry.insert(
+                    "knobs".into(),
+                    Value::Obj(
+                        knobs.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect(),
+                    ),
+                );
+                entry.insert("queue_depth".into(), Value::Num(status.queue_depth as f64));
+                entry.insert("queue_capacity".into(), Value::Num(status.queue_capacity as f64));
+                entry.insert("saturated".into(), Value::Bool(status.saturated));
+                entry.insert(
+                    "tenants".into(),
+                    Value::Arr(pool.tenant_stats().iter().map(tenant_json).collect()),
+                );
+                pools.push(Value::Obj(entry));
+            }
+        }
+        frame(
+            ResponseKind::MetricsReport,
+            &[("shutting_down", Value::Bool(guard.is_none())), ("pools", Value::Arr(pools))],
+        )
+    }
+}
+
+fn tenant_json(s: &TenantStats) -> Value {
+    let ms = |d: std::time::Duration| Value::Num(d.as_secs_f64() * 1e3);
+    let num = |n: u64| Value::Num(n as f64);
+    Value::Obj(
+        [
+            ("tenant".to_string(), Value::Str(s.tenant.clone())),
+            ("weight".to_string(), num(u64::from(s.weight))),
+            ("submitted".to_string(), num(s.submitted)),
+            ("completed".to_string(), num(s.completed)),
+            ("failed".to_string(), num(s.failed)),
+            ("shed".to_string(), num(s.shed)),
+            ("shed_queue_full".to_string(), num(s.shed_queue_full)),
+            ("shed_quota".to_string(), num(s.shed_quota)),
+            ("shed_saturated".to_string(), num(s.shed_saturated)),
+            ("queue_wait_ms".to_string(), ms(s.queue_wait)),
+            ("max_queue_wait_ms".to_string(), ms(s.max_queue_wait)),
+            ("run_time_ms".to_string(), ms(s.run_time)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+/// Builds a response frame: the kind's wire name plus the given members.
+fn frame(kind: ResponseKind, members: &[(&str, Value)]) -> Value {
+    let mut obj: BTreeMap<String, Value> =
+        members.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+    obj.insert("type".into(), Value::Str(kind.as_str().into()));
+    Value::Obj(obj)
+}
+
+/// A mutex-shared write side; waiter threads and the connection driver
+/// interleave whole frames through it.
+#[derive(Clone)]
+struct FrameWriter {
+    stream: Arc<Mutex<TcpStream>>,
+    max_frame: usize,
+}
+
+impl FrameWriter {
+    /// Writes one frame; delivery failures are returned (the driver
+    /// closes on them) but waiter threads may ignore them — a vanished
+    /// client cannot be told anything.
+    fn send(&self, value: &Value) -> io::Result<()> {
+        let mut stream = self.stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        proto::write_frame(&mut *stream, value, self.max_frame)
+    }
+}
+
+/// The running server. Binds on [`Server::bind`]; runs until
+/// [`Server::shutdown`] (or a client's authorized `SHUTDOWN` frame);
+/// [`Server::wait`] joins every thread the server spawned.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("stopping", &self.inner.stopping())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// The bind/configuration error when the address is unusable.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            config,
+            stop: AtomicBool::new(false),
+            pools: Mutex::new(Some(BTreeMap::new())),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = thread::Builder::new()
+            .name("ramr-serve-accept".into())
+            .spawn(move || accept_loop(&accept_inner, &listener))
+            .map_err(|e| io::Error::other(format!("cannot spawn accept thread: {e}")))?;
+        Ok(Server { inner, addr, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves `HOST:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown: stop accepting, drain the in-flight
+    /// epoch, fulfil queued tickets with a shutdown error, `BYE` every
+    /// connection. Returns immediately; [`Server::wait`] blocks until the
+    /// choreography completes.
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.stopping()
+    }
+
+    /// Blocks until the server has fully stopped (accept loop and every
+    /// connection thread joined). Call [`Server::shutdown`] first — or
+    /// rely on a client's `SHUTDOWN` frame — to make it stop.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    let mut drivers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !inner.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                let spawned = thread::Builder::new()
+                    .name("ramr-serve-conn".into())
+                    .spawn(move || drive_connection(&conn_inner, stream));
+                match spawned {
+                    Ok(handle) => drivers.push(handle),
+                    Err(_) => { /* out of threads: drop the connection */ }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_NAP),
+            Err(_) => thread::sleep(ACCEPT_NAP),
+        }
+        drivers.retain(|h| !h.is_finished());
+    }
+    for handle in drivers {
+        let _ = handle.join();
+    }
+}
+
+/// Everything one connection needs, bundled for the handlers.
+struct Conn<'a> {
+    inner: &'a Arc<Inner>,
+    writer: FrameWriter,
+    tenant: String,
+    /// Waiter threads for this connection's accepted jobs.
+    waiters: Vec<thread::JoinHandle<()>>,
+}
+
+fn drive_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let writer =
+        FrameWriter { stream: Arc::new(Mutex::new(write_half)), max_frame: inner.config.max_frame };
+    let mut reader = BufReader::new(stream);
+    let max_frame = inner.config.max_frame;
+
+    // Handshake: the first frame must be an authenticated HELLO.
+    let tenant = loop {
+        match proto::read_frame(&mut reader, max_frame) {
+            Ok(Some(hello)) => match check_hello(inner, &hello) {
+                Ok(tenant) => {
+                    let apps: Vec<Value> = SERVABLE_APPS
+                        .iter()
+                        .map(|a| Value::Str((*a).into()))
+                        .chain(inner.config.chaos.then(|| Value::Str(POISON_APP.into())))
+                        .collect();
+                    let welcome = frame(
+                        ResponseKind::Welcome,
+                        &[
+                            ("tenant", Value::Str(tenant.clone())),
+                            ("version", Value::Num(PROTOCOL_VERSION as f64)),
+                            ("apps", Value::Arr(apps)),
+                        ],
+                    );
+                    if writer.send(&welcome).is_err() {
+                        return;
+                    }
+                    break tenant;
+                }
+                Err(message) => {
+                    let _ =
+                        writer.send(&frame(ResponseKind::Error, &[("error", Value::Str(message))]));
+                    return;
+                }
+            },
+            Ok(None) => return,
+            Err(e) if timed_out(&e) => {
+                if inner.stopping() {
+                    let _ = writer.send(&frame(ResponseKind::Bye, &[]));
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = writer.send(&frame(
+                    ResponseKind::Error,
+                    &[("error", Value::Str("malformed frame before HELLO".into()))],
+                ));
+                return;
+            }
+        }
+    };
+
+    let mut conn = Conn { inner, writer, tenant, waiters: Vec::new() };
+    loop {
+        match proto::read_frame(&mut reader, max_frame) {
+            Ok(Some(request)) => {
+                if !handle_request(&mut conn, &request) {
+                    break;
+                }
+            }
+            Ok(None) => break, // client closed cleanly
+            Err(e) if timed_out(&e) => {
+                if conn.inner.stopping() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = conn.writer.send(&frame(
+                    ResponseKind::Error,
+                    &[("error", Value::Str(format!("protocol error: {e}")))],
+                ));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+
+    // Resolve every in-flight job before saying goodbye, so a client that
+    // reads until BYE has seen all of its RESULT / JOB_ERROR frames.
+    for waiter in conn.waiters.drain(..) {
+        let _ = waiter.join();
+    }
+    let _ = conn.writer.send(&frame(ResponseKind::Bye, &[]));
+}
+
+fn timed_out(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Validates a HELLO frame; returns the tenant name.
+fn check_hello(inner: &Inner, hello: &Value) -> Result<String, String> {
+    let kind = proto::frame_type(hello)?;
+    if RequestKind::from_wire(kind) != Some(RequestKind::Hello) {
+        return Err(format!("expected HELLO as the first frame, got {kind:?}"));
+    }
+    let tenant = hello
+        .get("tenant")
+        .and_then(Value::as_str)
+        .filter(|t| !t.is_empty())
+        .ok_or("HELLO needs a non-empty string \"tenant\"")?;
+    check_token(inner, hello, "HELLO")?;
+    Ok(tenant.to_string())
+}
+
+fn check_token(inner: &Inner, request: &Value, what: &str) -> Result<(), String> {
+    if let Some(expected) = &inner.config.token {
+        let presented = request.get("token").and_then(Value::as_str);
+        if presented != Some(expected.as_str()) {
+            return Err(format!("{what} rejected: bad or missing token"));
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches one steady-state request. Returns `false` when the
+/// connection should close.
+fn handle_request(conn: &mut Conn<'_>, request: &Value) -> bool {
+    let kind = match proto::frame_type(request) {
+        Ok(kind) => kind,
+        Err(message) => {
+            let _ =
+                conn.writer.send(&frame(ResponseKind::Error, &[("error", Value::Str(message))]));
+            return false;
+        }
+    };
+    match RequestKind::from_wire(kind) {
+        Some(RequestKind::Submit) => {
+            handle_submit(conn, request);
+            true
+        }
+        Some(RequestKind::Metrics) => conn.writer.send(&conn.inner.metrics_frame()).is_ok(),
+        Some(RequestKind::Shutdown) => {
+            match check_token(conn.inner, request, "SHUTDOWN") {
+                Ok(()) => {
+                    // Dropping the pools resolves every in-flight ticket;
+                    // the driver joins its waiters and BYEs on return.
+                    conn.inner.shutdown();
+                    false
+                }
+                Err(message) => {
+                    let _ = conn
+                        .writer
+                        .send(&frame(ResponseKind::Error, &[("error", Value::Str(message))]));
+                    true
+                }
+            }
+        }
+        Some(RequestKind::Hello) => {
+            let _ = conn.writer.send(&frame(
+                ResponseKind::Error,
+                &[("error", Value::Str("already authenticated".into()))],
+            ));
+            false
+        }
+        None => {
+            let _ = conn.writer.send(&frame(
+                ResponseKind::Error,
+                &[("error", Value::Str(format!("unknown request type {kind:?}")))],
+            ));
+            false
+        }
+    }
+}
+
+/// One SUBMIT: admission-check, then either spawn a waiter (ACCEPTED) or
+/// answer RETRY_AFTER / JOB_ERROR. Job-scoped failures keep the
+/// connection alive — only protocol-level breakage closes it.
+fn handle_submit(conn: &mut Conn<'_>, request: &Value) {
+    // Opportunistically reap finished waiters so long-lived connections
+    // do not accumulate dead handles.
+    conn.waiters.retain(|h| !h.is_finished());
+
+    let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let job_error = |conn: &Conn<'_>, message: String| {
+        let _ = conn.writer.send(&frame(
+            ResponseKind::JobError,
+            &[("id", Value::Num(id as f64)), ("error", Value::Str(message))],
+        ));
+    };
+
+    let parsed = parse_submit(conn.inner, request);
+    let (app, backend, spec, echo, config, key) = match parsed {
+        Ok(parts) => parts,
+        Err(message) => return job_error(conn, message),
+    };
+    let pool = match conn.inner.pool_for(&key, &config, backend) {
+        Ok(pool) => pool,
+        Err(message) => return job_error(conn, message),
+    };
+    match pool.try_submit(&conn.tenant, &spec, echo) {
+        Ok(waiter) => {
+            let accepted = frame(ResponseKind::Accepted, &[("id", Value::Num(id as f64))]);
+            let _ = conn.writer.send(&accepted);
+            let writer = conn.writer.clone();
+            let tenant = conn.tenant.clone();
+            let backend_name = backend.as_str().to_string();
+            let run = move || {
+                let reply = match waiter() {
+                    Ok(outcome) => {
+                        let mut members = vec![
+                            ("id", Value::Num(id as f64)),
+                            ("tenant", Value::Str(tenant)),
+                            ("app", Value::Str(app)),
+                            ("backend", Value::Str(backend_name)),
+                            ("keys", Value::Num(outcome.keys as f64)),
+                            ("digest", Value::Str(outcome.digest)),
+                            ("queued_ms", Value::Num(outcome.queued_ms)),
+                            ("ran_ms", Value::Num(outcome.ran_ms)),
+                            ("metrics", outcome.metrics),
+                        ];
+                        if let Some(rendered) = outcome.rendered {
+                            members.push(("output", Value::Str(rendered)));
+                        }
+                        frame(ResponseKind::Result, &members)
+                    }
+                    Err(err) => frame(
+                        ResponseKind::JobError,
+                        &[("id", Value::Num(id as f64)), ("error", Value::Str(err.to_string()))],
+                    ),
+                };
+                // The client may be gone; nothing useful to do about it.
+                let _ = writer.send(&reply);
+            };
+            if let Ok(handle) = thread::Builder::new().name("ramr-serve-job".into()).spawn(run) {
+                conn.waiters.push(handle);
+            }
+            // On spawn failure (thread exhaustion) the closure is consumed
+            // by the failed spawn; the ticket resolves at shutdown.
+        }
+        Err(err) => match err.shed_reason() {
+            Some(reason) => {
+                let status = pool.status();
+                let hint = registry::retry_hint_ms(reason, conn.inner.config.retry_ms);
+                let _ = conn.writer.send(&frame(
+                    ResponseKind::RetryAfter,
+                    &[
+                        ("id", Value::Num(id as f64)),
+                        ("reason", Value::Str(reason.as_str().into())),
+                        ("retry_after_ms", Value::Num(hint as f64)),
+                        ("queue_depth", Value::Num(status.queue_depth as f64)),
+                        ("queue_capacity", Value::Num(status.queue_capacity as f64)),
+                        ("saturated", Value::Bool(status.saturated)),
+                    ],
+                ));
+            }
+            None => job_error(conn, err.to_string()),
+        },
+    }
+}
+
+type ParsedSubmit = (String, Backend, WireSpec, bool, mr_core::RuntimeConfig, PoolKey);
+
+/// Parses and validates a SUBMIT frame into everything the pool needs.
+fn parse_submit(inner: &Inner, request: &Value) -> Result<ParsedSubmit, String> {
+    let app = request
+        .get("app")
+        .and_then(Value::as_str)
+        .ok_or("SUBMIT needs a string \"app\"")?
+        .to_string();
+    let platform = match request.get("platform").and_then(Value::as_str).unwrap_or("hwl") {
+        "hwl" => Platform::Haswell,
+        "phi" => Platform::XeonPhi,
+        other => return Err(format!("unknown platform {other:?} (hwl|phi)")),
+    };
+    let flavor = match request.get("flavor").and_then(Value::as_str).unwrap_or("small") {
+        "small" => InputFlavor::Small,
+        "medium" => InputFlavor::Medium,
+        "large" => InputFlavor::Large,
+        other => return Err(format!("unknown flavor {other:?} (small|medium|large)")),
+    };
+    let scale = match request.get("scale") {
+        None => DEFAULT_SCALE,
+        Some(value) => {
+            value.as_u64().filter(|&s| s > 0).ok_or("\"scale\" must be a positive integer")?
+        }
+    };
+    let backend = match request.get("backend").and_then(Value::as_str) {
+        None => inner.config.default_backend,
+        Some(name) => name
+            .parse::<Backend>()
+            .map_err(|_| format!("unknown backend {name:?} (ramr-static|ramr-adaptive|phoenix)"))?,
+    };
+    let echo = request.get("echo_output").and_then(Value::as_bool).unwrap_or(false);
+
+    // Knob overrides: ENV_KNOBS cli names, applied through the exact
+    // parse/apply path `ramr run --<knob>` uses, on top of the server's
+    // base config (with the app's preferred container as the default).
+    let mut knobs: Vec<(String, String)> = Vec::new();
+    if let Some(Value::Obj(members)) = request.get("knobs") {
+        for (name, raw) in members {
+            let raw =
+                raw.as_str().ok_or_else(|| format!("knob {name:?} must map to a string value"))?;
+            knobs.push((name.clone(), raw.to_string()));
+        }
+    }
+    let mut builder = inner.config.base.clone().into_builder();
+    if let Some(kind) = app_kind(&app) {
+        builder = builder.container(kind.default_container());
+    }
+    for (name, raw) in &knobs {
+        let knob = mr_core::ENV_KNOBS
+            .iter()
+            .find(|k| k.cli == name)
+            .ok_or_else(|| format!("unknown knob {name:?} (use ENV_KNOBS cli names)"))?;
+        let source = format!("knob {name}");
+        builder = (knob.apply)(builder, raw, &source).map_err(|e| e.to_string())?;
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let key = (app.clone(), backend.as_str().to_string(), knobs);
+    Ok((app, backend, WireSpec { platform, flavor, scale }, echo, config, key))
+}
+
+fn app_kind(app: &str) -> Option<AppKind> {
+    match app {
+        "wc" => Some(AppKind::WordCount),
+        "hg" => Some(AppKind::Histogram),
+        "lr" => Some(AppKind::LinearRegression),
+        "km" => Some(AppKind::Kmeans),
+        _ => None,
+    }
+}

@@ -111,6 +111,107 @@ fn cli_help_lists_every_knob_flag() {
 }
 
 #[test]
+fn service_doc_knob_table_matches_both_knob_tables() {
+    // SERVICE.md is the operator reference for the job server: it must
+    // document every `RAMR_SERVE_*` service knob AND every `RAMR_*`
+    // runtime knob (clients override them per job), and nothing else.
+    let mut code: BTreeSet<String> =
+        mr_core::ENV_KNOBS.iter().map(|knob| knob.env.to_string()).collect();
+    code.extend(ramr_serve::SERVE_KNOBS.iter().map(|knob| knob.env.to_string()));
+    let documented = ramr_env_tokens(&read("SERVICE.md"));
+    let undocumented: Vec<_> = code.difference(&documented).collect();
+    let phantom: Vec<_> = documented.difference(&code).collect();
+    assert!(
+        undocumented.is_empty(),
+        "knobs missing from SERVICE.md: {undocumented:?} — add them to its tables"
+    );
+    assert!(
+        phantom.is_empty(),
+        "env vars documented in SERVICE.md but absent from ENV_KNOBS/SERVE_KNOBS: \
+         {phantom:?} — remove them or wire them up"
+    );
+}
+
+/// Extracts the backticked `ALL_CAPS` tokens between the
+/// `protocol-messages` markers in SERVICE.md — the documented wire
+/// message names.
+fn documented_messages(service: &str) -> BTreeSet<String> {
+    let start = service
+        .find("<!-- protocol-messages:start -->")
+        .expect("SERVICE.md must keep the protocol-messages:start marker");
+    let end = service
+        .find("<!-- protocol-messages:end -->")
+        .expect("SERVICE.md must keep the protocol-messages:end marker");
+    let section = &service[start..end];
+    let mut found = BTreeSet::new();
+    for piece in section.split('`').skip(1).step_by(2) {
+        let caps = !piece.is_empty() && piece.bytes().all(|b| b.is_ascii_uppercase() || b == b'_');
+        if caps {
+            found.insert(piece.to_string());
+        }
+    }
+    found
+}
+
+#[test]
+fn service_doc_message_reference_matches_the_wire_enums() {
+    // Both directions: every request/response kind the serve crate speaks
+    // appears in SERVICE.md's message reference, and the reference names
+    // no message the code does not speak.
+    let mut code: BTreeSet<String> =
+        ramr_serve::RequestKind::ALL.iter().map(|k| k.as_str().to_string()).collect();
+    code.extend(ramr_serve::ResponseKind::ALL.iter().map(|k| k.as_str().to_string()));
+    let documented = documented_messages(&read("SERVICE.md"));
+    let undocumented: Vec<_> = code.difference(&documented).collect();
+    let phantom: Vec<_> = documented.difference(&code).collect();
+    assert!(
+        undocumented.is_empty(),
+        "wire messages missing from SERVICE.md's protocol reference: {undocumented:?}"
+    );
+    assert!(
+        phantom.is_empty(),
+        "SERVICE.md documents messages the serve crate does not speak: {phantom:?}"
+    );
+}
+
+#[test]
+fn cli_help_lists_every_serve_flag() {
+    // `ramr serve` accepts `--<cli>` for every SERVE_KNOBS row (main.rs
+    // builds the flag list from the table), so help must advertise each.
+    let commands = read("crates/cli/src/commands.rs");
+    for knob in ramr_serve::SERVE_KNOBS {
+        let flag = format!("--{}", knob.cli);
+        assert!(
+            commands.contains(&flag),
+            "CLI help in crates/cli/src/commands.rs does not mention {flag} \
+             (the flag for {}); add it to the `serve` usage block",
+            knob.env
+        );
+    }
+}
+
+#[test]
+fn service_doc_is_linked_and_isolated() {
+    // Discoverable: README and DESIGN must link the operator guide.
+    assert!(
+        read("README.md").contains("SERVICE.md"),
+        "README.md must link the SERVICE.md operator guide"
+    );
+    assert!(
+        read("DESIGN.md").contains("SERVICE.md"),
+        "DESIGN.md must reference the SERVICE.md operator guide"
+    );
+    // Isolated: the runtime-knob docs stay scoped to the runtime surface —
+    // service knobs live in SERVICE.md only (the strict token-equality
+    // tests above enforce the same thing; this spells the rule out).
+    for doc in ["README.md", "TUNING.md"] {
+        let tokens = ramr_env_tokens(&read(doc));
+        let leaked: Vec<_> = tokens.iter().filter(|t| t.starts_with("RAMR_SERVE")).collect();
+        assert!(leaked.is_empty(), "{doc} documents service knobs {leaked:?}; see SERVICE.md");
+    }
+}
+
+#[test]
 fn readme_links_the_tuning_cookbook() {
     assert!(
         read("README.md").contains("TUNING.md"),

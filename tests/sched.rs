@@ -312,9 +312,26 @@ fn shutdown_fulfils_queued_tickets() {
         let running = client.submit(Arc::new(slow), Arc::clone(&input)).unwrap();
         let queued = client.submit(Arc::new(healthy()), Arc::clone(&input)).unwrap();
         drop(sched);
-        // The in-flight epoch ran to completion; the queued one never ran.
-        assert_eq!(running.wait().unwrap().output.pairs, reference(&input));
-        assert!(matches!(queued.wait().unwrap_err(), SchedError::Shutdown));
+        // The shutdown contract: a job the dispatcher started runs to
+        // completion; a still-queued ticket is fulfilled with `Shutdown`.
+        // Which side of that line each job lands on depends on how far
+        // the dispatcher got before `drop` — on a loaded machine it may
+        // not have dequeued even the first job, or may have finished the
+        // slow epoch and legally started the second. Every ticket must
+        // resolve either way; none may be left parked (the deadline
+        // around this closure catches that).
+        let resolve = |ticket: ramr::JobTicket<FaultyJob<WordCount>>| match ticket.wait() {
+            Ok(done) => {
+                assert_eq!(done.output.pairs, reference(&input));
+                true
+            }
+            Err(SchedError::Shutdown) => false,
+            Err(other) => panic!("ticket resolved oddly: {other}"),
+        };
+        let ran_first = resolve(running);
+        let ran_second = resolve(queued);
+        // FIFO: the second job can only have run if the first did too.
+        assert!(ran_first || !ran_second, "queued job ran but the earlier one was shed");
     });
 }
 

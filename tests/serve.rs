@@ -1,0 +1,350 @@
+//! End-to-end tests for the `ramr-serve` service layer: a real server on
+//! a loopback socket, driven through the real client library.
+//!
+//! The headline test is the differential: a job submitted over the wire
+//! must produce the exact bytes — and the same fault/report accounting —
+//! as the same job run through an in-process [`JobScheduler`], on all
+//! three backends. Around it: typed wire backpressure, tenant auth,
+//! fault isolation for a poisoned tenant, graceful shutdown semantics,
+//! and the live `METRICS` endpoint.
+
+use std::sync::Arc;
+
+use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, WordCount};
+use mr_core::RuntimeConfig;
+use ramr::{Backend, JobScheduler};
+use ramr_serve::{
+    outcome_of, JobRequest, ServeClient, ServeConfig, ServeError, Server, POISON_APP,
+};
+use ramr_telemetry::json::Value;
+
+/// Table I divisor used throughout: large enough that each job is around
+/// a millisecond, so the suite stays fast.
+const SCALE: u64 = 20_000;
+
+fn base_config() -> RuntimeConfig {
+    RuntimeConfig::builder()
+        .num_workers(2)
+        .num_combiners(1)
+        .task_size(256)
+        .queue_capacity(5000)
+        .batch_size(500)
+        .build()
+        .expect("valid test config")
+}
+
+/// Boots a server on an ephemeral loopback port with the test base
+/// config; returns the server and its dialable address.
+fn boot(mutate: impl FnOnce(&mut ServeConfig)) -> (Server, String) {
+    let mut config = ServeConfig { base: base_config(), ..ServeConfig::default() };
+    config.addr = "127.0.0.1:0".into();
+    config.max_pools = 8;
+    mutate(&mut config);
+    let server = Server::bind(config).expect("server binds loopback");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn wc_request() -> JobRequest {
+    let mut request = JobRequest::new("wc");
+    request.scale = SCALE;
+    request
+}
+
+/// A word-count request against a private one-slot pool whose single job
+/// runs long enough to hold the slot (scale 40x lower = 40x more input).
+fn slow_one_slot_request() -> JobRequest {
+    let mut request = wc_request();
+    request.scale = SCALE / 40;
+    request.knobs.push(("sched-queue".into(), "1".into()));
+    request
+}
+
+/// In-process baseline: the same job the server runs for [`wc_request`]
+/// on `backend`, scheduled through a [`JobScheduler`] and rendered by the
+/// shared [`outcome_of`], so both sides of the differential go through
+/// identical rendering and report construction.
+fn in_process_outcome(backend: Backend) -> ramr_serve::JobOutcome {
+    // Mirror the server's pool config: base + the app's default container.
+    let config = base_config()
+        .into_builder()
+        .container(AppKind::WordCount.default_container())
+        .build()
+        .expect("baseline config");
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::Haswell, InputFlavor::Small);
+    let input = Arc::new(wc_input(&spec, SCALE));
+    let sched = JobScheduler::<WordCount>::new(backend, config.clone()).expect("baseline sched");
+    let done = sched
+        .client("baseline")
+        .submit(Arc::new(WordCount), input)
+        .expect("baseline submit")
+        .wait()
+        .expect("baseline job");
+    outcome_of("wc", backend, &config, &done, true)
+}
+
+/// Pulls a named numeric field out of a metrics JSON tree.
+fn metric_u64(metrics: &Value, field: &str) -> u64 {
+    metrics.get(field).and_then(Value::as_u64).unwrap_or_else(|| panic!("metrics missing {field}"))
+}
+
+#[test]
+fn socket_jobs_match_in_process_scheduler_on_every_backend() {
+    let (server, addr) = boot(|_| {});
+    let mut client = ServeClient::connect(&addr, "diff", None).expect("connect");
+    for backend in Backend::ALL {
+        let expected = in_process_outcome(backend);
+        let mut request = wc_request();
+        request.backend = Some(backend.as_str().to_string());
+        request.echo_output = true;
+        let got = client.run_job(&request).expect("socket job completes");
+
+        // Byte-identical output: same digest, same full rendering.
+        assert_eq!(got.keys, expected.keys, "{backend}: key count diverged");
+        assert_eq!(got.digest, expected.digest, "{backend}: digest diverged");
+        assert_eq!(
+            got.output.as_deref(),
+            expected.rendered.as_deref(),
+            "{backend}: echoed output is not byte-identical to the in-process run"
+        );
+
+        // Equivalent report accounting: everything deterministic in the
+        // `--metrics-json` report must agree (timings legitimately differ).
+        for field in ["workers", "combiners", "batch_size", "emit_buffer", "queue_capacity"] {
+            assert_eq!(
+                metric_u64(&got.metrics, field),
+                metric_u64(&expected.metrics, field),
+                "{backend}: report field {field} diverged"
+            );
+        }
+        assert_eq!(
+            got.metrics.get("emitted"),
+            expected.metrics.get("emitted"),
+            "{backend}: emitted-pair accounting diverged"
+        );
+        assert_eq!(
+            got.metrics.get("faults"),
+            expected.metrics.get("faults"),
+            "{backend}: fault accounting diverged"
+        );
+        assert_eq!(
+            got.metrics.get("app").and_then(Value::as_str),
+            Some("wc"),
+            "{backend}: report names the wrong app"
+        );
+        assert_eq!(
+            got.metrics.get("runtime").and_then(Value::as_str),
+            Some(backend.as_str()),
+            "{backend}: report names the wrong runtime"
+        );
+    }
+    drop(client);
+    drop(server);
+}
+
+#[test]
+fn overflow_is_shed_with_typed_reason_and_retry_hint() {
+    let (server, addr) = boot(|_| {});
+    let mut client = ServeClient::connect(&addr, "burst", None).expect("connect");
+    let request = slow_one_slot_request();
+    let first = client.submit(&request).expect("first submit runs");
+    let second = client.submit(&request).expect("second submit queues");
+    match client.submit(&request) {
+        Err(ServeError::Shed { reason, retry_after_ms }) => {
+            assert_eq!(reason, "queue-full", "one-slot overflow must shed as queue-full");
+            assert!(retry_after_ms > 0, "shed must carry a positive retry hint");
+        }
+        other => panic!("third submit into a full one-slot queue: {other:?}"),
+    }
+    // The shed submit is gone, not queued: exactly the two accepted jobs
+    // come back, in dispatch order.
+    for expected in [first, second] {
+        let result = client.next_result().expect("accepted job completes");
+        assert_eq!(result.id, expected);
+    }
+    // After the backlog drains, the same request is accepted again.
+    let retried = client.run_job(&request).expect("retry after drain succeeds");
+    assert!(retried.keys > 0);
+    drop(server);
+}
+
+#[test]
+fn tenants_authenticate_with_the_shared_token() {
+    let (server, addr) = boot(|c| c.token = Some("sesame".into()));
+
+    let refused = ServeClient::connect(&addr, "alice", None);
+    assert!(
+        matches!(refused, Err(ServeError::Remote(_))),
+        "handshake without the token must be refused: {refused:?}"
+    );
+    let refused = ServeClient::connect(&addr, "alice", Some("wrong"));
+    assert!(
+        matches!(refused, Err(ServeError::Remote(_))),
+        "handshake with a bad token must be refused: {refused:?}"
+    );
+
+    let mut client = ServeClient::connect(&addr, "alice", Some("sesame")).expect("good token");
+    let result = client.run_job(&wc_request()).expect("authenticated job runs");
+    assert!(result.keys > 0);
+
+    // SHUTDOWN is token-gated too: a bad token gets an ERROR and the
+    // server keeps serving; the right token drains and closes.
+    let refused = client.shutdown(Some("wrong"));
+    assert!(matches!(refused, Err(ServeError::Remote(_))), "bad shutdown token: {refused:?}");
+    let mut second = ServeClient::connect(&addr, "bob", Some("sesame")).expect("still serving");
+    second.shutdown(Some("sesame")).expect("authorized shutdown");
+    server.wait();
+}
+
+#[test]
+fn poisoned_tenant_fails_alone() {
+    let (server, addr) = boot(|c| c.chaos = true);
+    let mut evil = ServeClient::connect(&addr, "evil", None).expect("evil connects");
+    let mut good = ServeClient::connect(&addr, "good", None).expect("good connects");
+
+    let before = good.run_job(&wc_request()).expect("good job before the poison");
+
+    let poisoned = evil.run_job(&JobRequest::new(POISON_APP));
+    assert!(
+        matches!(poisoned, Err(ServeError::JobFailed(_))),
+        "poison job must fail with JOB_ERROR: {poisoned:?}"
+    );
+
+    // The failure is contained: the good tenant's pool keeps serving with
+    // identical results, and even the evil connection stays usable.
+    let after = good.run_job(&wc_request()).expect("good job after the poison");
+    assert_eq!(after.digest, before.digest, "poison leaked into another tenant's pool");
+    let recovered = evil.run_job(&wc_request()).expect("evil connection survives its own poison");
+    assert_eq!(recovered.digest, before.digest);
+    drop(server);
+}
+
+#[test]
+fn poison_app_requires_chaos_mode() {
+    let (server, addr) = boot(|_| {});
+    let mut client = ServeClient::connect(&addr, "curious", None).expect("connect");
+    let refused = client.run_job(&JobRequest::new(POISON_APP));
+    assert!(
+        matches!(refused, Err(ServeError::JobFailed(_))),
+        "poison must be rejected without chaos mode: {refused:?}"
+    );
+    drop(server);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_sheds_queued_with_shutdown_error() {
+    let (server, addr) = boot(|_| {});
+    let mut worker = ServeClient::connect(&addr, "worker", None).expect("connect");
+    let request = slow_one_slot_request();
+    // One job running, one queued behind it in the one-slot queue. The
+    // nap gives the dispatcher time to dequeue the first job so the
+    // common path exercises an actually-in-flight epoch.
+    let running = worker.submit(&request).expect("first submit runs");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let queued = worker.submit(&request).expect("second submit queues");
+
+    let mut operator = ServeClient::connect(&addr, "operator", None).expect("operator connects");
+    operator.shutdown(None).expect("shutdown acknowledged with BYE");
+
+    // The shutdown contract: every ACCEPTED id resolves to exactly one
+    // terminal frame — a real RESULT for a job the dispatcher ran (the
+    // in-flight epoch drains), a shutdown JOB_ERROR for a still-queued
+    // ticket. The two waiter threads race onto the socket, so the order
+    // (and, under load, which jobs the dispatcher got to) is not fixed.
+    let mut completed = Vec::new();
+    let mut shutdown_errors = 0;
+    for _ in 0..2 {
+        match worker.next_result() {
+            Ok(result) => {
+                assert!(
+                    result.id == running || result.id == queued,
+                    "RESULT for an id never submitted: {}",
+                    result.id
+                );
+                completed.push(result.id);
+            }
+            Err(ServeError::JobFailed(message)) => {
+                assert!(
+                    message.contains("shut"),
+                    "queued ticket should carry a shutdown error, got {message:?}"
+                );
+                shutdown_errors += 1;
+            }
+            Err(other) => panic!("ticket resolved oddly: {other}"),
+        }
+    }
+    completed.dedup();
+    assert_eq!(
+        completed.len() + shutdown_errors,
+        2,
+        "every accepted id must get exactly one terminal frame"
+    );
+    // FIFO over a one-slot queue: the second job can only have completed
+    // if the first did too.
+    if completed.contains(&queued) {
+        assert!(completed.contains(&running), "queued job ran but the running one vanished");
+    }
+
+    server.wait();
+    // The listener is gone: new connections are refused.
+    assert!(
+        ServeClient::connect(&addr, "late", None).is_err(),
+        "connections must be refused after shutdown"
+    );
+}
+
+#[test]
+fn metrics_endpoint_reports_pools_and_shed_breakdown() {
+    let (server, addr) = boot(|_| {});
+    let mut client = ServeClient::connect(&addr, "meter", None).expect("connect");
+    client.run_job(&wc_request()).expect("job completes");
+
+    let metrics = client.metrics().expect("metrics snapshot");
+    assert_eq!(metrics.get("shutting_down"), Some(&Value::Bool(false)));
+    let pools = match metrics.get("pools") {
+        Some(Value::Arr(pools)) => pools,
+        other => panic!("METRICS_REPORT missing pools array: {other:?}"),
+    };
+    let wc_pool = pools
+        .iter()
+        .find(|p| p.get("app").and_then(Value::as_str) == Some("wc"))
+        .expect("wc pool is listed");
+    assert!(metric_u64(wc_pool, "queue_capacity") > 0);
+    let tenants = match wc_pool.get("tenants") {
+        Some(Value::Arr(tenants)) => tenants,
+        other => panic!("pool missing tenants array: {other:?}"),
+    };
+    let meter = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(Value::as_str) == Some("meter"))
+        .expect("tenant accounting is listed");
+    assert_eq!(metric_u64(meter, "submitted"), 1);
+    assert_eq!(metric_u64(meter, "completed"), 1);
+    // The typed shed breakdown rides the same report.
+    for field in ["shed", "shed_queue_full", "shed_quota", "shed_saturated"] {
+        assert_eq!(metric_u64(meter, field), 0, "{field} should be zero for a clean run");
+    }
+    drop(server);
+}
+
+#[test]
+fn per_job_knob_overrides_reach_the_pool() {
+    let (server, addr) = boot(|_| {});
+    let mut client = ServeClient::connect(&addr, "tuner", None).expect("connect");
+    let mut request = wc_request();
+    request.knobs.push(("workers".into(), "3".into()));
+    request.knobs.push(("batch".into(), "250".into()));
+    let result = client.run_job(&request).expect("tuned job completes");
+    assert_eq!(metric_u64(&result.metrics, "workers"), 3, "workers override ignored");
+    assert_eq!(metric_u64(&result.metrics, "batch_size"), 250, "batch override ignored");
+
+    // An unknown knob is a job error, not a dead connection.
+    let mut bad = wc_request();
+    bad.knobs.push(("no-such-knob".into(), "1".into()));
+    let refused = client.run_job(&bad);
+    assert!(matches!(refused, Err(ServeError::JobFailed(_))), "unknown knob: {refused:?}");
+    let still_fine = client.run_job(&wc_request()).expect("connection survives the refusal");
+    assert!(still_fine.keys > 0);
+    drop(server);
+}
