@@ -46,6 +46,8 @@ USAGE:
   ramr serve    [--serve-addr HOST:PORT] [--serve-token TOKEN]
                 [--serve-max-pools N] [--serve-retry-ms MS]
                 [--serve-chaos 0|1] [--serve-max-frame BYTES]
+                [--serve-rate PER_SEC] [--serve-heartbeat-ms MS]
+                [--serve-park-ttl-ms MS]
                 [--backend ramr-static|ramr-adaptive|phoenix]
                 [runtime knobs as the pools' base config]
   ramr client   --addr HOST:PORT [--tenant NAME] [--token TOKEN]
@@ -376,12 +378,12 @@ fn execute_scheduled<J: MapReduceJob + Send + 'static>(
         // `shed` breaks down by the typed ShedReason: queue-full / quota /
         // saturated, in that order.
         println!(
-            "  {:<12} {:>6} {:>9} {:>6} {:>16} {:>12} {:>12} {:>12}",
+            "  {:<12} {:>6} {:>9} {:>6} {:>20} {:>12} {:>12} {:>12}",
             "tenant",
             "weight",
             "completed",
             "failed",
-            "shed(qf/qt/sat)",
+            "shed(qf/rl/qt/sat)",
             "mean-wait",
             "max-wait",
             "run-time"
@@ -389,12 +391,15 @@ fn execute_scheduled<J: MapReduceJob + Send + 'static>(
         for s in sched.tenant_stats() {
             let finished = (s.completed + s.failed).max(1);
             println!(
-                "  {:<12} {:>6} {:>9} {:>6} {:>16} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+                "  {:<12} {:>6} {:>9} {:>6} {:>20} {:>9.2} ms {:>9.2} ms {:>9.2} ms",
                 s.tenant,
                 s.weight,
                 s.completed,
                 s.failed,
-                format!("{} ({}/{}/{})", s.shed, s.shed_queue_full, s.shed_quota, s.shed_saturated),
+                format!(
+                    "{} ({}/{}/{}/{})",
+                    s.shed, s.shed_queue_full, s.shed_rate_limited, s.shed_quota, s.shed_saturated
+                ),
                 ms(s.queue_wait) / finished as f64,
                 ms(s.max_queue_wait),
                 ms(s.run_time),

@@ -84,8 +84,9 @@ const STRIDE_ONE: u64 = 1 << 20;
 /// Carried by the shedding [`SchedError`] variants (via
 /// [`SchedError::shed_reason`]), counted per tenant in [`TenantStats`],
 /// and mapped onto the wire by the service layer's `RETRY_AFTER`
-/// response. The three reasons call for different client reactions:
-/// a full queue clears as epochs complete (retry soon), an exhausted
+/// response. The reasons call for different client reactions:
+/// a full queue clears as epochs complete (retry soon), a drained rate
+/// bucket refills on its own clock (pace yourself), an exhausted
 /// quota clears when *this tenant's* jobs finish (wait for your own
 /// tickets first), and saturation clears only when the pipeline proves
 /// itself healthy again (back off hardest).
@@ -93,6 +94,12 @@ const STRIDE_ONE: u64 = 1 << 20;
 pub enum ShedReason {
     /// The bounded submission queue is at capacity.
     QueueFull,
+    /// The tenant's token-bucket rate limit is drained. The scheduler
+    /// itself never sheds for this reason; admission layers stacked above
+    /// it (the service layer's per-tenant rate limiter) refuse the job
+    /// before it reaches the queue and account it via
+    /// [`JobClient::record_shed`].
+    RateLimited,
     /// The submitting tenant holds its full in-flight quota.
     Quota,
     /// The watchdog cancelled the previous epoch and no epoch has
@@ -102,14 +109,16 @@ pub enum ShedReason {
 
 impl ShedReason {
     /// Every reason, in severity order (mildest first).
-    pub const ALL: [ShedReason; 3] =
-        [ShedReason::QueueFull, ShedReason::Quota, ShedReason::Saturated];
+    pub const ALL: [ShedReason; 4] =
+        [ShedReason::QueueFull, ShedReason::RateLimited, ShedReason::Quota, ShedReason::Saturated];
 
-    /// The canonical kebab-case name (`queue-full` / `quota` /
-    /// `saturated`), as used in wire responses and the CLI table.
+    /// The canonical kebab-case name (`queue-full` / `rate-limited` /
+    /// `quota` / `saturated`), as used in wire responses and the CLI
+    /// table.
     pub fn as_str(self) -> &'static str {
         match self {
             ShedReason::QueueFull => "queue-full",
+            ShedReason::RateLimited => "rate-limited",
             ShedReason::Quota => "quota",
             ShedReason::Saturated => "saturated",
         }
@@ -231,10 +240,14 @@ pub struct TenantStats {
     /// Jobs that ran and failed (panic, stall, overflow, ...).
     pub failed: u64,
     /// `try_submit` calls refused by admission control (the sum of the
-    /// three per-reason counters below).
+    /// per-reason counters below).
     pub shed: u64,
     /// Sheds because the submission queue was at capacity.
     pub shed_queue_full: u64,
+    /// Sheds recorded by an admission layer above the scheduler because
+    /// the tenant's rate bucket was drained (see
+    /// [`JobClient::record_shed`]).
+    pub shed_rate_limited: u64,
     /// Sheds because this tenant held its full in-flight quota.
     pub shed_quota: u64,
     /// Sheds because the scheduler was saturated (watchdog-stalled epoch
@@ -253,6 +266,7 @@ impl TenantStats {
     pub fn shed_by(&self, reason: ShedReason) -> u64 {
         match reason {
             ShedReason::QueueFull => self.shed_queue_full,
+            ShedReason::RateLimited => self.shed_rate_limited,
             ShedReason::Quota => self.shed_quota,
             ShedReason::Saturated => self.shed_saturated,
         }
@@ -262,6 +276,7 @@ impl TenantStats {
         self.shed += 1;
         match reason {
             ShedReason::QueueFull => self.shed_queue_full += 1,
+            ShedReason::RateLimited => self.shed_rate_limited += 1,
             ShedReason::Quota => self.shed_quota += 1,
             ShedReason::Saturated => self.shed_saturated += 1,
         }
@@ -275,6 +290,9 @@ struct Queued<J: MapReduceJob> {
     ticket: Arc<Ticket<J>>,
     seq: u64,
     enqueued: Instant,
+    /// Caller-chosen execution tag; recorded in the scheduler's execution
+    /// ledger the moment the dispatcher claims the job.
+    tag: Option<String>,
 }
 
 struct TenantState<J: MapReduceJob> {
@@ -306,6 +324,10 @@ struct SchedState<J: MapReduceJob> {
     /// Set when an epoch returns [`RuntimeError::Stalled`], cleared by the
     /// next epoch that completes without stalling.
     saturated: bool,
+    /// Tags of every dispatched job, in claim order — the ground truth the
+    /// wire-resilience tests audit for exactly-once execution. Only tagged
+    /// submissions (see [`JobClient::try_submit_tagged`]) are recorded.
+    executions: Vec<String>,
     shutdown: bool,
 }
 
@@ -404,7 +426,7 @@ impl<J: MapReduceJob> JobClient<J> {
         job: Arc<J>,
         input: Arc<Vec<J::Input>>,
     ) -> Result<JobTicket<J>, SchedError> {
-        self.enqueue(job, input, true)
+        self.enqueue(job, input, true, None)
     }
 
     /// Enqueues a job without blocking, **shedding** when admission
@@ -422,7 +444,36 @@ impl<J: MapReduceJob> JobClient<J> {
         job: Arc<J>,
         input: Arc<Vec<J::Input>>,
     ) -> Result<JobTicket<J>, SchedError> {
-        self.enqueue(job, input, false)
+        self.enqueue(job, input, false, None)
+    }
+
+    /// [`JobClient::try_submit`], but stamps the job with an execution
+    /// `tag` that the dispatcher appends to the scheduler's execution
+    /// ledger ([`JobScheduler::execution_ledger`]) the moment it claims
+    /// the job. The service layer tags each wire submission with its
+    /// tenant-scoped `request_id`, making "every request executed exactly
+    /// once" auditable against the scheduler's own record.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`JobClient::try_submit`].
+    pub fn try_submit_tagged(
+        &self,
+        job: Arc<J>,
+        input: Arc<Vec<J::Input>>,
+        tag: &str,
+    ) -> Result<JobTicket<J>, SchedError> {
+        self.enqueue(job, input, false, Some(tag.to_string()))
+    }
+
+    /// Counts a shed that happened in an admission layer stacked *above*
+    /// the scheduler (e.g. the service layer's per-tenant token-bucket
+    /// rate limiter) into this tenant's [`TenantStats`], so one snapshot
+    /// reports the full admission picture regardless of which layer
+    /// refused the job.
+    pub fn record_shed(&self, reason: ShedReason) {
+        let mut state = relock(&self.shared.state);
+        tenant_entry(&mut state, &self.shared.config, &self.tenant).stats.record_shed(reason);
     }
 
     fn enqueue(
@@ -430,6 +481,7 @@ impl<J: MapReduceJob> JobClient<J> {
         job: Arc<J>,
         input: Arc<Vec<J::Input>>,
         block: bool,
+        tag: Option<String>,
     ) -> Result<JobTicket<J>, SchedError> {
         let shared = &self.shared;
         let quota = shared.config.sched_quota;
@@ -489,6 +541,7 @@ impl<J: MapReduceJob> JobClient<J> {
             ticket: Arc::clone(&ticket),
             seq,
             enqueued: Instant::now(),
+            tag,
         });
         shared.work.notify_one();
         Ok(JobTicket { inner: ticket })
@@ -554,6 +607,7 @@ impl<J: MapReduceJob + Send + 'static> JobScheduler<J> {
                 next_seq: 0,
                 virtual_pass: 0,
                 saturated: false,
+                executions: Vec::new(),
                 shutdown: false,
             }),
             space: Condvar::new(),
@@ -623,6 +677,16 @@ impl<J: MapReduceJob + Send + 'static> JobScheduler<J> {
     #[allow(clippy::misnamed_getters)] // capacity of the queue; the knob is named sched_queue
     pub fn queue_capacity(&self) -> usize {
         self.shared.config.sched_queue
+    }
+
+    /// The execution ledger: the tag of every tagged job the dispatcher
+    /// has claimed for execution, in claim order. Jobs submitted without
+    /// a tag (plain [`JobClient::submit`] / [`JobClient::try_submit`])
+    /// are not recorded. The wire-resilience suite cross-checks this
+    /// against the set of submitted `request_id`s to prove exactly-once
+    /// execution under connection churn.
+    pub fn execution_ledger(&self) -> Vec<String> {
+        relock(&self.shared.state).executions.clone()
     }
 
     /// Whether the scheduler is currently saturated: the watchdog
@@ -695,6 +759,13 @@ fn dispatch_loop<J: MapReduceJob + Send + 'static>(
                         state.virtual_pass = state.virtual_pass.max(pass);
                     }
                     state.queued -= 1;
+                    if let Some(tag) = &queued.tag {
+                        // Claimed for execution: the ledger entry is made
+                        // here, under the state lock, so a tag can never
+                        // be recorded twice or dropped between claim and
+                        // run.
+                        state.executions.push(tag.clone());
+                    }
                     // A queue slot freed: wake delayed submitters.
                     shared.space.notify_all();
                     break (name, queued);

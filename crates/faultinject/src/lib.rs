@@ -13,6 +13,9 @@
 //! * [`FaultyJob`] — a [`MapReduceJob`] wrapper that injects the planned
 //!   faults around an inner job's `map` while delegating everything else
 //!   (combine, key space, retry-safety) untouched.
+//! * [`net::ChaosProxy`] — a seeded TCP proxy that delays, splits,
+//!   truncates, and kills proxied connections deterministically, for the
+//!   serve layer's reconnect and exactly-once tests.
 //!
 //! Faults are keyed by the *first input element* of a task (through a
 //! caller-supplied fingerprint function), not by worker or wall-clock:
@@ -21,6 +24,8 @@
 //! Panics fire *after* the inner map has emitted, which is the adversarial
 //! ordering for exactly-once retries — a runtime that publishes eagerly
 //! will double-count.
+
+pub mod net;
 
 use std::collections::HashMap;
 use std::sync::Mutex;

@@ -45,7 +45,7 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 
-pub use client::{JobRequest, JobResult, ServeClient, ServeError};
+pub use client::{ClientOptions, JobRequest, JobResult, ServeClient, ServeError};
 pub use proto::{RequestKind, ResponseKind, PROTOCOL_VERSION};
 pub use registry::{
     digest64, outcome_of, render_pairs, retry_hint_ms, JobOutcome, PoisonJob, PoolStatus, WireSpec,
@@ -80,6 +80,23 @@ pub struct ServeConfig {
     /// Frame size bound in bytes (`RAMR_SERVE_MAX_FRAME`), enforced on
     /// read and write.
     pub max_frame: usize,
+    /// Per-tenant token-bucket rate limit in submits per second
+    /// (`RAMR_SERVE_RATE`); `0.0` disables rate limiting. The bucket
+    /// holds one second of burst (at least one token), refills
+    /// continuously, and refusals shed with `rate-limited` `RETRY_AFTER`
+    /// responses.
+    pub rate: f64,
+    /// Ceiling on the heartbeat interval a client may negotiate in
+    /// `HELLO`, in milliseconds (`RAMR_SERVE_HEARTBEAT_MS`); `0` refuses
+    /// heartbeat negotiation entirely. A connection that negotiated a
+    /// heartbeat and then stays silent for three intervals is dropped
+    /// (its terminal frames park for reconnect pickup).
+    pub heartbeat_ms: u64,
+    /// How long a terminal frame (RESULT / JOB_ERROR) whose tenant has
+    /// disconnected is parked server-side before it expires, in
+    /// milliseconds (`RAMR_SERVE_PARK_TTL_MS`). Parked frames are
+    /// re-delivered when the tenant re-sends the same `request_id`.
+    pub park_ttl_ms: u64,
     /// Backend jobs run on when a `SUBMIT` names none.
     pub default_backend: Backend,
     /// The base runtime configuration pools are built from.
@@ -96,6 +113,9 @@ impl Default for ServeConfig {
             retry_ms: 50,
             chaos: false,
             max_frame: 4 << 20,
+            rate: 0.0,
+            heartbeat_ms: 30_000,
+            park_ttl_ms: 60_000,
             default_backend: Backend::RamrStatic,
             base: RuntimeConfig::builder()
                 .num_workers(threads.max(2))
@@ -225,6 +245,42 @@ pub const SERVE_KNOBS: &[ServeKnob] = &[
         },
     },
     ServeKnob {
+        env: "RAMR_SERVE_RATE",
+        cli: "serve-rate",
+        value: "PER_SEC",
+        help: "per-tenant token-bucket rate limit in submits/sec; 0 = off",
+        apply: |mut c, raw, src| {
+            c.rate = parse_knob(raw, src)?;
+            if !c.rate.is_finite() || c.rate < 0.0 {
+                return Err(format!("{src} must be a finite rate >= 0"));
+            }
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_HEARTBEAT_MS",
+        cli: "serve-heartbeat-ms",
+        value: "MS",
+        help: "ceiling on the HELLO-negotiated heartbeat interval; 0 = refuse",
+        apply: |mut c, raw, src| {
+            c.heartbeat_ms = parse_knob(raw, src)?;
+            Ok(c)
+        },
+    },
+    ServeKnob {
+        env: "RAMR_SERVE_PARK_TTL_MS",
+        cli: "serve-park-ttl-ms",
+        value: "MS",
+        help: "how long terminal frames for a gone tenant stay claimable",
+        apply: |mut c, raw, src| {
+            c.park_ttl_ms = parse_knob(raw, src)?;
+            if c.park_ttl_ms == 0 {
+                return Err(format!("{src} must be at least 1 ms"));
+            }
+            Ok(c)
+        },
+    },
+    ServeKnob {
         env: "RAMR_SERVE_MAX_FRAME",
         cli: "serve-max-frame",
         value: "BYTES",
@@ -253,8 +309,17 @@ mod tests {
         assert_eq!(c.token.as_deref(), Some("s3cret"));
         let c = (knob("RAMR_SERVE_CHAOS").apply)(base.clone(), "1", "t").unwrap();
         assert!(c.chaos);
+        let c = (knob("RAMR_SERVE_RATE").apply)(base.clone(), "2.5", "t").unwrap();
+        assert!((c.rate - 2.5).abs() < f64::EPSILON);
+        let c = (knob("RAMR_SERVE_HEARTBEAT_MS").apply)(base.clone(), "250", "t").unwrap();
+        assert_eq!(c.heartbeat_ms, 250);
+        let c = (knob("RAMR_SERVE_PARK_TTL_MS").apply)(base.clone(), "500", "t").unwrap();
+        assert_eq!(c.park_ttl_ms, 500);
         assert!((knob("RAMR_SERVE_MAX_POOLS").apply)(base.clone(), "0", "t").is_err());
         assert!((knob("RAMR_SERVE_MAX_FRAME").apply)(base.clone(), "12", "t").is_err());
+        assert!((knob("RAMR_SERVE_RATE").apply)(base.clone(), "-1", "t").is_err());
+        assert!((knob("RAMR_SERVE_RATE").apply)(base.clone(), "inf", "t").is_err());
+        assert!((knob("RAMR_SERVE_PARK_TTL_MS").apply)(base.clone(), "0", "t").is_err());
         assert!((knob("RAMR_SERVE_RETRY_MS").apply)(base, "soon", "t").is_err());
     }
 

@@ -32,7 +32,7 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// immediately (that is the server's shutdown-poll point); inside a frame
 /// the reader holds on, because abandoning a half-read frame desyncs the
 /// stream.
-const MID_FRAME_PATIENCE: Duration = Duration::from_secs(10);
+pub const MID_FRAME_PATIENCE: Duration = Duration::from_secs(10);
 
 /// Client-to-server message kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,14 +43,23 @@ pub enum RequestKind {
     Submit,
     /// Ask for a live telemetry snapshot (queue depths, tenant stats).
     Metrics,
+    /// Heartbeat probe; the server answers with `PONG`. Sent by clients
+    /// that negotiated a heartbeat interval in `HELLO`, to keep the idle
+    /// deadline at bay and detect a silently dead server.
+    Ping,
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
 
 impl RequestKind {
     /// Every request kind, in handshake-then-steady-state order.
-    pub const ALL: [RequestKind; 4] =
-        [RequestKind::Hello, RequestKind::Submit, RequestKind::Metrics, RequestKind::Shutdown];
+    pub const ALL: [RequestKind; 5] = [
+        RequestKind::Hello,
+        RequestKind::Submit,
+        RequestKind::Metrics,
+        RequestKind::Ping,
+        RequestKind::Shutdown,
+    ];
 
     /// The wire name carried in the frame's `"type"` member.
     pub fn as_str(self) -> &'static str {
@@ -58,6 +67,7 @@ impl RequestKind {
             RequestKind::Hello => "HELLO",
             RequestKind::Submit => "SUBMIT",
             RequestKind::Metrics => "METRICS",
+            RequestKind::Ping => "PING",
             RequestKind::Shutdown => "SHUTDOWN",
         }
     }
@@ -83,6 +93,8 @@ pub enum ResponseKind {
     JobError,
     /// The live telemetry snapshot answering a `METRICS` request.
     MetricsReport,
+    /// The heartbeat answer to a `PING`.
+    Pong,
     /// A request the server refused (bad auth, unknown app, malformed
     /// frame); the connection closes after protocol-level errors.
     Error,
@@ -92,13 +104,14 @@ pub enum ResponseKind {
 
 impl ResponseKind {
     /// Every response kind.
-    pub const ALL: [ResponseKind; 8] = [
+    pub const ALL: [ResponseKind; 9] = [
         ResponseKind::Welcome,
         ResponseKind::Accepted,
         ResponseKind::RetryAfter,
         ResponseKind::Result,
         ResponseKind::JobError,
         ResponseKind::MetricsReport,
+        ResponseKind::Pong,
         ResponseKind::Error,
         ResponseKind::Bye,
     ];
@@ -112,6 +125,7 @@ impl ResponseKind {
             ResponseKind::Result => "RESULT",
             ResponseKind::JobError => "JOB_ERROR",
             ResponseKind::MetricsReport => "METRICS_REPORT",
+            ResponseKind::Pong => "PONG",
             ResponseKind::Error => "ERROR",
             ResponseKind::Bye => "BYE",
         }
@@ -158,6 +172,23 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Value, max_frame: usize) -> io::
 /// `InvalidData` on a malformed prefix, an oversized frame, or JSON that
 /// does not parse; `UnexpectedEof` when the peer dies mid-frame.
 pub fn read_frame<R: BufRead>(r: &mut R, max_frame: usize) -> io::Result<Option<Value>> {
+    read_frame_with_patience(r, max_frame, MID_FRAME_PATIENCE)
+}
+
+/// [`read_frame`] with an explicit mid-frame patience budget instead of
+/// the default [`MID_FRAME_PATIENCE`]. The fuzz suite uses a tiny budget
+/// to prove the stall deadline actually fires without waiting out the
+/// production ten seconds.
+///
+/// # Errors
+///
+/// Exactly as [`read_frame`], plus `TimedOut` when the peer stalls
+/// mid-frame past `patience`.
+pub fn read_frame_with_patience<R: BufRead>(
+    r: &mut R,
+    max_frame: usize,
+    patience: Duration,
+) -> io::Result<Option<Value>> {
     // Length prefix: ASCII digits up to the first space.
     let mut len: usize = 0;
     let mut digits = 0usize;
@@ -205,7 +236,7 @@ pub fn read_frame<R: BufRead>(r: &mut R, max_frame: usize) -> io::Result<Option<
     // Payload + trailing newline, retrying timeouts patiently.
     let mut payload = vec![0u8; len + 1];
     let mut filled = 0;
-    let deadline = Instant::now() + MID_FRAME_PATIENCE;
+    let deadline = Instant::now() + patience;
     while filled < payload.len() {
         match r.read(&mut payload[filled..]) {
             Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),

@@ -81,14 +81,30 @@ pub struct PoolStatus {
 /// One served app: a typed scheduler behind a type-erased surface.
 pub(crate) trait AppPool: Send + Sync {
     /// Non-blocking admission: hand back a waiter for the accepted job,
-    /// or the typed shed reason.
-    fn try_submit(&self, tenant: &str, spec: &WireSpec, echo: bool) -> Result<Waiter, SchedError>;
+    /// or the typed shed reason. `tag`, when present, is recorded in the
+    /// scheduler's execution ledger at dispatch (the server passes the
+    /// tenant-scoped `request_id`).
+    fn try_submit(
+        &self,
+        tenant: &str,
+        spec: &WireSpec,
+        echo: bool,
+        tag: Option<&str>,
+    ) -> Result<Waiter, SchedError>;
 
     /// Live queue gauges.
     fn status(&self) -> PoolStatus;
 
     /// Per-tenant accounting, including the shed breakdown.
     fn tenant_stats(&self) -> Vec<TenantStats>;
+
+    /// Counts a shed decided above the scheduler (the server's rate
+    /// limiter) into this pool's per-tenant stats.
+    fn record_shed(&self, tenant: &str, reason: ShedReason);
+
+    /// The scheduler's execution ledger (tags of dispatched jobs, in
+    /// claim order); the wire-resilience tests audit it for exactly-once.
+    fn executed_tags(&self) -> Vec<String>;
 }
 
 /// Renders a reduced output canonically: one `{key:?}\t{value:?}` line per
@@ -205,9 +221,19 @@ impl<J: MapReduceJob + Send + 'static> TypedPool<J> {
 }
 
 impl<J: MapReduceJob + Send + 'static> AppPool for TypedPool<J> {
-    fn try_submit(&self, tenant: &str, spec: &WireSpec, echo: bool) -> Result<Waiter, SchedError> {
+    fn try_submit(
+        &self,
+        tenant: &str,
+        spec: &WireSpec,
+        echo: bool,
+        tag: Option<&str>,
+    ) -> Result<Waiter, SchedError> {
         let (job, input) = self.job_and_input(spec);
-        let ticket = self.sched.client(tenant).try_submit(job, input)?;
+        let client = self.sched.client(tenant);
+        let ticket = match tag {
+            Some(tag) => client.try_submit_tagged(job, input, tag)?,
+            None => client.try_submit(job, input)?,
+        };
         let app = self.app;
         let backend = self.backend;
         let config = self.sched.config().clone();
@@ -226,6 +252,14 @@ impl<J: MapReduceJob + Send + 'static> AppPool for TypedPool<J> {
 
     fn tenant_stats(&self) -> Vec<TenantStats> {
         self.sched.tenant_stats()
+    }
+
+    fn record_shed(&self, tenant: &str, reason: ShedReason) {
+        self.sched.client(tenant).record_shed(reason);
+    }
+
+    fn executed_tags(&self) -> Vec<String> {
+        self.sched.execution_ledger()
     }
 }
 
@@ -338,11 +372,12 @@ pub(crate) fn make_pool(
 
 /// The milliseconds a shed client should wait before retrying, scaled by
 /// reason severity: saturation backs off four times as hard as a full
-/// queue, quota twice (see [`ShedReason`]).
+/// queue, a drained rate bucket or an exhausted quota twice (see
+/// [`ShedReason`]).
 pub fn retry_hint_ms(reason: ShedReason, base_ms: u64) -> u64 {
     match reason {
         ShedReason::QueueFull => base_ms,
-        ShedReason::Quota => base_ms * 2,
+        ShedReason::RateLimited | ShedReason::Quota => base_ms * 2,
         ShedReason::Saturated => base_ms * 4,
     }
 }
@@ -367,6 +402,7 @@ mod tests {
     #[test]
     fn retry_hints_scale_with_severity() {
         assert_eq!(retry_hint_ms(ShedReason::QueueFull, 50), 50);
+        assert_eq!(retry_hint_ms(ShedReason::RateLimited, 50), 100);
         assert_eq!(retry_hint_ms(ShedReason::Quota, 50), 100);
         assert_eq!(retry_hint_ms(ShedReason::Saturated, 50), 200);
     }

@@ -9,28 +9,39 @@
 //! ```
 //!
 //! The connection driver owns the read side of its socket; the write side
-//! is a mutex-shared clone so waiter threads interleave `RESULT` frames
-//! with the driver's own replies without tearing frames. Every blocking
-//! read carries a short timeout, which doubles as the shutdown poll: when
-//! the stop flag rises, drivers finish their waiters, say `BYE`, and
-//! exit; the accept loop joins them all before [`Server::wait`] returns.
+//! is a **bounded outbound queue** drained by a per-connection writer
+//! thread, so waiter threads interleave `RESULT` frames with the driver's
+//! own replies without tearing frames — and a slow client that lets the
+//! queue sit full past the write deadline is kicked rather than allowed
+//! to wedge a waiter. Every blocking read carries a short timeout, which
+//! doubles as the shutdown poll: when the stop flag rises, drivers finish
+//! their waiters, say `BYE`, and exit; the accept loop joins them all
+//! before [`Server::wait`] returns.
+//!
+//! Wire-level resilience is a per-tenant **dedup ledger**: a `SUBMIT`
+//! carrying a `request_id` is recorded before admission, so the same id
+//! re-sent after a reconnect re-attaches to the in-flight job (or replays
+//! its parked terminal frame) instead of executing twice. Terminal frames
+//! whose connection died park in the ledger until the tenant claims them
+//! or the park TTL expires. The same ledger holds each tenant's
+//! token-bucket rate limiter.
 //!
 //! Shutdown itself is one atomic take of the pool map: dropping a
 //! [`ramr::JobScheduler`] lets the in-flight epoch finish and fulfils
 //! every queued ticket with a shutdown error, so accepted jobs always
 //! resolve to a `RESULT` or a `JOB_ERROR` — never silence.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mr_apps::inputs::{InputFlavor, Platform, DEFAULT_SCALE};
 use mr_apps::AppKind;
-use ramr::{Backend, TenantStats};
+use ramr::{Backend, ShedReason, TenantStats};
 use ramr_telemetry::json::Value;
 
 use crate::proto::{self, RequestKind, ResponseKind, PROTOCOL_VERSION};
@@ -43,19 +54,211 @@ const POLL_TIMEOUT: Duration = Duration::from_millis(100);
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_NAP: Duration = Duration::from_millis(20);
 
+/// Frames a connection's outbound queue holds before senders must wait.
+const OUTBOUND_QUEUE: usize = 64;
+
+/// How long a sender waits for outbound-queue space (and the writer
+/// thread waits on one socket write) before the client is declared too
+/// slow and its connection is kicked. Kicked connections' terminal
+/// frames park in the dedup ledger for reconnect pickup.
+const WRITE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A connection that negotiated a heartbeat and then stays silent for
+/// this many intervals is dropped.
+const HEARTBEAT_GRACE: u32 = 3;
+
+/// Dedup-ledger entries one tenant may hold; beyond it the oldest
+/// completed entry is evicted (and with no evictable entry, new
+/// `request_id` submits are refused).
+const DEDUP_CAP: usize = 1024;
+
 /// A pool's identity: same app + backend + knob overrides ⇒ same pool.
 type PoolKey = (String, String, Vec<(String, String)>);
+
+/// One `request_id`'s place in the dedup ledger.
+enum JobState {
+    /// Accepted and running; `writer` is the connection the terminal
+    /// frame should go to — rebound every time the tenant re-sends this
+    /// `request_id` from a new connection.
+    InFlight { writer: FrameWriter },
+    /// Terminal frame produced. Kept (claimed or not) until the park TTL
+    /// expires so a reconnecting client can always re-claim its result.
+    Done { frame: Value, at: Instant, claimed: bool },
+}
+
+/// Per-tenant wire-resilience state: the dedup ledger, the rate bucket,
+/// and the resilience counters the `METRICS` endpoint reports.
+struct TenantLedger {
+    jobs: BTreeMap<String, JobState>,
+    /// Token-bucket level; refilled on every admission check.
+    tokens: f64,
+    last_refill: Instant,
+    /// Whether this tenant has completed a HELLO before (the first one
+    /// is a connect, every later one a reconnect).
+    seen_hello: bool,
+    reconnects: u64,
+    dedup_hits: u64,
+    parked: u64,
+    expired: u64,
+    rate_limited: u64,
+}
+
+impl TenantLedger {
+    fn new(burst: f64) -> TenantLedger {
+        TenantLedger {
+            jobs: BTreeMap::new(),
+            tokens: burst,
+            last_refill: Instant::now(),
+            seen_hello: false,
+            reconnects: 0,
+            dedup_hits: 0,
+            parked: 0,
+            expired: 0,
+            rate_limited: 0,
+        }
+    }
+
+    /// Drops `Done` entries older than `ttl`; an entry evicted without
+    /// ever having been claimed counts as expired (its result was lost).
+    fn sweep(&mut self, ttl: Duration) {
+        let mut expired = 0;
+        self.jobs.retain(|_, state| match state {
+            JobState::InFlight { .. } => true,
+            JobState::Done { at, claimed, .. } => {
+                let keep = at.elapsed() < ttl;
+                if !keep && !*claimed {
+                    expired += 1;
+                }
+                keep
+            }
+        });
+        self.expired += expired;
+    }
+}
 
 struct Inner {
     config: ServeConfig,
     stop: AtomicBool,
     /// `None` once shutdown has taken (and dropped) the pools.
     pools: Mutex<Option<BTreeMap<PoolKey, Arc<dyn AppPool>>>>,
+    /// Per-tenant dedup ledgers, rate buckets, and resilience counters.
+    /// Never held across a `pools` lock (or vice versa): every path takes
+    /// the two sequentially, so no lock order can deadlock.
+    ledgers: Mutex<BTreeMap<String, TenantLedger>>,
 }
 
 impl Inner {
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// One second of burst, but always at least one token.
+    fn burst(&self) -> f64 {
+        self.config.rate.max(1.0)
+    }
+
+    fn park_ttl(&self) -> Duration {
+        Duration::from_millis(self.config.park_ttl_ms.max(1))
+    }
+
+    /// Runs `body` with the tenant's ledger (created on first touch),
+    /// sweeping expired entries first.
+    fn with_ledger<T>(&self, tenant: &str, body: impl FnOnce(&mut TenantLedger) -> T) -> T {
+        let mut guard = self.ledgers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ledger =
+            guard.entry(tenant.to_string()).or_insert_with(|| TenantLedger::new(self.burst()));
+        ledger.sweep(self.park_ttl());
+        body(ledger)
+    }
+
+    /// Counts a completed HELLO; returns the negotiated heartbeat
+    /// interval (the client's proposal clamped by the server ceiling; 0
+    /// when either side declines).
+    fn note_hello(&self, tenant: &str, proposed_ms: u64) -> u64 {
+        self.with_ledger(tenant, |ledger| {
+            if ledger.seen_hello {
+                ledger.reconnects += 1;
+            }
+            ledger.seen_hello = true;
+        });
+        if proposed_ms == 0 || self.config.heartbeat_ms == 0 {
+            0
+        } else {
+            proposed_ms.min(self.config.heartbeat_ms)
+        }
+    }
+
+    /// Token-bucket admission: `true` means the submit may proceed. A
+    /// refusal is counted in the tenant's ledger (the pool-level stats
+    /// are the caller's job, since the pool may not exist yet).
+    fn rate_ok(&self, tenant: &str) -> bool {
+        let rate = self.config.rate;
+        if rate <= 0.0 {
+            return true;
+        }
+        let burst = self.burst();
+        self.with_ledger(tenant, |ledger| {
+            let now = Instant::now();
+            let elapsed = now.duration_since(ledger.last_refill).as_secs_f64();
+            ledger.last_refill = now;
+            ledger.tokens = (ledger.tokens + elapsed * rate).min(burst);
+            if ledger.tokens >= 1.0 {
+                ledger.tokens -= 1.0;
+                true
+            } else {
+                ledger.rate_limited += 1;
+                false
+            }
+        })
+    }
+
+    /// Routes a `request_id` job's terminal frame: sent to the
+    /// connection currently bound to the id when possible, and retained
+    /// in the ledger either way (claimed on success, parked on failure)
+    /// so a reconnecting tenant can re-claim it until the TTL expires.
+    fn deliver(&self, tenant: &str, rid: &str, reply: Value) {
+        // The entry flips to Done *before* the send: the client may react
+        // to the terminal frame instantly (query METRICS, re-submit), and
+        // must never observe its own completed job as still in flight.
+        let writer = self.with_ledger(tenant, |ledger| match ledger.jobs.get_mut(rid) {
+            Some(state @ JobState::InFlight { .. }) => {
+                let done =
+                    JobState::Done { frame: reply.clone(), at: Instant::now(), claimed: true };
+                match std::mem::replace(state, done) {
+                    JobState::InFlight { writer } => Some(writer),
+                    JobState::Done { .. } => None,
+                }
+            }
+            _ => None,
+        });
+        // The send happens outside the ledger lock: a stalled client must
+        // not block other tenants' submits for the write deadline.
+        let sent = writer.is_some_and(|w| w.send(&reply).is_ok());
+        if !sent {
+            self.with_ledger(tenant, |ledger| {
+                if let Some(JobState::Done { claimed, .. }) = ledger.jobs.get_mut(rid) {
+                    *claimed = false;
+                }
+                ledger.parked += 1;
+            });
+        }
+    }
+
+    /// Removes a `request_id` reservation after an admission refusal,
+    /// returning the connection currently bound to it (rebound by any
+    /// duplicate that raced in) so the refusal reaches the live client.
+    fn unreserve(&self, tenant: &str, rid: &str) -> Option<FrameWriter> {
+        self.with_ledger(tenant, |ledger| match ledger.jobs.remove(rid) {
+            Some(JobState::InFlight { writer }) => Some(writer),
+            Some(done @ JobState::Done { .. }) => {
+                // A racing duplicate cannot have completed the job — only
+                // this call's submit path owns it — but keep the entry
+                // rather than lose a terminal frame.
+                ledger.jobs.insert(rid.to_string(), done);
+                None
+            }
+            None => None,
+        })
     }
 
     /// Finds or builds the pool for one submit. Building happens under
@@ -120,10 +323,56 @@ impl Inner {
                 pools.push(Value::Obj(entry));
             }
         }
+        let shutting_down = guard.is_none();
+        drop(guard);
+        // Ledgers are taken after the pool guard is released — the two
+        // locks never nest.
+        let mut tenants = Vec::new();
+        {
+            let mut guard = self.ledgers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (name, ledger) in guard.iter_mut() {
+                ledger.sweep(self.park_ttl());
+                let inflight =
+                    ledger.jobs.values().filter(|s| matches!(s, JobState::InFlight { .. })).count();
+                let num = |n: u64| Value::Num(n as f64);
+                tenants.push(Value::Obj(
+                    [
+                        ("tenant".to_string(), Value::Str(name.clone())),
+                        ("reconnects".to_string(), num(ledger.reconnects)),
+                        ("dedup_hits".to_string(), num(ledger.dedup_hits)),
+                        ("parked".to_string(), num(ledger.parked)),
+                        ("expired".to_string(), num(ledger.expired)),
+                        ("rate_limited".to_string(), num(ledger.rate_limited)),
+                        ("ledger_in_flight".to_string(), num(inflight as u64)),
+                        ("ledger_entries".to_string(), num(ledger.jobs.len() as u64)),
+                    ]
+                    .into_iter()
+                    .collect(),
+                ));
+            }
+        }
         frame(
             ResponseKind::MetricsReport,
-            &[("shutting_down", Value::Bool(guard.is_none())), ("pools", Value::Arr(pools))],
+            &[
+                ("shutting_down", Value::Bool(shutting_down)),
+                ("pools", Value::Arr(pools)),
+                ("tenants", Value::Arr(tenants)),
+            ],
         )
+    }
+
+    /// The union of every pool's execution ledger: the tenant-scoped
+    /// `request_id` tag of each dispatched wire job, in per-pool claim
+    /// order. The chaos suite audits this for exactly-once execution.
+    fn execution_ledger(&self) -> Vec<String> {
+        let guard = self.pools.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut tags = Vec::new();
+        if let Some(map) = guard.as_ref() {
+            for pool in map.values() {
+                tags.extend(pool.executed_tags());
+            }
+        }
+        tags
     }
 }
 
@@ -139,6 +388,7 @@ fn tenant_json(s: &TenantStats) -> Value {
             ("failed".to_string(), num(s.failed)),
             ("shed".to_string(), num(s.shed)),
             ("shed_queue_full".to_string(), num(s.shed_queue_full)),
+            ("shed_rate_limited".to_string(), num(s.shed_rate_limited)),
             ("shed_quota".to_string(), num(s.shed_quota)),
             ("shed_saturated".to_string(), num(s.shed_saturated)),
             ("queue_wait_ms".to_string(), ms(s.queue_wait)),
@@ -158,21 +408,125 @@ fn frame(kind: ResponseKind, members: &[(&str, Value)]) -> Value {
     Value::Obj(obj)
 }
 
-/// A mutex-shared write side; waiter threads and the connection driver
-/// interleave whole frames through it.
-#[derive(Clone)]
-struct FrameWriter {
-    stream: Arc<Mutex<TcpStream>>,
+/// The shared state behind one connection's outbound queue.
+struct OutboundState {
+    frames: VecDeque<Value>,
+    /// Graceful close: no new sends, the writer drains what is queued.
+    closing: bool,
+    /// Broken socket or kicked slow client: sends fail, frames drop.
+    dead: bool,
+}
+
+/// One connection's write side: a bounded frame queue drained by a
+/// dedicated writer thread. Senders wait up to [`WRITE_DEADLINE`] for
+/// space; a client that cannot drain the queue that long is kicked (its
+/// socket is shut down, which also frees the reader), so one stalled
+/// consumer can never wedge a waiter thread indefinitely.
+struct Outbound {
+    state: Mutex<OutboundState>,
+    /// Senders park here for queue space.
+    space: Condvar,
+    /// The writer thread parks here for frames.
+    work: Condvar,
+    /// A handle kept solely to shut the socket down on kick/death.
+    sock: TcpStream,
     max_frame: usize,
 }
 
+impl Outbound {
+    fn kick(&self, state: &mut OutboundState) {
+        state.dead = true;
+        state.frames.clear();
+        let _ = self.sock.shutdown(Shutdown::Both);
+        self.space.notify_all();
+        self.work.notify_all();
+    }
+}
+
+/// A cloneable handle on a connection's outbound queue; waiter threads
+/// and the connection driver interleave whole frames through it.
+#[derive(Clone)]
+struct FrameWriter {
+    out: Arc<Outbound>,
+}
+
 impl FrameWriter {
-    /// Writes one frame; delivery failures are returned (the driver
-    /// closes on them) but waiter threads may ignore them — a vanished
-    /// client cannot be told anything.
+    /// Enqueues one frame; delivery failures are returned (the driver
+    /// closes on them, the ledger parks terminal frames on them) — a
+    /// vanished or too-slow client cannot be told anything.
     fn send(&self, value: &Value) -> io::Result<()> {
-        let mut stream = self.stream.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        proto::write_frame(&mut *stream, value, self.max_frame)
+        if value.to_json().len() > self.out.max_frame {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds bound"));
+        }
+        let deadline = Instant::now() + WRITE_DEADLINE;
+        let mut state = self.out.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while !state.dead && !state.closing && state.frames.len() >= OUTBOUND_QUEUE {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                // Slow client: the queue sat full for the whole deadline.
+                self.out.kick(&mut state);
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "client too slow"));
+            }
+            let (guard, _) = self
+                .out
+                .space
+                .wait_timeout(state, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+        if state.dead || state.closing {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection closed"));
+        }
+        state.frames.push_back(value.clone());
+        self.out.work.notify_one();
+        Ok(())
+    }
+
+    /// Hard close for a vanished peer: marks the queue dead right away so
+    /// waiter threads see their sends fail — and park terminal frames in
+    /// the ledger — instead of writing into a closed socket's kernel
+    /// buffer, where the frame would be silently discarded.
+    fn abandon(&self) {
+        let mut state = self.out.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.out.kick(&mut state);
+    }
+
+    /// Graceful close: lets the writer thread drain the queue and exit.
+    fn finish(&self) {
+        let mut state = self.out.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.closing = true;
+        self.out.work.notify_all();
+        self.out.space.notify_all();
+    }
+}
+
+/// The writer thread: drains the outbound queue onto the socket. A write
+/// error (or write-deadline overrun, via the socket write timeout) marks
+/// the connection dead and shuts the socket down, waking the reader.
+fn writer_loop(out: &Arc<Outbound>, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
+    loop {
+        let frame = {
+            let mut state = out.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if state.dead {
+                    return;
+                }
+                if let Some(frame) = state.frames.pop_front() {
+                    out.space.notify_all();
+                    break frame;
+                }
+                if state.closing {
+                    return;
+                }
+                state = out.work.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if proto::write_frame(&mut stream, &frame, out.max_frame).is_err() {
+            let mut state = out.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            out.kick(&mut state);
+            return;
+        }
     }
 }
 
@@ -208,6 +562,7 @@ impl Server {
             config,
             stop: AtomicBool::new(false),
             pools: Mutex::new(Some(BTreeMap::new())),
+            ledgers: Mutex::new(BTreeMap::new()),
         });
         let accept_inner = Arc::clone(&inner);
         let accept = thread::Builder::new()
@@ -233,6 +588,16 @@ impl Server {
     /// Whether shutdown has been initiated.
     pub fn is_shutting_down(&self) -> bool {
         self.inner.stopping()
+    }
+
+    /// The scheduler-side execution ledger: every dispatched wire job's
+    /// tenant-scoped `request_id` tag (`tenant:request_id`), across all
+    /// pools, in per-pool claim order. Jobs submitted without a
+    /// `request_id` are not recorded. The wire-resilience tests
+    /// cross-check this against the set of submitted ids to prove
+    /// exactly-once execution under connection churn.
+    pub fn execution_ledger(&self) -> Vec<String> {
+        self.inner.execution_ledger()
     }
 
     /// Blocks until the server has fully stopped (accept loop and every
@@ -291,16 +656,35 @@ fn drive_connection(inner: &Arc<Inner>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
     let Ok(write_half) = stream.try_clone() else { return };
-    let writer =
-        FrameWriter { stream: Arc::new(Mutex::new(write_half)), max_frame: inner.config.max_frame };
+    let Ok(shutdown_half) = stream.try_clone() else { return };
+    let out = Arc::new(Outbound {
+        state: Mutex::new(OutboundState { frames: VecDeque::new(), closing: false, dead: false }),
+        space: Condvar::new(),
+        work: Condvar::new(),
+        sock: shutdown_half,
+        max_frame: inner.config.max_frame,
+    });
+    let writer = FrameWriter { out: Arc::clone(&out) };
+    let writer_thread = {
+        let out = Arc::clone(&out);
+        thread::Builder::new()
+            .name("ramr-serve-write".into())
+            .spawn(move || writer_loop(&out, write_half))
+    };
+    let Ok(writer_thread) = writer_thread else { return };
     let mut reader = BufReader::new(stream);
     let max_frame = inner.config.max_frame;
 
-    // Handshake: the first frame must be an authenticated HELLO.
-    let tenant = loop {
+    // Handshake: the first frame must be an authenticated HELLO. It may
+    // propose a heartbeat interval; the negotiated value (clamped by the
+    // server's ceiling) is echoed in WELCOME and enforced from then on.
+    let mut heartbeat_ms = 0u64;
+    let hello_outcome = loop {
         match proto::read_frame(&mut reader, max_frame) {
             Ok(Some(hello)) => match check_hello(inner, &hello) {
                 Ok(tenant) => {
+                    let proposed = hello.get("heartbeat_ms").and_then(Value::as_u64).unwrap_or(0);
+                    heartbeat_ms = inner.note_hello(&tenant, proposed);
                     let apps: Vec<Value> = SERVABLE_APPS
                         .iter()
                         .map(|a| Value::Str((*a).into()))
@@ -312,24 +696,25 @@ fn drive_connection(inner: &Arc<Inner>, stream: TcpStream) {
                             ("tenant", Value::Str(tenant.clone())),
                             ("version", Value::Num(PROTOCOL_VERSION as f64)),
                             ("apps", Value::Arr(apps)),
+                            ("heartbeat_ms", Value::Num(heartbeat_ms as f64)),
                         ],
                     );
                     if writer.send(&welcome).is_err() {
-                        return;
+                        break None;
                     }
-                    break tenant;
+                    break Some(tenant);
                 }
                 Err(message) => {
                     let _ =
                         writer.send(&frame(ResponseKind::Error, &[("error", Value::Str(message))]));
-                    return;
+                    break None;
                 }
             },
-            Ok(None) => return,
+            Ok(None) => break None,
             Err(e) if timed_out(&e) => {
                 if inner.stopping() {
                     let _ = writer.send(&frame(ResponseKind::Bye, &[]));
-                    return;
+                    break None;
                 }
             }
             Err(_) => {
@@ -337,22 +722,42 @@ fn drive_connection(inner: &Arc<Inner>, stream: TcpStream) {
                     ResponseKind::Error,
                     &[("error", Value::Str("malformed frame before HELLO".into()))],
                 ));
-                return;
+                break None;
             }
         }
     };
+    let Some(tenant) = hello_outcome else {
+        writer.finish();
+        let _ = writer_thread.join();
+        return;
+    };
 
     let mut conn = Conn { inner, writer, tenant, waiters: Vec::new() };
+    // A heartbeat-negotiated connection that stays silent for
+    // HEARTBEAT_GRACE intervals is declared dead; its terminal frames
+    // park in the ledger for the reconnecting client to claim.
+    let idle_deadline = (heartbeat_ms > 0)
+        .then(|| Duration::from_millis(heartbeat_ms.saturating_mul(u64::from(HEARTBEAT_GRACE))));
+    let mut last_heard = Instant::now();
+    let mut peer_gone = false;
     loop {
         match proto::read_frame(&mut reader, max_frame) {
             Ok(Some(request)) => {
+                last_heard = Instant::now();
                 if !handle_request(&mut conn, &request) {
                     break;
                 }
             }
-            Ok(None) => break, // client closed cleanly
+            Ok(None) => {
+                peer_gone = true; // client closed its write half
+                break;
+            }
             Err(e) if timed_out(&e) => {
                 if conn.inner.stopping() {
+                    break;
+                }
+                if idle_deadline.is_some_and(|d| last_heard.elapsed() > d) {
+                    peer_gone = true; // missed heartbeats: the peer is gone
                     break;
                 }
             }
@@ -363,16 +768,30 @@ fn drive_connection(inner: &Arc<Inner>, stream: TcpStream) {
                 ));
                 break;
             }
-            Err(_) => break,
+            Err(_) => {
+                peer_gone = true;
+                break;
+            }
         }
     }
 
+    if peer_gone {
+        // The socket is gone; kill the outbound *before* resolving the
+        // waiters, so their terminal frames fail to send and park in the
+        // ledger for the reconnecting client instead of vanishing into a
+        // half-closed socket's kernel buffer.
+        conn.writer.abandon();
+    }
     // Resolve every in-flight job before saying goodbye, so a client that
     // reads until BYE has seen all of its RESULT / JOB_ERROR frames.
     for waiter in conn.waiters.drain(..) {
         let _ = waiter.join();
     }
-    let _ = conn.writer.send(&frame(ResponseKind::Bye, &[]));
+    if !peer_gone {
+        let _ = conn.writer.send(&frame(ResponseKind::Bye, &[]));
+    }
+    conn.writer.finish();
+    let _ = writer_thread.join();
 }
 
 fn timed_out(e: &io::Error) -> bool {
@@ -421,6 +840,14 @@ fn handle_request(conn: &mut Conn<'_>, request: &Value) -> bool {
             true
         }
         Some(RequestKind::Metrics) => conn.writer.send(&conn.inner.metrics_frame()).is_ok(),
+        Some(RequestKind::Ping) => {
+            // Heartbeat probe: echo the nonce (when given) back in PONG.
+            let members = match request.get("nonce") {
+                Some(nonce) => vec![("nonce", nonce.clone())],
+                None => Vec::new(),
+            };
+            conn.writer.send(&frame(ResponseKind::Pong, &members)).is_ok()
+        }
         Some(RequestKind::Shutdown) => {
             match check_token(conn.inner, request, "SHUTDOWN") {
                 Ok(()) => {
@@ -457,41 +884,165 @@ fn handle_request(conn: &mut Conn<'_>, request: &Value) -> bool {
 /// One SUBMIT: admission-check, then either spawn a waiter (ACCEPTED) or
 /// answer RETRY_AFTER / JOB_ERROR. Job-scoped failures keep the
 /// connection alive — only protocol-level breakage closes it.
+///
+/// A SUBMIT carrying a `request_id` goes through the dedup ledger:
+/// * a known in-flight id re-binds delivery to this connection and is
+///   re-ACCEPTED (never re-executed);
+/// * a known completed id is re-ACCEPTED and its retained terminal frame
+///   replayed;
+/// * a fresh id is *reserved* before admission, so a duplicate racing in
+///   from a reconnect can never double-execute the job.
 fn handle_submit(conn: &mut Conn<'_>, request: &Value) {
     // Opportunistically reap finished waiters so long-lived connections
     // do not accumulate dead handles.
     conn.waiters.retain(|h| !h.is_finished());
 
     let id = request.get("id").and_then(Value::as_u64).unwrap_or(0);
-    let job_error = |conn: &Conn<'_>, message: String| {
-        let _ = conn.writer.send(&frame(
+    let rid = request.get("request_id").and_then(Value::as_str).map(str::to_string);
+    let job_error_frame = |message: String| {
+        frame(
             ResponseKind::JobError,
             &[("id", Value::Num(id as f64)), ("error", Value::Str(message))],
-        ));
+        )
+    };
+    let accepted_frame = frame(ResponseKind::Accepted, &[("id", Value::Num(id as f64))]);
+
+    // Dedup / reservation, for request_id submits.
+    if let Some(rid) = &rid {
+        enum Hit {
+            Rebound,
+            Replay(Value),
+            Full,
+            Fresh,
+        }
+        let hit = conn.inner.with_ledger(&conn.tenant, |ledger| {
+            match ledger.jobs.get_mut(rid) {
+                Some(JobState::InFlight { writer }) => {
+                    *writer = conn.writer.clone();
+                    ledger.dedup_hits += 1;
+                    Hit::Rebound
+                }
+                Some(JobState::Done { frame, claimed, .. }) => {
+                    ledger.dedup_hits += 1;
+                    *claimed = true;
+                    Hit::Replay(frame.clone())
+                }
+                None => {
+                    if ledger.jobs.len() >= DEDUP_CAP {
+                        // Evict the oldest completed entry to make room.
+                        let oldest = ledger
+                            .jobs
+                            .iter()
+                            .filter_map(|(key, state)| match state {
+                                JobState::Done { at, .. } => Some((*at, key.clone())),
+                                JobState::InFlight { .. } => None,
+                            })
+                            .min();
+                        match oldest {
+                            Some((_, key)) => {
+                                ledger.jobs.remove(&key);
+                            }
+                            None => return Hit::Full,
+                        }
+                    }
+                    // Reserve before admission: a duplicate arriving from
+                    // a reconnect now re-binds instead of re-submitting.
+                    ledger
+                        .jobs
+                        .insert(rid.clone(), JobState::InFlight { writer: conn.writer.clone() });
+                    Hit::Fresh
+                }
+            }
+        });
+        match hit {
+            Hit::Rebound => {
+                let _ = conn.writer.send(&accepted_frame);
+                return;
+            }
+            Hit::Replay(reply) => {
+                let _ = conn.writer.send(&accepted_frame);
+                let _ = conn.writer.send(&reply);
+                return;
+            }
+            Hit::Full => {
+                let _ = conn.writer.send(&job_error_frame(format!(
+                    "dedup ledger full ({DEDUP_CAP} in-flight request_ids)"
+                )));
+                return;
+            }
+            Hit::Fresh => {}
+        }
+    }
+
+    // A terminal refusal for a reserved id: deliver to whichever
+    // connection the id is bound to now and retain it as the id's
+    // outcome (a later duplicate replays it instead of re-running).
+    let refuse_terminal = |conn: &Conn<'_>, reply: Value| match &rid {
+        Some(rid) => conn.inner.deliver(&conn.tenant, rid, reply),
+        None => {
+            let _ = conn.writer.send(&reply);
+        }
+    };
+    // A retryable refusal: drop the reservation (the client is expected
+    // to re-submit the same id afresh) and answer the live connection.
+    let refuse_retryable = |conn: &Conn<'_>, reply: Value| {
+        let writer = rid
+            .as_ref()
+            .and_then(|rid| conn.inner.unreserve(&conn.tenant, rid))
+            .unwrap_or_else(|| conn.writer.clone());
+        let _ = writer.send(&reply);
     };
 
     let parsed = parse_submit(conn.inner, request);
     let (app, backend, spec, echo, config, key) = match parsed {
         Ok(parts) => parts,
-        Err(message) => return job_error(conn, message),
+        Err(message) => return refuse_terminal(conn, job_error_frame(message)),
     };
     let pool = match conn.inner.pool_for(&key, &config, backend) {
         Ok(pool) => pool,
-        Err(message) => return job_error(conn, message),
+        Err(message) => return refuse_terminal(conn, job_error_frame(message)),
     };
-    match pool.try_submit(&conn.tenant, &spec, echo) {
+
+    let retry_after = |reason: ShedReason| {
+        let status = pool.status();
+        let hint = registry::retry_hint_ms(reason, conn.inner.config.retry_ms);
+        frame(
+            ResponseKind::RetryAfter,
+            &[
+                ("id", Value::Num(id as f64)),
+                ("reason", Value::Str(reason.as_str().into())),
+                ("retry_after_ms", Value::Num(hint as f64)),
+                ("queue_depth", Value::Num(status.queue_depth as f64)),
+                ("queue_capacity", Value::Num(status.queue_capacity as f64)),
+                ("saturated", Value::Bool(status.saturated)),
+            ],
+        )
+    };
+
+    // Rate limiting layers *under* the scheduler's own admission: the
+    // token bucket is charged per fresh submit (dedup re-attaches above
+    // never reach here), and a refusal sheds exactly like the scheduler's
+    // own reasons — typed, counted, and carrying a retry hint.
+    if !conn.inner.rate_ok(&conn.tenant) {
+        pool.record_shed(&conn.tenant, ShedReason::RateLimited);
+        return refuse_retryable(conn, retry_after(ShedReason::RateLimited));
+    }
+
+    let tag = rid.as_ref().map(|rid| format!("{}:{rid}", conn.tenant));
+    match pool.try_submit(&conn.tenant, &spec, echo, tag.as_deref()) {
         Ok(waiter) => {
-            let accepted = frame(ResponseKind::Accepted, &[("id", Value::Num(id as f64))]);
-            let _ = conn.writer.send(&accepted);
+            let _ = conn.writer.send(&accepted_frame);
             let writer = conn.writer.clone();
             let tenant = conn.tenant.clone();
             let backend_name = backend.as_str().to_string();
+            let inner = Arc::clone(conn.inner);
+            let rid = rid.clone();
             let run = move || {
                 let reply = match waiter() {
                     Ok(outcome) => {
                         let mut members = vec![
                             ("id", Value::Num(id as f64)),
-                            ("tenant", Value::Str(tenant)),
+                            ("tenant", Value::Str(tenant.clone())),
                             ("app", Value::Str(app)),
                             ("backend", Value::Str(backend_name)),
                             ("keys", Value::Num(outcome.keys as f64)),
@@ -500,18 +1051,35 @@ fn handle_submit(conn: &mut Conn<'_>, request: &Value) {
                             ("ran_ms", Value::Num(outcome.ran_ms)),
                             ("metrics", outcome.metrics),
                         ];
+                        if let Some(rid) = &rid {
+                            members.push(("request_id", Value::Str(rid.clone())));
+                        }
                         if let Some(rendered) = outcome.rendered {
                             members.push(("output", Value::Str(rendered)));
                         }
                         frame(ResponseKind::Result, &members)
                     }
-                    Err(err) => frame(
-                        ResponseKind::JobError,
-                        &[("id", Value::Num(id as f64)), ("error", Value::Str(err.to_string()))],
-                    ),
+                    Err(err) => {
+                        let mut members = vec![
+                            ("id", Value::Num(id as f64)),
+                            ("error", Value::Str(err.to_string())),
+                        ];
+                        if let Some(rid) = &rid {
+                            members.push(("request_id", Value::Str(rid.clone())));
+                        }
+                        frame(ResponseKind::JobError, &members)
+                    }
                 };
-                // The client may be gone; nothing useful to do about it.
-                let _ = writer.send(&reply);
+                match &rid {
+                    // Ledgered job: route through the dedup ledger so a
+                    // vanished client's terminal frame parks for pickup.
+                    Some(rid) => inner.deliver(&tenant, rid, reply),
+                    // Legacy (no request_id): the client may be gone;
+                    // nothing useful to do about it.
+                    None => {
+                        let _ = writer.send(&reply);
+                    }
+                }
             };
             if let Ok(handle) = thread::Builder::new().name("ramr-serve-job".into()).spawn(run) {
                 conn.waiters.push(handle);
@@ -520,22 +1088,8 @@ fn handle_submit(conn: &mut Conn<'_>, request: &Value) {
             // by the failed spawn; the ticket resolves at shutdown.
         }
         Err(err) => match err.shed_reason() {
-            Some(reason) => {
-                let status = pool.status();
-                let hint = registry::retry_hint_ms(reason, conn.inner.config.retry_ms);
-                let _ = conn.writer.send(&frame(
-                    ResponseKind::RetryAfter,
-                    &[
-                        ("id", Value::Num(id as f64)),
-                        ("reason", Value::Str(reason.as_str().into())),
-                        ("retry_after_ms", Value::Num(hint as f64)),
-                        ("queue_depth", Value::Num(status.queue_depth as f64)),
-                        ("queue_capacity", Value::Num(status.queue_capacity as f64)),
-                        ("saturated", Value::Bool(status.saturated)),
-                    ],
-                ));
-            }
-            None => job_error(conn, err.to_string()),
+            Some(reason) => refuse_retryable(conn, retry_after(reason)),
+            None => refuse_terminal(conn, job_error_frame(err.to_string())),
         },
     }
 }

@@ -174,6 +174,51 @@ fn service_doc_message_reference_matches_the_wire_enums() {
     );
 }
 
+/// Extracts the backticked kebab-case tokens between the `shed-reasons`
+/// markers of one document — the documented typed shed-reason names.
+fn documented_shed_reasons(doc: &str, text: &str) -> BTreeSet<String> {
+    let start = text
+        .find("<!-- shed-reasons:start -->")
+        .unwrap_or_else(|| panic!("{doc} must keep the shed-reasons:start marker"));
+    let end = text
+        .find("<!-- shed-reasons:end -->")
+        .unwrap_or_else(|| panic!("{doc} must keep the shed-reasons:end marker"));
+    let section = &text[start..end];
+    let mut found = BTreeSet::new();
+    for piece in section.split('`').skip(1).step_by(2) {
+        let kebab = !piece.is_empty() && piece.bytes().all(|b| b.is_ascii_lowercase() || b == b'-');
+        if kebab {
+            found.insert(piece.to_string());
+        }
+    }
+    found
+}
+
+#[test]
+fn shed_reason_tables_match_the_typed_enum() {
+    // TUNING.md (runtime surface) and SERVICE.md (wire surface) each
+    // carry a shed-reason table; both must name exactly the reasons
+    // `ShedReason::ALL` can produce — a variant added to the enum
+    // without documenting what operators should do about it fails here,
+    // as does a documented reason the scheduler can no longer emit.
+    let code: BTreeSet<String> =
+        ramr::ShedReason::ALL.iter().map(|r| r.as_str().to_string()).collect();
+    assert!(code.contains("rate-limited"), "enum scan looks broken: {code:?}");
+    for doc in ["TUNING.md", "SERVICE.md"] {
+        let documented = documented_shed_reasons(doc, &read(doc));
+        let undocumented: Vec<_> = code.difference(&documented).collect();
+        let phantom: Vec<_> = documented.difference(&code).collect();
+        assert!(
+            undocumented.is_empty(),
+            "shed reasons missing from {doc}'s table: {undocumented:?}"
+        );
+        assert!(
+            phantom.is_empty(),
+            "{doc} documents shed reasons the scheduler cannot emit: {phantom:?}"
+        );
+    }
+}
+
 #[test]
 fn cli_help_lists_every_serve_flag() {
     // `ramr serve` accepts `--<cli>` for every SERVE_KNOBS row (main.rs

@@ -322,9 +322,26 @@ fn metrics_endpoint_reports_pools_and_shed_breakdown() {
     assert_eq!(metric_u64(meter, "submitted"), 1);
     assert_eq!(metric_u64(meter, "completed"), 1);
     // The typed shed breakdown rides the same report.
-    for field in ["shed", "shed_queue_full", "shed_quota", "shed_saturated"] {
+    for field in ["shed", "shed_queue_full", "shed_rate_limited", "shed_quota", "shed_saturated"] {
         assert_eq!(metric_u64(meter, field), 0, "{field} should be zero for a clean run");
     }
+    // The resilience ledger rides as a top-level tenants section: dedup,
+    // parking, reconnect, and rate-limit accounting per tenant.
+    let ledgers = match metrics.get("tenants") {
+        Some(Value::Arr(ledgers)) => ledgers,
+        other => panic!("METRICS_REPORT missing top-level tenants array: {other:?}"),
+    };
+    let meter_ledger = ledgers
+        .iter()
+        .find(|t| t.get("tenant").and_then(Value::as_str) == Some("meter"))
+        .expect("tenant ledger is listed");
+    for field in ["reconnects", "dedup_hits", "parked", "expired", "rate_limited"] {
+        assert_eq!(metric_u64(meter_ledger, field), 0, "{field} should be zero for a clean run");
+    }
+    // The clean run's one request_id is retained for replay until the
+    // park TTL sweeps it.
+    assert_eq!(metric_u64(meter_ledger, "ledger_in_flight"), 0);
+    assert_eq!(metric_u64(meter_ledger, "ledger_entries"), 1);
     drop(server);
 }
 
