@@ -27,6 +27,7 @@
 
 pub mod histogram;
 pub mod inputs;
+pub mod inverted_index;
 pub mod io;
 pub mod kmeans;
 pub mod linear_regression;
@@ -35,6 +36,7 @@ pub mod pca;
 pub mod word_count;
 
 pub use histogram::{Histogram, Pixel};
+pub use inverted_index::{DfEntry, InvertedIndex, TopKDf};
 pub use kmeans::{KmeansJob, KmeansState, Point, DIM};
 pub use linear_regression::{LinearRegression, LrPoint, LrStat};
 pub use matrix_multiply::{Matrix, MatrixMultiply, MmTask};

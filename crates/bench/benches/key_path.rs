@@ -151,13 +151,15 @@ fn engines_agree(input: &[String]) -> usize {
     let seed = Backend::RamrStatic
         .engine(engine_config(HasherKind::Fnv))
         .expect("engine")
-        .run_job(&WordCountString, input)
-        .expect("seed run");
+        .submit(&WordCountString, input)
+        .expect("seed run")
+        .output;
     let compact = Backend::RamrStatic
         .engine(engine_config(HasherKind::Fx))
         .expect("engine")
-        .run_job(&WordCount, input)
-        .expect("compact run");
+        .submit(&WordCount, input)
+        .expect("compact run")
+        .output;
     let compact: Vec<(String, u64)> =
         compact.pairs.into_iter().map(|(k, v)| (String::from(k), v)).collect();
     assert_eq!(seed.pairs, compact, "engine outputs disagree between key representations");

@@ -34,7 +34,7 @@ fn bench_word_count(c: &mut Criterion) {
             &lines,
             |b, lines| {
                 let engine = backend.engine(config(AppKind::WordCount)).unwrap();
-                b.iter(|| engine.run_job(&WordCount, lines).unwrap().len())
+                b.iter(|| engine.submit(&WordCount, lines).unwrap().output.len())
             },
         );
     }
@@ -52,7 +52,7 @@ fn bench_histogram(c: &mut Criterion) {
             &pixels,
             |b, px| {
                 let engine = backend.engine(config(AppKind::Histogram)).unwrap();
-                b.iter(|| engine.run_job(&Histogram, px).unwrap().len())
+                b.iter(|| engine.submit(&Histogram, px).unwrap().output.len())
             },
         );
     }
@@ -75,15 +75,16 @@ fn bench_job_stream(c: &mut Criterion) {
             Backend::RamrStatic
                 .engine(config(AppKind::WordCount))
                 .unwrap()
-                .run_job(&WordCount, lines)
+                .submit(&WordCount, lines)
                 .unwrap()
+                .output
                 .len()
         })
     });
     group.bench_with_input(BenchmarkId::new("pooled", lines.len()), &lines, |b, lines| {
         let mut session =
             Backend::RamrStatic.session::<WordCount>(config(AppKind::WordCount)).unwrap();
-        b.iter(|| session.submit(&WordCount, lines).unwrap().len())
+        b.iter(|| session.submit(&WordCount, lines).unwrap().output.len())
     });
     group.finish();
 }

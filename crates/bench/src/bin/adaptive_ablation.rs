@@ -14,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
-use ramr::{AdaptationEvent, RamrRuntime, RunReport};
+use ramr::{AdaptationEvent, Backend, Engine, EngineReport};
 
 /// Opaque busy-work whose loop the optimizer cannot elide.
 fn spin_work(iters: u64) -> u64 {
@@ -77,14 +77,14 @@ fn base_config(workers: usize, combiners: usize) -> RuntimeConfig {
         .expect("valid ablation config")
 }
 
-fn timed_run(cfg: RuntimeConfig, job: &CombineHeavy, input: &[u64]) -> (f64, RunReport) {
-    let rt = RamrRuntime::new(cfg).expect("runtime");
+fn timed_run(cfg: RuntimeConfig, job: &CombineHeavy, input: &[u64]) -> (f64, EngineReport) {
+    let engine = Backend::of_ramr_config(&cfg).engine(cfg).expect("engine");
     let start = Instant::now();
-    let (out, report) = rt.run_with_report(job, input).expect("run");
+    let outcome = engine.submit(job, input).expect("run");
     let ms = start.elapsed().as_secs_f64() * 1e3;
-    let total: u64 = out.pairs.iter().map(|&(_, v)| v).sum();
+    let total: u64 = outcome.output.pairs.iter().map(|&(_, v)| v).sum();
     assert_eq!(total, input.len() as u64, "correctness check");
-    (ms, report)
+    (ms, outcome.report)
 }
 
 fn main() {
@@ -107,7 +107,7 @@ fn main() {
             break;
         }
         let (ms, report) = timed_run(base_config(workers, combiners), &job, &input);
-        rows.push((workers, combiners, ms, report.suggested_ratio()));
+        rows.push((workers, combiners, ms, report.suggested_ratio));
     }
     let best = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
     for &(m, c, ms, ratio) in &rows {

@@ -114,8 +114,9 @@ fn main() {
     let baseline = Backend::RamrStatic
         .engine(config(4, SchedPolicy::fifo()))
         .expect("baseline engine")
-        .run_job(&WordCount, &input)
+        .submit(&WordCount, &input)
         .expect("baseline run")
+        .output
         .pairs;
 
     let fair: SchedPolicy = "fair:light=8".parse().expect("valid policy");

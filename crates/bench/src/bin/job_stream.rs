@@ -49,13 +49,14 @@ fn main() {
     );
 
     // Warm up allocator and page cache outside both measured loops.
-    let warmup = Backend::RamrStatic.engine(config()).unwrap().run_job(&WordCount, &input).unwrap();
+    let warmup =
+        Backend::RamrStatic.engine(config()).unwrap().submit(&WordCount, &input).unwrap().output;
 
     let start = Instant::now();
     let mut fresh_keys = 0usize;
     for _ in 0..jobs {
         let engine = Backend::RamrStatic.engine(config()).expect("engine");
-        fresh_keys += engine.run_job(&WordCount, &input).expect("fresh run").len();
+        fresh_keys += engine.submit(&WordCount, &input).expect("fresh run").output.len();
     }
     let fresh = start.elapsed();
 
@@ -63,7 +64,7 @@ fn main() {
     let mut session = Backend::RamrStatic.session::<WordCount>(config()).expect("session");
     let mut pooled_keys = 0usize;
     for _ in 0..jobs {
-        pooled_keys += session.submit(&WordCount, &input).expect("pooled run").len();
+        pooled_keys += session.submit(&WordCount, &input).expect("pooled run").output.len();
     }
     let pooled = start.elapsed();
 

@@ -65,8 +65,9 @@ fn baseline(scale: u64) -> (String, String) {
     let output = Backend::RamrStatic
         .engine(base_config())
         .expect("baseline engine")
-        .run_job(&WordCount, &input)
+        .submit(&WordCount, &input)
         .expect("baseline run")
+        .output
         .pairs;
     let rendered = render_pairs(&output);
     (digest64(&rendered), rendered)

@@ -12,7 +12,7 @@ use mr_apps::{
     WordCount,
 };
 use mr_core::{ContainerKind, MapReduceJob, PhaseKind, RuntimeConfig};
-use ramr::{Backend, Engine, EngineReport, JobScheduler};
+use ramr::{Backend, Engine, EngineReport, JobScheduler, Pipeline};
 use ramr_telemetry::report::{breakdown_table, MetricsReport};
 use ramr_topology::{thrid_to_cpu, MachineModel};
 
@@ -38,6 +38,8 @@ USAGE:
                 [--task-retries N] [--skip-poison 0|1] [--watchdog-ms MS]
                 [--sched-jobs N] [--sched-tenants N] [--sched-queue N]
                 [--sched-policy fifo|fair:T=W,...] [--sched-quota N]
+                [--stages N (km: iterate-rounds cap, default 20)]
+                [--pipeline-max-stages N] [--pipeline-epsilon F]
   ramr simulate --app <...> [--machine hwl|phi] [--flavor ...]
                 [--stressed 0|1] [--batch N] [--queue N] [--task N]
   ramr tune     --app <...> [--scale N] [--workers N] [--container ...]
@@ -82,6 +84,15 @@ panicked map task up to N times (jobs must declare is_retry_safe);
 --skip-poison 1 records tasks that still fail and completes the run
 without them; --watchdog-ms N cancels a wedged pipeline and reports a
 per-thread stall diagnosis instead of hanging forever.
+
+km runs as an iterate-until-converged *pipeline* by default: every Lloyd
+round is one stage on a shared warm worker pool, the adaptive
+controller's converged split carries from round to round, and a
+per-stage summary (round, residual, keys, time) is printed. --stages
+caps the rounds; --pipeline-epsilon sets the convergence threshold and
+--pipeline-max-stages the hard stage budget (both are RAMR_* knobs, see
+TUNING.md). With --metrics-json or --sched-jobs, km falls back to a
+single-iteration run.
 
 With --sched-jobs N (> 0) the run goes through the concurrent job
 scheduler instead of a single engine call: --sched-tenants T client
@@ -218,11 +229,12 @@ fn execute<J: MapReduceJob>(
         let mut last = None;
         for _ in 0..runs.max(1) {
             let started = Instant::now();
-            let reported = engine.run_job_reported(job, input).map_err(|e| e.to_string())?;
+            let outcome = engine.submit(job, input).map_err(|e| e.to_string())?;
             samples.push(started.elapsed().as_secs_f64() * 1e3);
-            last = Some(reported);
+            last = Some(outcome);
         }
-        let (output, report) = last.expect("at least one run");
+        let outcome = last.expect("at least one run");
+        let (output, report) = (outcome.output, outcome.report);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         println!(
             "{:>13}: {mean:8.2} ms over {} run(s) | {} keys | map-combine {:.0}% | \
@@ -409,6 +421,71 @@ fn execute_scheduled<J: MapReduceJob + Send + 'static>(
     Ok(())
 }
 
+/// km's default path: Lloyd's iterations as an iterate-until-converged
+/// [`Pipeline`], one round per stage on a shared warm pool, the adaptive
+/// seed carried round to round. Prints a per-round summary per backend.
+fn execute_kmeans(
+    input: &[mr_apps::Point],
+    config: &RuntimeConfig,
+    choice: &RuntimeChoice,
+    stages: usize,
+) -> Result<(), String> {
+    if stages == 0 {
+        return Err("--stages must be at least 1".into());
+    }
+    let mut final_keys = Vec::new();
+    for backend in backends_for(choice, config) {
+        let engine = backend.engine(config.clone()).map_err(|e| e.to_string())?;
+        let mut state = KmeansState::seeded(input, 16);
+        let plan = Pipeline::iterate(state.job(), move |job, out| {
+            let residual = state.step(&out.pairs);
+            *job = state.job();
+            residual
+        })
+        .rounds(stages);
+        let outcome = engine.pipeline(plan, input).map_err(|e| e.to_string())?;
+        let report = &outcome.report;
+        println!(
+            "{:>13}: {:8.2} ms | {} round(s), {} | {} clusters{}",
+            backend.as_str(),
+            report.elapsed.as_secs_f64() * 1e3,
+            report.stages.len(),
+            if report.converged { "converged" } else { "round cap hit" },
+            outcome.output.len(),
+            if report.faults_clean() { "" } else { " | FAULTS (see per-stage reports)" },
+        );
+        println!(
+            "  {:>5} {:>10} {:>6} {:>12} {:>14}",
+            "round", "time(ms)", "keys", "residual", "seeded-from"
+        );
+        for stage in &report.stages {
+            let seeded = stage.seeded.as_ref().map_or_else(
+                || "-".to_string(),
+                |s| format!("+{}c/b{}", s.extra_combiners, s.batch_size),
+            );
+            println!(
+                "  {:>5} {:>10.2} {:>6} {:>12} {:>14}",
+                stage.round.unwrap_or(stage.stage),
+                stage.elapsed.as_secs_f64() * 1e3,
+                stage.output_keys,
+                stage.residual.map_or_else(|| "-".to_string(), |r| format!("{r:.3e}")),
+                seeded,
+            );
+        }
+        final_keys.push((backend, outcome.output.len()));
+    }
+    if let [(_, a), (_, b)] = final_keys[..] {
+        println!(
+            "  agreement: both runtimes produced {a} clusters ({})",
+            if a == b { "match" } else { "MISMATCH" }
+        );
+        if a != b {
+            return Err("runtime outputs disagree".into());
+        }
+    }
+    Ok(())
+}
+
 /// How `run` drives a job: one engine call per backend, or `tenants`
 /// threads flooding the shared scheduler with `jobs` submissions each.
 enum RunMode<'a> {
@@ -500,8 +577,16 @@ pub fn run(args: &Args) -> Result<(), String> {
                 Some(path) => mr_apps::io::read_km_points(path).map_err(io_err)?,
                 None => km_input(&spec, scale),
             };
-            let state = KmeansState::seeded(&input, 16);
-            drive(state.job(), input, &config, &choice, app, &mode)
+            // The iterative pipeline is km's default; --metrics-json and
+            // the scheduler path are single-iteration shapes, so they keep
+            // the one-round job.
+            if let RunMode::Direct { metrics_json: None, .. } = mode {
+                let stages = args.get_or("stages", 20usize)?;
+                execute_kmeans(&input, &config, &choice, stages)
+            } else {
+                let state = KmeansState::seeded(&input, 16);
+                drive(state.job(), input, &config, &choice, app, &mode)
+            }
         }
         AppKind::Pca => {
             let matrix = Arc::new(match &from_file {
@@ -515,8 +600,8 @@ pub fn run(args: &Args) -> Result<(), String> {
                 let engine = Backend::of_ramr_config(&config)
                     .engine(config.clone())
                     .map_err(|e| e.to_string())?;
-                let out = engine.run_job(&mean_job, &tasks).map_err(|e| e.to_string())?;
-                Arc::new(mean_job.means(&out.pairs))
+                let out = engine.submit(&mean_job, &tasks).map_err(|e| e.to_string())?;
+                Arc::new(mean_job.means(&out.output.pairs))
             };
             let cov_job = PcaCovJob::new(matrix, means);
             let tasks = cov_job.tasks();

@@ -35,6 +35,7 @@ const RUN_BASE_FLAGS: &[&str] = &[
     "metrics-json",
     "sched-tenants",
     "sched-jobs",
+    "stages",
 ];
 
 fn run_flags() -> Vec<&'static str> {

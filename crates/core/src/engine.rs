@@ -36,9 +36,9 @@
 //! let input: Vec<u64> = (0..100).collect();
 //! for backend in Backend::ALL {
 //!     let engine = backend.engine(config.clone())?;
-//!     let (output, report) = engine.run_job_reported(&Count, &input)?;
-//!     assert_eq!(output.pairs.iter().map(|&(_, v)| v).sum::<u64>(), 100);
-//!     assert_eq!(report.backend, backend);
+//!     let outcome = engine.submit(&Count, &input)?;
+//!     assert_eq!(outcome.output.pairs.iter().map(|&(_, v)| v).sum::<u64>(), 100);
+//!     assert_eq!(outcome.report.backend, backend);
 //! }
 //! # Ok::<(), mr_core::RuntimeError>(())
 //! ```
@@ -48,9 +48,10 @@ use phoenix_mr::{PhoenixReport, PhoenixRuntime};
 use ramr_telemetry::{FaultMetrics, ThreadTelemetry};
 use ramr_topology::PlacementPlan;
 
+use crate::pipeline::{PipelineOutcome, StagePlan};
 use crate::runtime::{RamrRuntime, RunReport};
 use crate::session::RamrSession;
-use crate::tuning::AdaptationEvent;
+use crate::tuning::{AdaptationEvent, AdaptiveSeed};
 
 /// The three execution backends the workspace ships.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,7 +147,7 @@ impl Backend {
             }
             Backend::Phoenix => {
                 config.adaptive = false;
-                Ok(EngineSession::Fresh(PhoenixRuntime::new(config)?))
+                Ok(EngineSession::Fresh(Box::new(PhoenixRuntime::new(config)?)))
             }
         }
     }
@@ -233,10 +234,44 @@ impl EngineReport {
 }
 
 /// A job's output paired with the backend-independent [`EngineReport`] —
-/// what [`Engine::run_job_reported`] and
-/// [`EngineSession::submit_with_report`] return.
+/// the legacy tuple shape returned by the deprecated `_with_report`
+/// spellings. New code receives the same two pieces as a named
+/// [`EngineOutcome`].
 pub type EngineOutput<J> =
     (JobOutput<<J as MapReduceJob>::Key, <J as MapReduceJob>::Value>, EngineReport);
+
+/// What one submitted job produced: the key-sorted reduced output plus the
+/// backend-independent report, always attached. This is the single return
+/// shape of [`Engine::submit`] and [`EngineSession::submit`] — there is no
+/// unreported spelling; callers that only want pairs take `.output` (the
+/// report costs nothing extra, it is assembled from telemetry the run
+/// already collected).
+pub struct EngineOutcome<J: MapReduceJob> {
+    /// The key-sorted reduced output.
+    pub output: JobOutput<J::Key, J::Value>,
+    /// The backend-independent run report.
+    pub report: EngineReport,
+}
+
+impl<J: MapReduceJob> EngineOutcome<J> {
+    /// Splits the outcome into the legacy `(output, report)` tuple shape.
+    pub fn into_parts(self) -> EngineOutput<J> {
+        (self.output, self.report)
+    }
+}
+
+impl<J: MapReduceJob> std::fmt::Debug for EngineOutcome<J>
+where
+    J::Key: std::fmt::Debug,
+    J::Value: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOutcome")
+            .field("output", &self.output)
+            .field("report", &self.report)
+            .finish()
+    }
+}
 
 /// The unified execution interface over the three backends.
 ///
@@ -252,28 +287,67 @@ pub trait Engine {
     fn config(&self) -> &RuntimeConfig;
 
     /// Executes `job` over `input`, returning the key-sorted reduced
+    /// output with its report always attached ([`EngineOutcome`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`RuntimeError`].
+    fn submit<J: MapReduceJob>(
+        &self,
+        job: &J,
+        input: &[J::Input],
+    ) -> Result<EngineOutcome<J>, RuntimeError>;
+
+    /// Executes a multi-stage [`StagePlan`] built with
+    /// [`Pipeline`](crate::pipeline::Pipeline), handing each stage's output
+    /// to the next splitter as owned in-memory pairs and carrying the
+    /// adaptive controller's converged split forward between stages.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::StageFailed`] wrapping the failing stage's error,
+    /// or [`RuntimeError::InvalidConfig`] when the plan exceeds
+    /// `pipeline_max_stages`.
+    fn pipeline<P: StagePlan>(
+        &self,
+        plan: P,
+        input: &[P::Input],
+    ) -> Result<PipelineOutcome<P::Key, P::Value>, RuntimeError>
+    where
+        Self: Sized,
+    {
+        crate::pipeline::run(self.backend(), self.config().clone(), plan, input)
+    }
+
+    /// Executes `job` over `input`, returning the key-sorted reduced
     /// output.
     ///
     /// # Errors
     ///
     /// Propagates the backend's [`RuntimeError`].
+    #[deprecated(note = "use `submit`, which always attaches the report")]
     fn run_job<J: MapReduceJob>(
         &self,
         job: &J,
         input: &[J::Input],
-    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError>;
+    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+        self.submit(job, input).map(|outcome| outcome.output)
+    }
 
-    /// Like [`run_job`](Engine::run_job), additionally returning the
-    /// backend-independent [`EngineReport`].
+    /// Like `run_job`, additionally returning the backend-independent
+    /// [`EngineReport`] as a tuple.
     ///
     /// # Errors
     ///
     /// Propagates the backend's [`RuntimeError`].
+    #[deprecated(note = "use `submit`, which always attaches the report")]
     fn run_job_reported<J: MapReduceJob>(
         &self,
         job: &J,
         input: &[J::Input],
-    ) -> Result<EngineOutput<J>, RuntimeError>;
+    ) -> Result<EngineOutput<J>, RuntimeError> {
+        self.submit(job, input).map(EngineOutcome::into_parts)
+    }
 }
 
 enum Inner {
@@ -307,30 +381,19 @@ impl Engine for AnyEngine {
         }
     }
 
-    fn run_job<J: MapReduceJob>(
+    fn submit<J: MapReduceJob>(
         &self,
         job: &J,
         input: &[J::Input],
-    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
-        match &self.inner {
-            Inner::Ramr(rt) => rt.run(job, input),
-            Inner::Phoenix(rt) => rt.run(job, input),
-        }
-    }
-
-    fn run_job_reported<J: MapReduceJob>(
-        &self,
-        job: &J,
-        input: &[J::Input],
-    ) -> Result<EngineOutput<J>, RuntimeError> {
+    ) -> Result<EngineOutcome<J>, RuntimeError> {
         match &self.inner {
             Inner::Ramr(rt) => {
                 let (output, report) = rt.run_with_report(job, input)?;
-                Ok((output, EngineReport::from_ramr(self.backend, report)))
+                Ok(EngineOutcome { output, report: EngineReport::from_ramr(self.backend, report) })
             }
             Inner::Phoenix(rt) => {
                 let (output, report) = rt.run_with_report(job, input)?;
-                Ok((output, EngineReport::from_phoenix(report)))
+                Ok(EngineOutcome { output, report: EngineReport::from_phoenix(report) })
             }
         }
     }
@@ -351,8 +414,9 @@ pub enum EngineSession<J: MapReduceJob + 'static> {
         /// The persistent worker-pool session.
         session: Box<RamrSession<J>>,
     },
-    /// A per-submit Phoenix runtime.
-    Fresh(PhoenixRuntime),
+    /// A per-submit Phoenix runtime (boxed: it carries a full
+    /// `RuntimeConfig`, and sessions are few and long-lived).
+    Fresh(Box<PhoenixRuntime>),
 }
 
 impl<J: MapReduceJob + 'static> std::fmt::Debug for EngineSession<J> {
@@ -385,7 +449,8 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
         }
     }
 
-    /// Executes one job from the stream.
+    /// Executes one job from the stream, returning its output with the
+    /// report always attached ([`EngineOutcome`]).
     ///
     /// # Errors
     ///
@@ -395,32 +460,43 @@ impl<J: MapReduceJob + 'static> EngineSession<J> {
         &mut self,
         job: &J,
         input: &[J::Input],
-    ) -> Result<JobOutput<J::Key, J::Value>, RuntimeError> {
+    ) -> Result<EngineOutcome<J>, RuntimeError> {
         match self {
-            EngineSession::Pooled { session, .. } => session.submit(job, input),
-            EngineSession::Fresh(rt) => rt.run(job, input),
+            EngineSession::Pooled { backend, session } => {
+                let (output, report) = session.submit_with_report(job, input)?;
+                Ok(EngineOutcome { output, report: EngineReport::from_ramr(*backend, report) })
+            }
+            EngineSession::Fresh(rt) => {
+                let (output, report) = rt.run_with_report(job, input)?;
+                Ok(EngineOutcome { output, report: EngineReport::from_phoenix(report) })
+            }
         }
     }
 
-    /// Executes one job from the stream, with its [`EngineReport`].
+    /// Executes one job from the stream, with its [`EngineReport`] as a
+    /// tuple.
     ///
     /// # Errors
     ///
     /// Same as [`submit`](EngineSession::submit).
+    #[deprecated(note = "use `submit`, which always attaches the report")]
     pub fn submit_with_report(
         &mut self,
         job: &J,
         input: &[J::Input],
     ) -> Result<EngineOutput<J>, RuntimeError> {
+        self.submit(job, input).map(EngineOutcome::into_parts)
+    }
+
+    /// Seeds the *next* submit's adaptive controller with a previously
+    /// observed split (see [`RamrSession::set_adaptive_seed`]). One-shot:
+    /// consumed by the next submit, so per-job isolation still holds
+    /// afterwards. A no-op on non-adaptive and Phoenix sessions, whose
+    /// runs have no controller to seed.
+    pub fn set_adaptive_seed(&mut self, seed: AdaptiveSeed) {
         match self {
-            EngineSession::Pooled { backend, session } => {
-                let (output, report) = session.submit_with_report(job, input)?;
-                Ok((output, EngineReport::from_ramr(*backend, report)))
-            }
-            EngineSession::Fresh(rt) => {
-                let (output, report) = rt.run_with_report(job, input)?;
-                Ok((output, EngineReport::from_phoenix(report)))
-            }
+            EngineSession::Pooled { session, .. } => session.set_adaptive_seed(seed),
+            EngineSession::Fresh(_) => {}
         }
     }
 }

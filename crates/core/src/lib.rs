@@ -27,9 +27,12 @@
 //!
 //! # Quick start
 //!
+//! Pick a [`Backend`], build an engine, submit a job; the output always
+//! arrives with its backend-independent report attached.
+//!
 //! ```
 //! use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
-//! use ramr::RamrRuntime;
+//! use ramr::{Backend, Engine};
 //!
 //! struct WordLength;
 //! impl MapReduceJob for WordLength {
@@ -63,27 +66,58 @@
 //!     .iter()
 //!     .map(|s| s.to_string())
 //!     .collect();
-//! let output = RamrRuntime::new(config)?.run(&WordLength, &words)?;
-//! assert_eq!(output.get(&3), Some(&2)); // "map", "pin"
+//! let engine = Backend::RamrStatic.engine(config)?;
+//! let outcome = engine.submit(&WordLength, &words)?;
+//! assert_eq!(outcome.output.get(&3), Some(&2)); // "map", "pin"
+//! assert!(outcome.report.faults.is_clean());
 //! # Ok::<(), mr_core::RuntimeError>(())
 //! ```
+//!
+//! To chain jobs — each stage's output handed to the next stage's splitter
+//! as owned in-memory pairs — see the [`pipeline`](crate::Pipeline) module
+//! and [`Engine::pipeline`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod engine;
+mod pipeline;
 mod runtime;
 pub mod sched;
 mod session;
 pub mod tuning;
 
-pub use engine::{AnyEngine, Backend, Engine, EngineOutput, EngineReport, EngineSession};
-pub use runtime::{RamrRuntime, ReportedOutput, RunReport};
+pub use engine::{
+    AnyEngine, Backend, Engine, EngineOutcome, EngineOutput, EngineReport, EngineSession,
+};
+pub use pipeline::{
+    Iterate, PairSplit, Pipeline, PipelineExec, PipelineOutcome, PipelineReport, Stage, StagePlan,
+    StageReport, Then,
+};
+pub use runtime::{ReportedOutput, RunReport};
 pub use sched::{
     CompletedJob, JobClient, JobScheduler, JobTicket, SchedError, ShedReason, TenantStats,
 };
 pub use session::RamrSession;
-pub use tuning::{AdaptationEvent, AdaptiveBounds, Decision, PoolObservation};
+pub use tuning::{AdaptationEvent, AdaptiveBounds, AdaptiveSeed, Decision, PoolObservation};
+
+/// The direct per-run RAMR runtime, retired from the documented API.
+///
+/// Construct engines through [`Backend::engine`] (or pooled sessions
+/// through [`Backend::session`]) instead — one front door, with the
+/// backend-independent report always attached:
+///
+/// ```
+/// use ramr::{Backend, Engine, RuntimeConfig};
+/// let config = RuntimeConfig::builder().num_workers(2).num_combiners(1).build()?;
+/// // was: let output = ramr::RamrRuntime::new(config)?.run(&job, &input)?;
+/// let engine = Backend::RamrStatic.engine(config)?;
+/// // now: let outcome = engine.submit(&job, &input)?;
+/// # let _ = engine;
+/// # Ok::<(), ramr::RuntimeError>(())
+/// ```
+#[doc(hidden)]
+pub use runtime::RamrRuntime;
 
 // Re-export the configuration surface so downstream users need only this
 // crate for the common path.

@@ -1372,8 +1372,19 @@ pub(crate) struct AdaptiveCtl {
 
 impl AdaptiveCtl {
     pub(crate) fn new(num_flex: usize, batch: usize) -> Self {
+        Self::seeded(num_flex, batch, 0)
+    }
+
+    /// A control surface whose starting split already has `extra` flex
+    /// threads combining — the pipeline's ratio carry-forward. The seeded
+    /// helpers form a *suffix* of the flex pool, exactly the shape the
+    /// controller's promote-highest / demote-lowest policy maintains, so a
+    /// seeded epoch is indistinguishable from one the controller steered to
+    /// the same split.
+    pub(crate) fn seeded(num_flex: usize, batch: usize, extra: usize) -> Self {
+        let extra = extra.min(num_flex.saturating_sub(1));
         Self {
-            combining: (0..num_flex).map(|_| AtomicBool::new(false)).collect(),
+            combining: (0..num_flex).map(|m| AtomicBool::new(m >= num_flex - extra)).collect(),
             batch: AtomicUsize::new(batch),
         }
     }
@@ -1852,8 +1863,13 @@ pub(crate) fn controller_loop<J: MapReduceJob>(
         (mappers, combiners)
     };
     let (mut prev_map, mut prev_combine) = snapshot_all();
-    let mut active_combiners = config.num_combiners;
-    let mut batch = config.batch_size;
+    // Derive the starting split from the control surface rather than the
+    // static config: a pipeline-seeded epoch (see `AdaptiveCtl::seeded`)
+    // begins at the previous stage's converged split, and an unseeded one
+    // reduces to exactly `config.num_combiners` / `config.batch_size`.
+    let mut active_combiners = config.num_combiners
+        + ctl.combining.iter().filter(|flag| flag.load(Ordering::Relaxed)).count();
+    let mut batch = ctl.batch.load(Ordering::Relaxed).max(1);
     loop {
         let deadline = Instant::now() + config.adapt_interval;
         loop {

@@ -58,7 +58,7 @@ use crate::runtime::{
     thread_labels, to_backoff, watchdog_loop, AdaptiveCtl, ErrorSlot, FaultCtx, PairConsumer,
     PairProducer, QueueRegistry, ReportedOutput, RunReport,
 };
-use crate::tuning::AdaptiveBounds;
+use crate::tuning::{AdaptiveBounds, AdaptiveSeed};
 
 /// Everything one job (epoch) shares with the parked worker pools. Lives on
 /// the coordinator's stack for exactly the duration of one `submit`; workers
@@ -91,7 +91,8 @@ struct JobFrame<J: MapReduceJob> {
     registry: Option<QueueRegistry<J>>,
     /// Adaptive only: the controller's role/batch write surface — rebuilt
     /// each epoch, so job N's role changes never leak into job N+1's
-    /// starting split.
+    /// starting split unless the caller explicitly carried them forward
+    /// with a one-shot [`RamrSession::set_adaptive_seed`].
     ctl: Option<AdaptiveCtl>,
     /// Combined partial results (hashes still attached), pushed by
     /// whichever worker produced them.
@@ -280,6 +281,12 @@ pub struct RamrSession<J: MapReduceJob + 'static> {
     /// worker owns its read-ends for the session's lifetime.
     consumers: Vec<PairConsumer<J>>,
     jobs_run: u64,
+    /// One-shot adaptive starting split for the *next* submit only — the
+    /// pipeline's ratio carry-forward. Consumed (cleared) by every submit,
+    /// so ordinary jobs and scheduler dispatches keep per-job isolation:
+    /// a stage's learned split reaches exactly the stage that follows it,
+    /// never an unrelated job that happens to share the session.
+    seed: Option<AdaptiveSeed>,
 }
 
 impl<J: MapReduceJob + 'static> std::fmt::Debug for RamrSession<J> {
@@ -435,7 +442,16 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
             }
             return Err(e);
         }
-        Ok(Self { shared, handles, plan, machine, labels, consumers: held_consumers, jobs_run: 0 })
+        Ok(Self {
+            shared,
+            handles,
+            plan,
+            machine,
+            labels,
+            consumers: held_consumers,
+            jobs_run: 0,
+            seed: None,
+        })
     }
 
     /// The session's configuration.
@@ -457,6 +473,19 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
     /// count.
     pub fn jobs_run(&self) -> u64 {
         self.jobs_run
+    }
+
+    /// Seeds the **next submit's** adaptive controller with a learned
+    /// split, instead of letting it re-converge from the configured
+    /// `num_combiners` / `batch_size` default. One-shot: the seed applies
+    /// to exactly one epoch and is cleared whether or not that epoch runs
+    /// adaptively, preserving per-job isolation for everything after it.
+    ///
+    /// This is the pipeline's ratio carry-forward hook (see
+    /// [`AdaptiveSeed::from_trace`]); it has no effect on a session whose
+    /// configuration is not adaptive.
+    pub fn set_adaptive_seed(&mut self, seed: AdaptiveSeed) {
+        self.seed = Some(seed);
     }
 
     /// Executes `job` over `input` on the parked pools, returning the
@@ -495,6 +524,9 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
         job: &J,
         input: &[J::Input],
     ) -> Result<ReportedOutput<J>, RuntimeError> {
+        // One-shot: whatever happens below, a stage seed never outlives
+        // the single epoch it was set for.
+        let seed = self.seed.take();
         let config = &self.shared.config;
         let mut stats = PhaseStats::default();
 
@@ -544,7 +576,11 @@ impl<J: MapReduceJob + 'static> RamrSession<J> {
                 Vec::new()
             },
             registry,
-            ctl: adaptive.then(|| AdaptiveCtl::new(config.num_workers, config.batch_size)),
+            ctl: adaptive.then(|| match seed {
+                // Ratio carry-forward: start this epoch at the seeded split.
+                Some(s) => AdaptiveCtl::seeded(config.num_workers, s.batch_size, s.extra_combiners),
+                None => AdaptiveCtl::new(config.num_workers, config.batch_size),
+            }),
             partials: Mutex::new(Vec::new()),
         };
 

@@ -471,6 +471,44 @@ impl AdaptationEvent {
     }
 }
 
+/// The split a finished stage hands to the next one: how a pipeline's
+/// adaptive controller avoids re-converging from the static default at
+/// every stage boundary.
+///
+/// Derived from the previous stage's adaptation trace by
+/// [`AdaptiveSeed::from_trace`] and applied (one-shot) through
+/// `EngineSession::set_adaptive_seed`; the next epoch's controller then
+/// starts at this split instead of `num_combiners` / `batch_size` and
+/// keeps adapting from there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveSeed {
+    /// Flex threads that start the next epoch already re-rolled as
+    /// combiners, on top of the dedicated pool.
+    pub extra_combiners: usize,
+    /// Batched-read size the next epoch starts with.
+    pub batch_size: usize,
+}
+
+impl AdaptiveSeed {
+    /// Derives the next stage's seed from the previous stage's adaptation
+    /// trace: its final split and batch window, clamped into the
+    /// [`AdaptiveBounds`] the next epoch will run under. `None` when the
+    /// trace is empty — the controller never ticked, so nothing was
+    /// learned and the next stage starts from the configured default.
+    pub fn from_trace(config: &RuntimeConfig, trace: &[AdaptationEvent]) -> Option<Self> {
+        let last = trace.last()?;
+        let bounds = AdaptiveBounds::from_config(config);
+        let extra = last
+            .active_combiners
+            .saturating_sub(bounds.min_combiners)
+            .min(bounds.max_combiners - bounds.min_combiners);
+        Some(AdaptiveSeed {
+            extra_combiners: extra,
+            batch_size: last.batch_size.clamp(bounds.min_batch, bounds.max_batch),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -843,6 +881,34 @@ mod tests {
         assert!(line.contains("6m/3c"), "{line}");
         assert!(line.contains("batch 500"), "{line}");
         assert!(line.contains("stalling"), "{line}");
+    }
+
+    #[test]
+    fn adaptive_seed_derives_from_the_final_trace_event() {
+        let config = RuntimeConfig::builder()
+            .num_workers(8)
+            .num_combiners(2)
+            .batch_size(100)
+            .queue_capacity(1000)
+            .build()
+            .unwrap();
+        let event = |combiners: usize, batch| AdaptationEvent {
+            at: Duration::ZERO,
+            active_mappers: 10usize.saturating_sub(combiners),
+            active_combiners: combiners,
+            batch_size: batch,
+            observation: PoolObservation::default(),
+            reason: "hold",
+        };
+        // Empty trace: nothing learned, no seed.
+        assert_eq!(AdaptiveSeed::from_trace(&config, &[]), None);
+        // The last event wins; extra = final split minus the dedicated pool.
+        let seed = AdaptiveSeed::from_trace(&config, &[event(2, 100), event(5, 200)]).unwrap();
+        assert_eq!(seed, AdaptiveSeed { extra_combiners: 3, batch_size: 200 });
+        // Out-of-range values clamp into the next epoch's bounds.
+        let seed = AdaptiveSeed::from_trace(&config, &[event(40, 100_000)]).unwrap();
+        assert_eq!(seed.extra_combiners, 7, "at most num_workers - 1 flex re-rolled");
+        assert_eq!(seed.batch_size, 400, "batch capped at 4x the configured size");
     }
 
     #[test]

@@ -40,6 +40,18 @@ pub enum RuntimeError {
         /// the moment the watchdog fired.
         diagnostics: String,
     },
+    /// One stage of a multi-stage pipeline failed: the failing stage's
+    /// error, wrapped with its position and job name so a chain's faults
+    /// are attributable without re-running it stage by stage.
+    StageFailed {
+        /// 1-based position of the failing stage in execution order
+        /// (iterate rounds count as stages).
+        stage: usize,
+        /// The failing stage's job name.
+        job: String,
+        /// The error the stage itself returned.
+        source: Box<RuntimeError>,
+    },
 }
 
 impl RuntimeError {
@@ -62,6 +74,11 @@ impl RuntimeError {
             | RuntimeError::Spawn(m) => m.push_str(&note),
             RuntimeError::ContainerOverflow { detail, .. } => detail.push_str(&note),
             RuntimeError::Stalled { diagnostics, .. } => diagnostics.push_str(&note),
+            RuntimeError::StageFailed { source, .. } => {
+                let inner =
+                    std::mem::replace(source.as_mut(), RuntimeError::InvalidConfig(String::new()));
+                **source = inner.noting_suppressed(suppressed);
+            }
         }
         self
     }
@@ -87,11 +104,21 @@ impl fmt::Display for RuntimeError {
                      {diagnostics}"
                 )
             }
+            RuntimeError::StageFailed { stage, job, source } => {
+                write!(f, "pipeline stage {stage} ({job}) failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::StageFailed { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -122,6 +149,13 @@ mod tests {
         assert!(text.contains("map-combine"), "{text}");
         assert!(text.contains("200 ms"), "{text}");
         assert!(text.contains("mapper[0] busy"), "{text}");
+        let e = RuntimeError::StageFailed {
+            stage: 2,
+            job: "top-k".into(),
+            source: Box::new(RuntimeError::WorkerPanic("boom".into())),
+        };
+        let text = e.to_string();
+        assert_eq!(text, "pipeline stage 2 (top-k) failed: worker thread panicked: boom");
     }
 
     #[test]
@@ -140,6 +174,16 @@ mod tests {
         }
         .noting_suppressed(2);
         assert!(e.to_string().contains("idle; 2 further worker error(s) suppressed"));
+        let e = RuntimeError::StageFailed {
+            stage: 1,
+            job: "wc".into(),
+            source: Box::new(RuntimeError::WorkerPanic("boom".into())),
+        }
+        .noting_suppressed(4);
+        assert!(
+            e.to_string().contains("boom; 4 further worker error(s) suppressed"),
+            "suppression note must reach the wrapped source: {e}"
+        );
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Inverted index → top-k document frequency, as a two-stage pipeline:
+//! stage one builds term → posting-list pairs, and `then_pairs` moves those
+//! owned pairs straight into stage two, which folds them down to the k
+//! most widespread terms. No rendering, re-parsing or copying at the stage
+//! boundary.
+//!
+//! ```sh
+//! cargo run -p ramr --example inverted_topk
+//! ```
+
+use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
+use mr_apps::{AppKind, InvertedIndex, TopKDf};
+use mr_core::RuntimeConfig;
+use ramr::{Backend, Engine, Pipeline, StagePlan};
+
+fn main() -> Result<(), mr_core::RuntimeError> {
+    // Reuse the Table I word-count text, one document per line.
+    let spec = InputSpec::table1(AppKind::WordCount, Platform::Haswell, InputFlavor::Small);
+    let docs: Vec<(u32, String)> =
+        wc_input(&spec, 500).into_iter().enumerate().map(|(i, l)| (i as u32, l)).collect();
+    println!("indexing {} documents", docs.len());
+
+    let config = RuntimeConfig::builder()
+        .num_workers(4)
+        .num_combiners(2)
+        .task_size(64)
+        .container(mr_core::ContainerKind::Hash)
+        .build()?;
+    let engine = Backend::RamrStatic.engine(config)?;
+
+    let plan = Pipeline::stage(InvertedIndex).then_pairs(TopKDf { k: 10 });
+    let outcome = engine.pipeline(plan, &docs)?;
+
+    for stage in &outcome.report.stages {
+        println!(
+            "stage {} ({}): {} items in, {} keys out, {:.2} ms",
+            stage.stage,
+            stage.job,
+            stage.input_items,
+            stage.output_keys,
+            stage.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    let leaderboard = outcome.output.get(&0).expect("one leaderboard under key 0");
+    println!("\ntop {} terms by document frequency:", leaderboard.len());
+    for (df, term) in leaderboard {
+        println!("  {term:>12}: {df} docs");
+    }
+    Ok(())
+}

@@ -81,8 +81,8 @@ fn main() -> Result<(), mr_core::RuntimeError> {
     let input: Vec<u64> = (0..100_000).map(|i| i * 2654435761 % 1_000_003).collect();
     for backend in Backend::ALL {
         let mut session = backend.session::<LastDigit>(config.clone())?;
-        let output = session.submit(&LastDigit, &input)?;
-        println!("{backend}: {} keys from the unified front door", output.len());
+        let outcome = session.submit(&LastDigit, &input)?;
+        println!("{backend}: {} keys from the unified front door", outcome.output.len());
     }
     Ok(())
 }

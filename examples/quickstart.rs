@@ -1,11 +1,12 @@
-//! Quickstart: define a job, run it on the RAMR runtime, inspect stats.
+//! Quickstart: define a job, submit it through the engine front door,
+//! inspect the output and the always-attached report.
 //!
 //! ```sh
 //! cargo run -p ramr --example quickstart
 //! ```
 
 use mr_core::{Emitter, MapReduceJob, PhaseKind, RuntimeConfig};
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 
 /// Counts how often each digit appears as the last digit of the inputs.
 struct LastDigit;
@@ -48,8 +49,9 @@ fn main() -> Result<(), mr_core::RuntimeError> {
         .build()?;
 
     let input: Vec<u64> = (0..1_000_000).map(|i| i * 2654435761 % 1_000_003).collect();
-    let runtime = RamrRuntime::new(config)?;
-    let output = runtime.run(&LastDigit, &input)?;
+    let engine = Backend::RamrStatic.engine(config)?;
+    let outcome = engine.submit(&LastDigit, &input)?;
+    let output = outcome.output;
 
     println!("digit counts (RAMR decoupled runtime):");
     for (digit, count) in output.iter() {
@@ -67,5 +69,6 @@ fn main() -> Result<(), mr_core::RuntimeError> {
         "tasks {} | emitted {} | queue-full events {}",
         stats.tasks, stats.emitted, stats.queue_full_events
     );
+    println!("faults clean: {}", outcome.report.faults.is_clean());
     Ok(())
 }

@@ -8,7 +8,7 @@
 
 use mr_core::RuntimeConfig;
 use mr_synth::SynthSpec;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 use std::time::Instant;
 
 fn main() -> Result<(), mr_core::RuntimeError> {
@@ -28,9 +28,9 @@ fn main() -> Result<(), mr_core::RuntimeError> {
                 .queue_capacity(5000)
                 .batch_size(500)
                 .build()?;
-            let runtime = RamrRuntime::new(config)?;
+            let engine = Backend::RamrStatic.engine(config)?;
             let started = Instant::now();
-            let output = runtime.run(&job, &input)?;
+            let output = engine.submit(&job, &input)?.output;
             row.push_str(&format!(" {:>9.1} ms", started.elapsed().as_secs_f64() * 1e3));
             assert_eq!(
                 output.iter().map(|(_, v)| v).sum::<u64>(),

@@ -1,6 +1,9 @@
-//! Word Count on both runtimes: the enterprise workload of the paper's
-//! suite, with a Table I-scaled text input, demonstrating identical output
-//! and the decoupled pipeline's statistics.
+//! A two-stage Word Count pipeline: count words, then bucket the counts by
+//! word length — chained with [`Pipeline::stage`]`.then_pairs(...)`, so the
+//! first stage's owned `(word, count)` pairs flow straight into the second
+//! stage's splitter with zero copies. The whole chain runs per backend and
+//! must produce identical output on the decoupled runtime and the
+//! Phoenix++-style baseline.
 //!
 //! ```sh
 //! cargo run -p ramr --example wordcount_pipeline
@@ -8,9 +11,41 @@
 
 use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
 use mr_apps::{AppKind, WordCount};
-use mr_core::{ContainerKind, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use mr_core::{ContainerKind, Emitter, MapReduceJob, RuntimeConfig};
+use ramr::{Backend, Engine, Pipeline, StagePlan};
+use ramr_containers::CompactKey;
+
+/// Second stage: total occurrences per word length, over the first stage's
+/// `(word, count)` pairs.
+struct LengthBuckets;
+
+impl MapReduceJob for LengthBuckets {
+    type Input = (CompactKey, u64);
+    type Key = u32;
+    type Value = u64;
+
+    fn map(&self, task: &[(CompactKey, u64)], emit: &mut Emitter<'_, u32, u64>) {
+        for (word, count) in task {
+            emit.emit(word.len() as u32, *count);
+        }
+    }
+
+    fn combine(&self, acc: &mut u64, v: u64) {
+        *acc += v;
+    }
+
+    fn key_space(&self) -> Option<usize> {
+        Some(64)
+    }
+
+    fn key_index(&self, k: &u32) -> usize {
+        *k as usize
+    }
+
+    fn name(&self) -> &str {
+        "length-buckets"
+    }
+}
 
 fn main() -> Result<(), mr_core::RuntimeError> {
     let spec = InputSpec::table1(AppKind::WordCount, Platform::Haswell, InputFlavor::Small);
@@ -24,21 +59,34 @@ fn main() -> Result<(), mr_core::RuntimeError> {
         .container(ContainerKind::Hash) // WC's default container (SIV-D)
         .build()?;
 
-    let ramr_out = RamrRuntime::new(config.clone())?.run(&WordCount, &lines)?;
-    let phoenix_out = PhoenixRuntime::new(config)?.run(&WordCount, &lines)?;
-    assert_eq!(ramr_out.pairs, phoenix_out.pairs, "runtimes must agree");
-
-    let mut top: Vec<_> = ramr_out.iter().collect();
-    top.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
-    println!("\ntop words (identical on both runtimes):");
-    for (word, count) in top.iter().take(10) {
-        println!("  {word:>8}: {count}");
+    let mut per_backend = Vec::new();
+    for backend in [Backend::RamrStatic, Backend::Phoenix] {
+        let engine = backend.engine(config.clone())?;
+        let plan = Pipeline::stage(WordCount).then_pairs(LengthBuckets);
+        let outcome = engine.pipeline(plan, &lines)?;
+        println!(
+            "{backend}: {} stage(s) in {:.2} ms, faults clean: {}",
+            outcome.report.stages.len(),
+            outcome.report.elapsed.as_secs_f64() * 1e3,
+            outcome.report.faults_clean(),
+        );
+        for stage in &outcome.report.stages {
+            println!(
+                "  stage {} ({}): {} items in, {} keys out, {:.2} ms",
+                stage.stage,
+                stage.job,
+                stage.input_items,
+                stage.output_keys,
+                stage.elapsed.as_secs_f64() * 1e3,
+            );
+        }
+        per_backend.push(outcome.output.pairs);
     }
-    println!(
-        "\ndistinct words: {} | emitted pairs: {} | RAMR queue-full events: {}",
-        ramr_out.len(),
-        ramr_out.stats.emitted,
-        ramr_out.stats.queue_full_events
-    );
+    assert_eq!(per_backend[0], per_backend[1], "backends must agree on the chained output");
+
+    println!("\noccurrences by word length (identical on both backends):");
+    for (len, total) in &per_backend[0] {
+        println!("  {len:>3}: {total}");
+    }
     Ok(())
 }

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use mr_apps::{WordCount, WordCountString};
 use mr_core::{ContainerKind, MapReduceJob, RuntimeConfig, RuntimeError};
-use ramr::{Backend, Engine, JobScheduler, RamrRuntime, SchedError};
+use ramr::{Backend, Engine, JobScheduler, SchedError};
 use ramr_containers::CompactKey;
 use ramr_faultinject::{FaultKind, FaultPlan, FaultyJob};
 
@@ -109,8 +109,8 @@ fn run_engine(
     job: &FaultyJob<WordCount>,
     input: &[String],
 ) -> Result<(Vec<(String, u64)>, ramr_telemetry::FaultMetrics), RuntimeError> {
-    let (out, report) = backend.engine(cfg.clone())?.run_job_reported(job, input)?;
-    Ok((to_string_pairs(out.pairs), report.faults))
+    let outcome = backend.engine(cfg.clone())?.submit(job, input)?;
+    Ok((to_string_pairs(outcome.output.pairs), outcome.report.faults))
 }
 
 #[test]
@@ -183,7 +183,11 @@ fn watchdog_cancels_a_hung_task_on_both_ramr_paths() {
             let input = lines();
             let plan = FaultPlan::with_faults(vec![FaultKind::HangOnTask { key: 5 }]);
             let cfg = config(0, false, Some(200), adaptive);
-            RamrRuntime::new(cfg).unwrap().run(&faulty(plan), &input).unwrap_err()
+            Backend::of_ramr_config(&cfg)
+                .engine(cfg)
+                .unwrap()
+                .submit(&faulty(plan), &input)
+                .unwrap_err()
         });
         match err {
             RuntimeError::Stalled { idle_ms, ref diagnostics, .. } => {
@@ -205,9 +209,12 @@ fn slow_but_progressing_tasks_do_not_trip_the_watchdog() {
                 FaultKind::DelayTask { key: 7, micros: 20_000 },
             ]);
             let cfg = config(0, false, Some(500), adaptive);
-            let (out, _) =
-                RamrRuntime::new(cfg).unwrap().run_with_report(&faulty(plan), &input).unwrap();
-            to_string_pairs(out.pairs)
+            let outcome = Backend::of_ramr_config(&cfg)
+                .engine(cfg)
+                .unwrap()
+                .submit(&faulty(plan), &input)
+                .unwrap();
+            to_string_pairs(outcome.output.pairs)
         });
         assert_eq!(pairs, reference(&lines(), &[]), "adaptive={adaptive}");
     }
@@ -331,7 +338,7 @@ fn non_retry_safe_jobs_fail_fast_regardless_of_budget() {
                 FaultPlan::with_faults(vec![FaultKind::PanicOnTask { key: 3, fail_attempts: 1 }]);
             let job = FaultyJob::new(Undeclared, plan, ordinal_of);
             let cfg = config(5, true, None, adaptive);
-            backend.engine(cfg).unwrap().run_job(&job, &input).unwrap_err()
+            backend.engine(cfg).unwrap().submit(&job, &input).unwrap_err()
         });
         assert!(matches!(err, RuntimeError::WorkerPanic(_)), "{backend}: got {err}");
     }

@@ -5,7 +5,7 @@
 use mr_apps::inputs::{wc_input, InputFlavor, InputSpec, Platform};
 use mr_apps::{AppKind, WordCount};
 use mr_core::{ContainerKind, PinningPolicyKind, PushBackoff, RuntimeConfig};
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 
 fn input() -> Vec<String> {
     let spec = InputSpec::table1(AppKind::WordCount, Platform::XeonPhi, InputFlavor::Small);
@@ -36,7 +36,8 @@ fn pool_size_and_ratio_matrix() {
             .container(ContainerKind::Hash)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "workers={workers} combiners={combiners}");
     }
 }
@@ -55,7 +56,8 @@ fn batch_and_queue_capacity_matrix() {
             .container(ContainerKind::Hash)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "capacity={capacity} batch={batch}");
     }
 }
@@ -74,7 +76,8 @@ fn task_size_matrix() {
             .container(ContainerKind::Hash)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "task_size={task_size}");
     }
 }
@@ -98,7 +101,8 @@ fn emit_buffer_matrix() {
             .container(ContainerKind::Hash)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "capacity={capacity} batch={batch} emit={emit}");
     }
 }
@@ -120,7 +124,8 @@ fn pinning_policies_do_not_change_results() {
             .pinning(pinning)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "pinning={pinning}");
     }
 }
@@ -141,7 +146,7 @@ fn real_os_pinning_is_best_effort_and_correct() {
         .pin_os_threads(true)
         .build()
         .unwrap();
-    let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
     assert_eq!(out.pairs, expected);
 }
 
@@ -164,7 +169,8 @@ fn backoff_policies_do_not_change_results() {
             .push_backoff(backoff)
             .build()
             .unwrap();
-        let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+        let out =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
         assert_eq!(out.pairs, expected, "backoff={backoff:?}");
     }
 }
@@ -186,6 +192,6 @@ fn env_var_tuning_reaches_the_runtime() {
     std::env::remove_var("RAMR_CONTAINER");
     assert_eq!((cfg.num_workers, cfg.num_combiners, cfg.batch_size), (3, 2, 25));
     let lines = input();
-    let out = RamrRuntime::new(cfg).unwrap().run(&WordCount, &lines).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&WordCount, &lines).unwrap().output;
     assert_eq!(out.pairs, reference(&lines));
 }

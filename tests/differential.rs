@@ -16,7 +16,7 @@ use mr_apps::{
     WordCount,
 };
 use mr_core::{JobOutput, MapReduceJob, MrKey, RuntimeConfig};
-use ramr::{Backend, Engine, RamrRuntime};
+use ramr::{Backend, Engine};
 
 const SCALE: u64 = 20_000;
 
@@ -42,8 +42,9 @@ type BothOutputs<J> = (
 );
 
 fn run_both<J: MapReduceJob>(job: &J, input: &[J::Input], config: RuntimeConfig) -> BothOutputs<J> {
-    let ramr = Backend::RamrStatic.engine(config.clone()).unwrap().run_job(job, input).unwrap();
-    let phoenix = Backend::Phoenix.engine(config).unwrap().run_job(job, input).unwrap();
+    let ramr =
+        Backend::RamrStatic.engine(config.clone()).unwrap().submit(job, input).unwrap().output;
+    let phoenix = Backend::Phoenix.engine(config).unwrap().submit(job, input).unwrap().output;
     (ramr, phoenix)
 }
 
@@ -151,7 +152,12 @@ fn emit_buffer_sweep_agrees_with_baseline_and_element_wise() {
     let base = config(AppKind::WordCount);
     let mut element_wise_cfg = base.clone();
     element_wise_cfg.emit_buffer_size = Some(1);
-    let element_wise = RamrRuntime::new(element_wise_cfg).unwrap().run(&WordCount, &input).unwrap();
+    let element_wise = Backend::RamrStatic
+        .engine(element_wise_cfg)
+        .unwrap()
+        .submit(&WordCount, &input)
+        .unwrap()
+        .output;
     for emit in [1, 2, base.batch_size, base.queue_capacity] {
         let mut cfg = base.clone();
         cfg.emit_buffer_size = Some(emit);
@@ -174,8 +180,9 @@ fn pooled_sessions_match_fresh_runs_on_every_backend() {
         let mut session = backend.session::<WordCount>(cfg.clone()).unwrap();
         for round in 0..4 {
             let fresh_engine = backend.engine(cfg.clone()).unwrap();
-            let (fresh, fresh_report) = fresh_engine.run_job_reported(&WordCount, &input).unwrap();
-            let (pooled, pooled_report) = session.submit_with_report(&WordCount, &input).unwrap();
+            let (fresh, fresh_report) =
+                fresh_engine.submit(&WordCount, &input).unwrap().into_parts();
+            let (pooled, pooled_report) = session.submit(&WordCount, &input).unwrap().into_parts();
             assert_eq!(pooled.pairs, fresh.pairs, "{backend} round {round}: output differs");
             assert_eq!(
                 pooled.stats.emitted, fresh.stats.emitted,
@@ -226,10 +233,14 @@ fn pooled_sessions_match_fresh_runs_under_faults() {
         let mut session = backend.session::<FaultyJob<mr_apps::WordCount>>(cfg.clone()).unwrap();
         for round in 0..2 {
             let fresh_job = FaultyJob::new(mr_apps::WordCount, plan(), ordinal_of);
-            let (fresh, fresh_report) =
-                backend.engine(cfg.clone()).unwrap().run_job_reported(&fresh_job, &input).unwrap();
+            let (fresh, fresh_report) = backend
+                .engine(cfg.clone())
+                .unwrap()
+                .submit(&fresh_job, &input)
+                .unwrap()
+                .into_parts();
             let pooled_job = FaultyJob::new(mr_apps::WordCount, plan(), ordinal_of);
-            let (pooled, pooled_report) = session.submit_with_report(&pooled_job, &input).unwrap();
+            let (pooled, pooled_report) = session.submit(&pooled_job, &input).unwrap().into_parts();
             assert_eq!(pooled.pairs, fresh.pairs, "{backend} round {round}");
             assert_eq!(
                 pooled_report.faults, fresh_report.faults,
@@ -250,14 +261,15 @@ fn hashers_and_backends_all_produce_identical_output() {
     let reference = Backend::RamrStatic
         .engine(config(AppKind::WordCount))
         .unwrap()
-        .run_job(&WordCount, &input)
-        .unwrap();
+        .submit(&WordCount, &input)
+        .unwrap()
+        .output;
     assert!(!reference.is_empty());
     for hasher in mr_core::HasherKind::ALL {
         for backend in Backend::ALL {
             let mut cfg = config(AppKind::WordCount);
             cfg.hasher = hasher;
-            let out = backend.engine(cfg).unwrap().run_job(&WordCount, &input).unwrap();
+            let out = backend.engine(cfg).unwrap().submit(&WordCount, &input).unwrap().output;
             assert_eq!(
                 out.pairs, reference.pairs,
                 "{backend} with {hasher} diverges from the reference output"

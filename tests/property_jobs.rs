@@ -3,9 +3,8 @@
 //! reference, for arbitrary configurations.
 
 use mr_core::{ContainerKind, Emitter, MapReduceJob, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
 use proptest::prelude::*;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 
 /// Which commutative, associative fold the job uses.
 #[derive(Debug, Clone, Copy)]
@@ -103,8 +102,8 @@ proptest! {
             .build()
             .unwrap();
         let expected = reference(&job, &input);
-        let ramr = RamrRuntime::new(cfg.clone()).unwrap().run(&job, &input).unwrap();
-        let phoenix = PhoenixRuntime::new(cfg).unwrap().run(&job, &input).unwrap();
+        let ramr = Backend::RamrStatic.engine(cfg.clone()).unwrap().submit(&job, &input).unwrap().output;
+        let phoenix = Backend::Phoenix.engine(cfg).unwrap().submit(&job, &input).unwrap().output;
         prop_assert_eq!(&ramr.pairs, &expected);
         prop_assert_eq!(&phoenix.pairs, &expected);
     }

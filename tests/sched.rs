@@ -118,8 +118,12 @@ fn concurrent_clients_match_the_serial_baseline_across_backends() {
                 for (salt, pairs) in handle.join().unwrap() {
                     // The serial baseline: the same job, fresh and alone.
                     let input = lines(150 + (salt % 100) * TASK, salt);
-                    let serial =
-                        backend.engine(config()).unwrap().run_job(&WordCount, &input).unwrap();
+                    let serial = backend
+                        .engine(config())
+                        .unwrap()
+                        .submit(&WordCount, &input)
+                        .unwrap()
+                        .output;
                     assert_eq!(pairs, serial.pairs, "{backend} salt={salt}");
                     assert_eq!(pairs, reference(&input), "{backend} salt={salt}");
                 }

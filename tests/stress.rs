@@ -2,8 +2,7 @@
 //! fan-out, and sustained pressure through tiny pipelines.
 
 use mr_core::{ContainerKind, Emitter, MapReduceJob, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 
 /// Emits FAN pairs per element to stress the queues.
 struct FanOut;
@@ -59,7 +58,7 @@ fn single_slot_queues_do_not_deadlock() {
         .batch_size(1)
         .build()
         .unwrap();
-    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&FanOut, &input).unwrap().output;
     assert_eq!(out.pairs, reference(&input));
     assert!(out.stats.queue_full_events > 0);
 }
@@ -76,7 +75,7 @@ fn oversubscribed_pools_terminate() {
         .batch_size(16)
         .build()
         .unwrap();
-    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&FanOut, &input).unwrap().output;
     assert_eq!(out.pairs, reference(&input));
 }
 
@@ -91,7 +90,7 @@ fn sustained_pressure_with_heavy_fanout() {
         .batch_size(50)
         .build()
         .unwrap();
-    let out = RamrRuntime::new(cfg).unwrap().run(&FanOut, &input).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&FanOut, &input).unwrap().output;
     assert_eq!(out.stats.emitted, input.len() as u64 * FAN);
     assert_eq!(out.pairs, reference(&input));
 }
@@ -109,9 +108,9 @@ fn repeated_invocations_are_stable() {
         .batch_size(8)
         .build()
         .unwrap();
-    let rt = RamrRuntime::new(cfg).unwrap();
+    let engine = Backend::RamrStatic.engine(cfg).unwrap();
     for round in 0..20 {
-        let out = rt.run(&FanOut, &input).unwrap();
+        let out = engine.submit(&FanOut, &input).unwrap().output;
         assert_eq!(out.pairs, expected, "round {round}");
     }
 }
@@ -128,8 +127,14 @@ fn both_runtimes_survive_empty_and_tiny_inputs() {
         .unwrap();
     for n in [0usize, 1, 2, 3, 7] {
         let input: Vec<u64> = (0..n as u64).collect();
-        let r = RamrRuntime::new(cfg.clone()).unwrap().run(&FanOut, &input).unwrap();
-        let p = PhoenixRuntime::new(cfg.clone()).unwrap().run(&FanOut, &input).unwrap();
+        let r = Backend::RamrStatic
+            .engine(cfg.clone())
+            .unwrap()
+            .submit(&FanOut, &input)
+            .unwrap()
+            .output;
+        let p =
+            Backend::Phoenix.engine(cfg.clone()).unwrap().submit(&FanOut, &input).unwrap().output;
         assert_eq!(r.pairs, p.pairs, "n={n}");
         assert_eq!(r.pairs, reference(&input));
     }
@@ -170,7 +175,7 @@ fn combine_panic_does_not_hang_the_pipeline() {
         .build()
         .unwrap();
     // Must terminate (no deadlock on full queues) and surface the panic.
-    let err = RamrRuntime::new(cfg).unwrap().run(&PanickyCombine, &input).unwrap_err();
+    let err = Backend::RamrStatic.engine(cfg).unwrap().submit(&PanickyCombine, &input).unwrap_err();
     assert!(
         matches!(err, mr_core::RuntimeError::WorkerPanic(ref m) if m.contains("combine exploded")),
         "got {err:?}"
@@ -233,7 +238,8 @@ fn dual_panic_with_full_busywait_queues_terminates() {
     // whole suite, which is exactly the regression this test guards.
     let (tx, rx) = std::sync::mpsc::channel();
     std::thread::spawn(move || {
-        let result = RamrRuntime::new(cfg).unwrap().run(&DualFailure, &input);
+        let result =
+            Backend::RamrStatic.engine(cfg).unwrap().submit(&DualFailure, &input).map(|o| o.output);
         let _ = tx.send(result);
     });
     let result = rx
@@ -273,7 +279,7 @@ fn hash_container_stress_with_many_keys() {
         .container(ContainerKind::Hash)
         .build()
         .unwrap();
-    let out = RamrRuntime::new(cfg).unwrap().run(&WideKeys, &input).unwrap();
+    let out = Backend::RamrStatic.engine(cfg).unwrap().submit(&WideKeys, &input).unwrap().output;
     assert_eq!(out.len(), 200_000, "all keys distinct");
     assert!(out.iter().all(|(_, v)| *v == 1));
 }

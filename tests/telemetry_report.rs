@@ -3,8 +3,7 @@
 //! and accounting invariants the CLI and tuning docs rely on.
 
 use mr_core::{Emitter, MapReduceJob, RuntimeConfig};
-use phoenix_mr::PhoenixRuntime;
-use ramr::RamrRuntime;
+use ramr::{Backend, Engine};
 use ramr_telemetry::report::MetricsReport;
 use ramr_telemetry::ThreadRole;
 
@@ -47,10 +46,9 @@ fn config() -> RuntimeConfig {
 
 /// Builds the report exactly the way the CLI's `--metrics-json` path does.
 fn report_from_run(input: &[u64]) -> MetricsReport {
-    let rt = RamrRuntime::new(config()).unwrap();
-    let (out, run) = rt.run_with_report(&Mod13, input).unwrap();
-    let mut threads = run.mapper_telemetry.clone();
-    threads.extend(run.combiner_telemetry.iter().cloned());
+    let engine = Backend::RamrStatic.engine(config()).unwrap();
+    let outcome = engine.submit(&Mod13, input).unwrap();
+    let (out, run) = (outcome.output, outcome.report);
     let ns = |d: std::time::Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
     let stats = &out.stats;
     MetricsReport {
@@ -63,9 +61,9 @@ fn report_from_run(input: &[u64]) -> MetricsReport {
         queue_capacity: 256,
         phase_ns: [ns(stats.partition), ns(stats.map_combine), ns(stats.reduce), ns(stats.merge)],
         emitted: stats.emitted,
-        consumed: run.consumed_per_combiner.iter().sum(),
-        threads,
-        faults: run.faults.clone(),
+        consumed: run.consumed,
+        threads: run.threads,
+        faults: run.faults,
     }
 }
 
@@ -101,15 +99,18 @@ fn real_run_report_satisfies_conservation() {
 #[test]
 fn both_runtimes_expose_comparable_telemetry() {
     let input: Vec<u64> = (0..20_000).collect();
-    let (_, ramr_report) =
-        RamrRuntime::new(config()).unwrap().run_with_report(&Mod13, &input).unwrap();
-    let (_, phx_report) =
-        PhoenixRuntime::new(config()).unwrap().run_with_report(&Mod13, &input).unwrap();
-    let ramr_items: u64 = ramr_report.mapper_telemetry.iter().map(|t| t.items).sum();
-    let phx_items: u64 = phx_report.worker_telemetry.iter().map(|t| t.items).sum();
+    let ramr_report =
+        Backend::RamrStatic.engine(config()).unwrap().submit(&Mod13, &input).unwrap().report;
+    let phx_report =
+        Backend::Phoenix.engine(config()).unwrap().submit(&Mod13, &input).unwrap().report;
+    let ramr_items: u64 =
+        ramr_report.threads.iter().filter(|t| t.role == ThreadRole::Mapper).map(|t| t.items).sum();
+    let phx_items: u64 = phx_report.threads.iter().map(|t| t.items).sum();
     assert_eq!(ramr_items, phx_items, "both runtimes emit the same pairs");
     // The baseline's workers never stall (inline combine); the decoupled
-    // runtime may — but both account busy time.
-    assert!(phx_report.worker_telemetry.iter().all(|t| t.stalled.is_zero()));
-    assert!(phx_report.worker_throughput().is_some());
+    // runtime may — but both account busy time, and Phoenix's inline
+    // combine consumes exactly what its workers emitted.
+    assert!(phx_report.threads.iter().all(|t| t.stalled.is_zero()));
+    assert_eq!(phx_report.consumed, phx_items);
+    assert!(phx_report.suggested_ratio.is_none(), "Phoenix has no role split to tune");
 }
